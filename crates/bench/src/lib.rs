@@ -1,0 +1,32 @@
+//! Experiment harness reproducing the evaluation of *Segment Indexes*
+//! (Kolovson & Stonebraker, SIGMOD 1991, §5).
+//!
+//! For each of the paper's Graphs 1–6 (plus the two exponential-centroid
+//! rectangle experiments it mentions but omits), the harness:
+//!
+//! 1. generates the input distribution (I1–I4, R1, R2, RE1, RE2);
+//! 2. builds all four index variants — R-Tree, SR-Tree, Skeleton R-Tree,
+//!    Skeleton SR-Tree — with the paper's parameters (1 KB leaves doubling
+//!    per level, 2/3 branch reservation, distribution prediction over the
+//!    first 10,000 tuples, coalescing every 1,000 insertions among the 10
+//!    least-frequently-modified nodes);
+//! 3. inserts the data in random order;
+//! 4. sweeps the thirteen QAR values with 100 area-10⁶ queries each,
+//!    recording the average number of index nodes accessed per search;
+//! 5. prints the series the paper plots and checks the qualitative shape
+//!    claims.
+//!
+//! Run `cargo run --release -p segidx-bench --bin reproduce -- --help`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod experiment;
+mod report;
+mod runner;
+mod shape;
+
+pub use experiment::{Experiment, Graph, Variant, PAPER_PREDICTION_BUFFER};
+pub use report::{render_table, write_csv};
+pub use runner::{inspect_variants, run_experiment, BuildInfo, GraphResult, Series, SweepPoint};
+pub use shape::{check_exponential_lower, check_paper_shape, render_checks, ShapeCheck};

@@ -1,0 +1,134 @@
+//! Rendering results: paper-style tables and CSV files.
+
+use crate::runner::GraphResult;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders a graph's series as the table the paper plots: one row per QAR,
+/// one column per index variant, values = average nodes accessed per search.
+pub fn render_table(result: &GraphResult) -> String {
+    let exp = &result.experiment;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Graph {}: {} — {} tuples ({} queries per QAR)\n",
+        exp.graph.number(),
+        exp.graph.caption(),
+        exp.tuples,
+        exp.queries_per_qar
+    ));
+    out.push_str(
+        "X axis = horizontal/vertical query aspect ratio (log base 10)\n\
+         Y axis = average number of nodes accessed per search\n\n",
+    );
+    out.push_str(&format!("{:>10}", "log10(QAR)"));
+    for s in &result.series {
+        out.push_str(&format!("  {:>17}", s.variant.name()));
+    }
+    out.push('\n');
+    let n_points = result.series[0].points.len();
+    for i in 0..n_points {
+        out.push_str(&format!("{:>10.1}", result.series[0].points[i].log10_qar));
+        for s in &result.series {
+            out.push_str(&format!("  {:>17.2}", s.points[i].avg_nodes));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>18}  {:>8}  {:>6}  {:>9}  {:>9}  {:>7}  {:>9}  {:>9}\n",
+        "variant", "nodes", "height", "entries", "spanning", "cuts", "coalesces", "build ms"
+    ));
+    for s in &result.series {
+        out.push_str(&format!(
+            "{:>18}  {:>8}  {:>6}  {:>9}  {:>9}  {:>7}  {:>9}  {:>9}\n",
+            s.variant.name(),
+            s.build.node_count,
+            s.build.height,
+            s.build.entry_count,
+            s.build.spanning_stores,
+            s.build.cuts,
+            s.build.coalesces,
+            s.build.build_ms
+        ));
+    }
+    out
+}
+
+/// Writes a graph's series as CSV:
+/// `qar,log10_qar,<variant columns...>`.
+pub fn write_csv(result: &GraphResult, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "qar,log10_qar")?;
+    for s in &result.series {
+        write!(f, ",{}", s.variant.name().replace(' ', "_"))?;
+    }
+    writeln!(f)?;
+    let n_points = result.series[0].points.len();
+    for i in 0..n_points {
+        let p0 = result.series[0].points[i];
+        write!(f, "{},{}", p0.qar, p0.log10_qar)?;
+        for s in &result.series {
+            write!(f, ",{}", s.points[i].avg_nodes)?;
+        }
+        writeln!(f)?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, Graph, Variant};
+    use crate::runner::{BuildInfo, GraphResult, Series, SweepPoint};
+
+    fn tiny_result() -> GraphResult {
+        let point = |v: f64| SweepPoint {
+            qar: 1.0,
+            log10_qar: 0.0,
+            avg_nodes: v,
+        };
+        GraphResult {
+            experiment: Experiment::quick(Graph::G1),
+            series: Variant::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &variant)| Series {
+                    variant,
+                    points: vec![point(i as f64 + 1.5)],
+                    build: BuildInfo::default(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn table_contains_all_variants_and_values() {
+        let table = render_table(&tiny_result());
+        for v in Variant::ALL {
+            assert!(table.contains(v.name()), "missing {}", v.name());
+        }
+        assert!(table.contains("1.50"));
+        assert!(table.contains("4.50"));
+        assert!(table.contains("Graph 1"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join(format!("segidx-csv-{}", std::process::id()));
+        let path = dir.join("g1.csv");
+        write_csv(&tiny_result(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(
+            header,
+            "qar,log10_qar,R-Tree,SR-Tree,Skeleton_R-Tree,Skeleton_SR-Tree"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("1,0,1.5,2.5,3.5,4.5"));
+        assert_eq!(lines.count(), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Experiment execution: build all four variants, sweep the QAR range,
+//! collect the paper's metric.
+
+use crate::experiment::{Experiment, Graph, Variant};
+use segidx_core::IntervalIndex;
+use segidx_workloads::{paper_query_sweep, queries_for_qar};
+use std::time::Instant;
+
+/// One point of a series: the average nodes accessed per search at one QAR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Horizontal-to-vertical query aspect ratio.
+    pub qar: f64,
+    /// `log₁₀(qar)` — the X axis of the paper's graphs.
+    pub log10_qar: f64,
+    /// Average index nodes accessed per search — the Y axis.
+    pub avg_nodes: f64,
+}
+
+/// Construction-side statistics for one variant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildInfo {
+    /// Index nodes after all insertions.
+    pub node_count: usize,
+    /// Tree height.
+    pub height: u32,
+    /// Physical index records (leaf + spanning).
+    pub entry_count: u64,
+    /// Spanning records stored (gross).
+    pub spanning_stores: u64,
+    /// Records cut into spanning + remnant portions.
+    pub cuts: u64,
+    /// Coalescing merges performed.
+    pub coalesces: u64,
+    /// Leaf + internal splits.
+    pub splits: u64,
+    /// Wall-clock build time in milliseconds.
+    pub build_ms: u64,
+}
+
+/// The full sweep for one variant.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Which index variant.
+    pub variant: Variant,
+    /// One point per QAR value, in sweep order.
+    pub points: Vec<SweepPoint>,
+    /// Construction statistics.
+    pub build: BuildInfo,
+}
+
+impl Series {
+    /// Mean of `avg_nodes` over the points selected by `pred` (e.g. the
+    /// vertical-QAR range `log₁₀(QAR) < 0`).
+    pub fn mean_where(&self, pred: impl Fn(&SweepPoint) -> bool) -> f64 {
+        let sel: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| pred(p))
+            .map(|p| p.avg_nodes)
+            .collect();
+        if sel.is_empty() {
+            return f64::NAN;
+        }
+        sel.iter().sum::<f64>() / sel.len() as f64
+    }
+}
+
+/// All four series for one graph.
+#[derive(Clone, Debug)]
+pub struct GraphResult {
+    /// The experiment that produced this result.
+    pub experiment: Experiment,
+    /// One series per variant, in [`Variant::ALL`] order.
+    pub series: Vec<Series>,
+}
+
+impl GraphResult {
+    /// The series for `variant`.
+    pub fn series_for(&self, variant: Variant) -> &Series {
+        self.series
+            .iter()
+            .find(|s| s.variant == variant)
+            .expect("all variants present")
+    }
+
+    /// The graph this reproduces.
+    pub fn graph(&self) -> Graph {
+        self.experiment.graph
+    }
+}
+
+/// Runs one experiment: generates the data once, then builds and sweeps all
+/// four variants in parallel (one thread per variant — they are independent
+/// indexes over the same input).
+pub fn run_experiment(experiment: &Experiment) -> GraphResult {
+    let dataset = experiment.dataset();
+    let mut series: Vec<Option<Series>> = vec![None, None, None, None];
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for variant in Variant::ALL {
+            let records = &dataset.records;
+            let exp = *experiment;
+            handles.push(scope.spawn(move |_| run_variant(variant, records, &exp)));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            series[i] = Some(h.join().expect("variant thread panicked"));
+        }
+    })
+    .expect("experiment scope");
+
+    GraphResult {
+        experiment: *experiment,
+        series: series.into_iter().map(|s| s.unwrap()).collect(),
+    }
+}
+
+/// Builds one variant over `records` and sweeps the QAR range.
+pub fn run_variant(
+    variant: Variant,
+    records: &[(segidx_geom::Rect<2>, segidx_core::RecordId)],
+    experiment: &Experiment,
+) -> Series {
+    let start = Instant::now();
+    let mut index = variant.build_index(experiment.tuples);
+    for (rect, id) in records {
+        index.insert(*rect, *id);
+    }
+    let build_ms = start.elapsed().as_millis() as u64;
+    let points = sweep(index.as_ref(), experiment);
+    let snap = index.stats();
+    Series {
+        variant,
+        points,
+        build: BuildInfo {
+            node_count: index.node_count(),
+            height: index.height(),
+            entry_count: index.entry_count() as u64,
+            spanning_stores: snap.spanning_stores,
+            cuts: snap.cuts,
+            coalesces: snap.coalesces,
+            splits: snap.leaf_splits + snap.internal_splits,
+            build_ms,
+        },
+    }
+}
+
+/// Sweeps the paper's thirteen QAR values over a built index.
+pub fn sweep(index: &dyn IntervalIndex<2>, experiment: &Experiment) -> Vec<SweepPoint> {
+    let sets = if experiment.queries_per_qar == segidx_workloads::QUERIES_PER_QAR {
+        paper_query_sweep(experiment.query_seed)
+    } else {
+        segidx_geom::PAPER_QAR_SWEEP
+            .iter()
+            .map(|&q| queries_for_qar(q, experiment.queries_per_qar, experiment.query_seed))
+            .collect()
+    };
+    sets.iter()
+        .map(|qs| {
+            index.reset_search_stats();
+            for q in &qs.queries {
+                let _ = index.search(q);
+            }
+            let snap = index.stats();
+            SweepPoint {
+                qar: qs.qar,
+                log10_qar: qs.log10_qar,
+                avg_nodes: snap.avg_nodes_per_search().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Builds each variant over the experiment's dataset and renders its
+/// per-level structure report (`reproduce --inspect`).
+pub fn inspect_variants(experiment: &Experiment) -> Vec<String> {
+    use segidx_core::{RTree, SRTree, SkeletonRTree, SkeletonSRTree};
+    let dataset = experiment.dataset();
+    let buffer = crate::experiment::PAPER_PREDICTION_BUFFER.min((experiment.tuples / 10).max(1));
+    let domain = segidx_workloads::domain();
+
+    Variant::ALL
+        .iter()
+        .map(|variant| {
+            let report = match variant {
+                Variant::RTree => {
+                    let mut t = RTree::<2>::new();
+                    for (r, id) in &dataset.records {
+                        t.tree_mut().insert(*r, *id);
+                    }
+                    t.tree().report()
+                }
+                Variant::SRTree => {
+                    let mut t = SRTree::<2>::new();
+                    for (r, id) in &dataset.records {
+                        t.tree_mut().insert(*r, *id);
+                    }
+                    t.tree().report()
+                }
+                Variant::SkeletonRTree => {
+                    let mut t =
+                        SkeletonRTree::<2>::with_prediction(domain, experiment.tuples, buffer);
+                    for (r, id) in &dataset.records {
+                        segidx_core::IntervalIndex::insert(&mut t, *r, *id);
+                    }
+                    t.tree().expect("built after prediction").report()
+                }
+                Variant::SkeletonSRTree => {
+                    let mut t =
+                        SkeletonSRTree::<2>::with_prediction(domain, experiment.tuples, buffer);
+                    for (r, id) in &dataset.records {
+                        segidx_core::IntervalIndex::insert(&mut t, *r, *id);
+                    }
+                    t.tree().expect("built after prediction").report()
+                }
+            };
+            format!("structure of {}:\n{report}", variant.name())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_produces_full_series() {
+        let exp = Experiment {
+            tuples: 3_000,
+            queries_per_qar: 10,
+            ..Experiment::paper(Graph::G3)
+        };
+        let result = run_experiment(&exp);
+        assert_eq!(result.series.len(), 4);
+        for s in &result.series {
+            assert_eq!(s.points.len(), 13, "{}", s.variant.name());
+            assert!(
+                s.points.iter().all(|p| p.avg_nodes >= 1.0),
+                "{}: every search visits at least the root",
+                s.variant.name()
+            );
+            assert!(s.build.node_count > 0);
+        }
+        // Deterministic: same experiment, same numbers.
+        let again = run_experiment(&exp);
+        for (a, b) in result.series.iter().zip(again.series.iter()) {
+            assert_eq!(a.points.len(), b.points.len());
+            for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+                assert_eq!(pa.avg_nodes, pb.avg_nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_where_selects_ranges() {
+        let s = Series {
+            variant: Variant::RTree,
+            points: vec![
+                SweepPoint {
+                    qar: 0.1,
+                    log10_qar: -1.0,
+                    avg_nodes: 10.0,
+                },
+                SweepPoint {
+                    qar: 10.0,
+                    log10_qar: 1.0,
+                    avg_nodes: 30.0,
+                },
+            ],
+            build: BuildInfo::default(),
+        };
+        assert_eq!(s.mean_where(|p| p.log10_qar < 0.0), 10.0);
+        assert_eq!(s.mean_where(|p| p.log10_qar > 0.0), 30.0);
+        assert!(s.mean_where(|p| p.qar > 100.0).is_nan());
+    }
+}

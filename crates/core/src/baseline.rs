@@ -1,0 +1,297 @@
+//! Memory-resident computational-geometry baselines (paper §1).
+//!
+//! The paper positions Segment Indexes against "main memory resident data
+//! structures used in Computational Geometry" — Segment Trees, Interval
+//! Trees, Priority Search Trees — which are binary structures that "have
+//! not been extended to multi-way trees that may be efficiently paged onto
+//! secondary storage" (§1). This module provides the classic **centered
+//! interval tree** \[EDEL80\] as a correctness reference and comparison
+//! baseline for one-dimensional interval workloads: it answers the same
+//! stabbing and overlap queries as a 1-D SR-Tree, in `O(log n + k)`, but is
+//! static (built once over all data) and pointer-structured rather than
+//! paged.
+
+use crate::id::RecordId;
+use segidx_geom::Interval;
+
+/// One indexed interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Item {
+    interval: Interval,
+    record: RecordId,
+}
+
+/// A node of the centered interval tree: intervals containing the center
+/// point are stored here (sorted by both endpoints); the rest recurse left
+/// or right of the center.
+#[derive(Debug)]
+struct IntervalNode {
+    center: f64,
+    /// Intervals containing `center`, sorted ascending by low endpoint.
+    by_lo: Vec<Item>,
+    /// The same intervals, sorted descending by high endpoint.
+    by_hi: Vec<Item>,
+    left: Option<Box<IntervalNode>>,
+    right: Option<Box<IntervalNode>>,
+}
+
+/// A static, memory-resident centered interval tree over 1-D intervals.
+///
+/// Build once with [`IntervalTree::build`]; query with
+/// [`IntervalTree::stab`] and [`IntervalTree::overlapping`]. For a dynamic,
+/// paged equivalent use `SRTree<1>`.
+#[derive(Debug, Default)]
+pub struct IntervalTree {
+    root: Option<Box<IntervalNode>>,
+    len: usize,
+}
+
+impl IntervalTree {
+    /// Builds the tree over `(interval, record)` pairs.
+    pub fn build(items: impl IntoIterator<Item = (Interval, RecordId)>) -> Self {
+        let items: Vec<Item> = items
+            .into_iter()
+            .map(|(interval, record)| Item { interval, record })
+            .collect();
+        let len = items.len();
+        Self {
+            root: build_node(items),
+            len,
+        }
+    }
+
+    /// Number of intervals indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All records whose interval contains `p`, sorted by id.
+    pub fn stab(&self, p: f64) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if p < n.center {
+                // Center intervals whose low end is ≤ p contain p.
+                for item in &n.by_lo {
+                    if item.interval.lo() <= p {
+                        out.push(item.record);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.left.as_deref();
+            } else {
+                // p ≥ center: center intervals whose high end is ≥ p match.
+                for item in &n.by_hi {
+                    if item.interval.hi() >= p {
+                        out.push(item.record);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.right.as_deref();
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All records whose interval overlaps `query` (closed-interval
+    /// semantics, like the paged indexes), sorted by id.
+    pub fn overlapping(&self, query: &Interval) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        collect_overlaps(self.root.as_deref(), query, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn build_node(mut items: Vec<Item>) -> Option<Box<IntervalNode>> {
+    if items.is_empty() {
+        return None;
+    }
+    // Center on the median endpoint for balance.
+    let mut endpoints: Vec<f64> = items
+        .iter()
+        .flat_map(|i| [i.interval.lo(), i.interval.hi()])
+        .collect();
+    endpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let center = endpoints[endpoints.len() / 2];
+
+    let mut here = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for item in items.drain(..) {
+        if item.interval.hi() < center {
+            left.push(item);
+        } else if item.interval.lo() > center {
+            right.push(item);
+        } else {
+            here.push(item);
+        }
+    }
+    // Degenerate distributions (all intervals containing the center) still
+    // terminate: left/right strictly shrink.
+    let mut by_lo = here.clone();
+    by_lo.sort_by(|a, b| a.interval.lo().partial_cmp(&b.interval.lo()).unwrap());
+    let mut by_hi = here;
+    by_hi.sort_by(|a, b| b.interval.hi().partial_cmp(&a.interval.hi()).unwrap());
+
+    Some(Box::new(IntervalNode {
+        center,
+        by_lo,
+        by_hi,
+        left: build_node(left),
+        right: build_node(right),
+    }))
+}
+
+fn collect_overlaps(node: Option<&IntervalNode>, query: &Interval, out: &mut Vec<RecordId>) {
+    let Some(n) = node else {
+        return;
+    };
+    // Center intervals: all contain n.center; they overlap the query iff
+    // lo ≤ query.hi and hi ≥ query.lo.
+    if query.contains(n.center) {
+        out.extend(n.by_lo.iter().map(|i| i.record));
+    } else if n.center < query.lo() {
+        for item in &n.by_hi {
+            if item.interval.hi() >= query.lo() {
+                out.push(item.record);
+            } else {
+                break;
+            }
+        }
+    } else {
+        for item in &n.by_lo {
+            if item.interval.lo() <= query.hi() {
+                out.push(item.record);
+            } else {
+                break;
+            }
+        }
+    }
+    if query.lo() < n.center {
+        collect_overlaps(n.left.as_deref(), query, out);
+    }
+    if query.hi() > n.center {
+        collect_overlaps(n.right.as_deref(), query, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{IntervalIndex, SRTree};
+    use segidx_geom::Rect;
+
+    fn mixed_intervals(n: u64) -> Vec<(Interval, RecordId)> {
+        (0..n)
+            .map(|i| {
+                let lo = ((i * 131) % 9_000) as f64;
+                let len = match i % 10 {
+                    0 => 0.0,
+                    1 => 4_000.0,
+                    _ => 10.0 + (i % 300) as f64,
+                };
+                (Interval::new(lo, lo + len), RecordId(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stab_matches_brute_force() {
+        let items = mixed_intervals(3_000);
+        let tree = IntervalTree::build(items.clone());
+        assert_eq!(tree.len(), 3_000);
+        for p in [0.0, 500.0, 4_321.5, 8_999.0, 12_000.0, -5.0] {
+            let mut expected: Vec<RecordId> = items
+                .iter()
+                .filter(|(iv, _)| iv.contains(p))
+                .map(|(_, id)| *id)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(tree.stab(p), expected, "stab at {p}");
+        }
+    }
+
+    #[test]
+    fn overlap_matches_brute_force() {
+        let items = mixed_intervals(3_000);
+        let tree = IntervalTree::build(items.clone());
+        for (lo, hi) in [
+            (0.0, 100.0),
+            (4_000.0, 4_500.0),
+            (8_000.0, 20_000.0),
+            (42.0, 42.0),
+        ] {
+            let q = Interval::new(lo, hi);
+            let mut expected: Vec<RecordId> = items
+                .iter()
+                .filter(|(iv, _)| iv.intersects(&q))
+                .map(|(_, id)| *id)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(tree.overlapping(&q), expected, "overlap {q}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_one_dimensional_sr_tree() {
+        // The paper's point of comparison: the memory-resident structure
+        // and the paged SR-Tree answer identically.
+        let items = mixed_intervals(2_000);
+        let tree = IntervalTree::build(items.clone());
+        let mut sr: SRTree<1> = SRTree::new();
+        for (iv, id) in &items {
+            sr.insert(Rect::from_intervals([*iv]), *id);
+        }
+        for (lo, hi) in [(0.0, 50.0), (3_000.0, 3_100.0), (0.0, 10_000.0)] {
+            let q = Interval::new(lo, hi);
+            assert_eq!(
+                tree.overlapping(&q),
+                sr.search(&Rect::from_intervals([q])),
+                "query {q}"
+            );
+        }
+        for p in [123.0, 4_567.0, 8_900.0] {
+            assert_eq!(
+                tree.stab(p),
+                sr.search(&Rect::from_intervals([Interval::point(p)]))
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let tree = IntervalTree::build(Vec::new());
+        assert!(tree.is_empty());
+        assert!(tree.stab(1.0).is_empty());
+        assert!(tree.overlapping(&Interval::new(0.0, 10.0)).is_empty());
+
+        let tree = IntervalTree::build(vec![(Interval::new(5.0, 9.0), RecordId(1))]);
+        assert_eq!(tree.stab(7.0), vec![RecordId(1)]);
+        assert!(tree.stab(4.9).is_empty());
+        assert_eq!(
+            tree.overlapping(&Interval::new(9.0, 20.0)),
+            vec![RecordId(1)]
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_input_terminates() {
+        // All intervals identical: everything lands on one center node.
+        let items: Vec<_> = (0..500u64)
+            .map(|i| (Interval::new(10.0, 20.0), RecordId(i)))
+            .collect();
+        let tree = IntervalTree::build(items);
+        assert_eq!(tree.stab(15.0).len(), 500);
+        assert_eq!(tree.stab(9.0).len(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Index configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which node-splitting algorithm to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum SplitAlgorithm {
+    /// Guttman's quadratic-cost split: PickSeeds maximizes the dead area of
+    /// the seed pair, PickNext maximizes preference difference. The classic
+    /// default and the paper's setting.
+    #[default]
+    Quadratic,
+    /// Guttman's linear-cost split: seeds chosen by greatest normalized
+    /// separation, remaining entries assigned by least enlargement.
+    Linear,
+    /// The R\*-Tree topological split (Beckmann et al. 1990, cited by the
+    /// paper as \[BECK90\]): choose the split axis by minimum margin sum,
+    /// then the distribution by minimum overlap. Provided as a
+    /// stronger-baseline ablation beyond the paper's R-Tree.
+    RStar,
+}
+
+/// Node-coalescing parameters for Skeleton indexes (paper §4, §5).
+///
+/// After every `check_interval` insertions, the `lfm_candidates`
+/// least-frequently-modified leaf nodes are examined and merged with a
+/// spatially adjacent sibling when the combined contents fit in one node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CoalesceConfig {
+    /// Trigger a coalescing pass after this many insertions
+    /// (the paper uses 1,000).
+    pub check_interval: u64,
+    /// Restrict candidates to this many least-frequently-modified nodes
+    /// (the paper uses 10).
+    pub lfm_candidates: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        Self {
+            check_interval: 1_000,
+            lfm_candidates: 10,
+        }
+    }
+}
+
+/// Configuration shared by all four index variants.
+///
+/// The defaults reproduce the paper's experimental setup (§5): 1 KB leaf
+/// nodes whose size doubles at each higher level, 40-byte entries, and — for
+/// segment (SR) variants — 2/3 of non-leaf entries reserved for branches.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// Leaf node size in bytes (paper: 1 KB).
+    pub leaf_node_bytes: usize,
+    /// Whether node size doubles at each successively higher level
+    /// (paper §2.1.2). When `false` every level uses `leaf_node_bytes`.
+    pub vary_node_size: bool,
+    /// Cap on the size-doubling ladder: levels at or above this use the same
+    /// node size. Ten doublings of a 1 KB leaf = 1 MB, far beyond any
+    /// realistic root.
+    pub max_size_doublings: u8,
+    /// Bytes per index entry used to derive node capacity from node size.
+    /// 40 bytes = a 2-D rectangle (four `f64`) plus an 8-byte id.
+    pub entry_bytes: usize,
+    /// Minimum fill factor applied to node splits, as a fraction of the
+    /// relevant capacity (Guttman's `m ≤ M/2`; 0.4 is the common choice).
+    pub min_fill_ratio: f64,
+    /// Fraction of a non-leaf node's entries reserved for branches in
+    /// segment (SR) mode; the remainder holds spanning index records.
+    /// The paper's experiments use 2/3 (§5).
+    pub branch_fraction: f64,
+    /// Enables the Segment Index extensions (spanning records, cutting,
+    /// promotion/demotion) — i.e. SR-Tree rather than R-Tree behavior.
+    pub segment: bool,
+    /// Node-splitting algorithm.
+    pub split: SplitAlgorithm,
+    /// Node coalescing (Skeleton indexes only; `None` disables).
+    pub coalesce: Option<CoalesceConfig>,
+    /// R\*-style ChooseSubtree: at the level directly above the leaves,
+    /// pick the branch with least *overlap* enlargement instead of least
+    /// area enlargement.
+    pub choose_subtree_overlap: bool,
+    /// R\*-style forced reinsertion: on the first leaf overflow per
+    /// mutating operation, reinsert this fraction of the leaf's entries
+    /// (those farthest from the node center) instead of splitting.
+    /// `None` disables (the paper's setting).
+    pub forced_reinsert: Option<f64>,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self {
+            leaf_node_bytes: 1024,
+            vary_node_size: true,
+            max_size_doublings: 10,
+            entry_bytes: 40,
+            min_fill_ratio: 0.4,
+            branch_fraction: 2.0 / 3.0,
+            segment: false,
+            split: SplitAlgorithm::Quadratic,
+            coalesce: None,
+            choose_subtree_overlap: false,
+            forced_reinsert: None,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// The paper's R-Tree configuration.
+    pub fn rtree() -> Self {
+        Self::default()
+    }
+
+    /// The paper's SR-Tree configuration (segment extensions on, 2/3 branch
+    /// reservation).
+    pub fn srtree() -> Self {
+        Self {
+            segment: true,
+            ..Self::default()
+        }
+    }
+
+    /// An R\*-Tree configuration (Beckmann et al. 1990): topological split,
+    /// overlap-aware ChooseSubtree, 30% forced reinsertion. A stronger
+    /// modern baseline than the paper's R-Tree, provided for ablations.
+    pub fn rstar() -> Self {
+        Self {
+            split: SplitAlgorithm::RStar,
+            choose_subtree_overlap: true,
+            forced_reinsert: Some(0.3),
+            ..Self::default()
+        }
+    }
+
+    /// Node size in bytes at `level` (level 0 = leaves).
+    pub fn node_bytes(&self, level: u32) -> usize {
+        if self.vary_node_size {
+            let doublings = level.min(u32::from(self.max_size_doublings));
+            self.leaf_node_bytes << doublings
+        } else {
+            self.leaf_node_bytes
+        }
+    }
+
+    /// Total entry capacity of a node at `level`.
+    pub fn capacity(&self, level: u32) -> usize {
+        (self.node_bytes(level) / self.entry_bytes).max(4)
+    }
+
+    /// Maximum number of branch entries at `level` (non-leaf). In segment
+    /// mode this is `branch_fraction × capacity`, reserving the remainder
+    /// for spanning index records; otherwise the full capacity.
+    pub fn branch_capacity(&self, level: u32) -> usize {
+        let cap = self.capacity(level);
+        if self.segment {
+            ((cap as f64 * self.branch_fraction).floor() as usize).clamp(4, cap)
+        } else {
+            cap
+        }
+    }
+
+    /// Minimum fill for split distribution at `level`, relative to the
+    /// total node capacity (Guttman's `m`). The `leaf` flag is accepted for
+    /// future tuning but both node kinds use the same rule — the
+    /// `branch_fraction` reservation affects Skeleton fanout sizing only,
+    /// so an SR-Tree with no spanning records splits identically to an
+    /// R-Tree (paper §5: "both of the non-Skeleton Indexes had identical
+    /// performance").
+    pub fn min_fill(&self, level: u32, _leaf: bool) -> usize {
+        let cap = self.capacity(level);
+        (((cap as f64) * self.min_fill_ratio).floor() as usize).max(2)
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.leaf_node_bytes < 4 * self.entry_bytes {
+            return Err(format!(
+                "leaf node of {} bytes holds fewer than 4 entries of {} bytes",
+                self.leaf_node_bytes, self.entry_bytes
+            ));
+        }
+        if self.entry_bytes == 0 {
+            return Err("entry_bytes must be positive".into());
+        }
+        if !(0.0..=0.5).contains(&self.min_fill_ratio) {
+            return Err(format!(
+                "min_fill_ratio {} outside [0, 0.5]",
+                self.min_fill_ratio
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.branch_fraction) {
+            return Err(format!(
+                "branch_fraction {} outside [0, 1]",
+                self.branch_fraction
+            ));
+        }
+        if let Some(c) = &self.coalesce {
+            if c.check_interval == 0 || c.lfm_candidates == 0 {
+                return Err("coalesce parameters must be positive".into());
+            }
+        }
+        if let Some(p) = self.forced_reinsert {
+            if !(0.0..=0.45).contains(&p) || p == 0.0 {
+                return Err(format!("forced_reinsert fraction {p} outside (0, 0.45]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = IndexConfig::rtree();
+        assert_eq!(c.node_bytes(0), 1024);
+        assert_eq!(c.node_bytes(1), 2048);
+        assert_eq!(c.node_bytes(3), 8192);
+        assert_eq!(c.capacity(0), 25);
+        // Non-segment: branches get the whole node.
+        assert_eq!(c.branch_capacity(1), c.capacity(1));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn srtree_reserves_two_thirds() {
+        let c = IndexConfig::srtree();
+        let cap = c.capacity(1); // 2048/40 = 51
+        assert_eq!(cap, 51);
+        assert_eq!(c.branch_capacity(1), 34); // floor(51 * 2/3)
+        assert!(c.segment);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn size_doubling_caps() {
+        let c = IndexConfig {
+            max_size_doublings: 2,
+            ..IndexConfig::default()
+        };
+        assert_eq!(c.node_bytes(2), 4096);
+        assert_eq!(c.node_bytes(9), 4096);
+    }
+
+    #[test]
+    fn fixed_node_size() {
+        let c = IndexConfig {
+            vary_node_size: false,
+            ..IndexConfig::default()
+        };
+        assert_eq!(c.node_bytes(5), 1024);
+    }
+
+    #[test]
+    fn min_fill_at_least_two() {
+        let c = IndexConfig {
+            min_fill_ratio: 0.0,
+            ..IndexConfig::default()
+        };
+        assert_eq!(c.min_fill(0, true), 2);
+    }
+
+    #[test]
+    fn rstar_preset() {
+        let c = IndexConfig::rstar();
+        c.validate().unwrap();
+        assert_eq!(c.split, SplitAlgorithm::RStar);
+        assert!(c.choose_subtree_overlap);
+        assert_eq!(c.forced_reinsert, Some(0.3));
+        assert!(!c.segment);
+    }
+
+    #[test]
+    fn forced_reinsert_fraction_validated() {
+        let c = IndexConfig {
+            forced_reinsert: Some(0.6),
+            ..IndexConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = IndexConfig {
+            forced_reinsert: Some(0.0),
+            ..IndexConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let c = IndexConfig {
+            leaf_node_bytes: 64,
+            ..IndexConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = IndexConfig {
+            min_fill_ratio: 0.9,
+            ..IndexConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = IndexConfig {
+            branch_fraction: 1.5,
+            ..IndexConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = IndexConfig {
+            coalesce: Some(CoalesceConfig {
+                check_interval: 0,
+                lfm_candidates: 10,
+            }),
+            ..IndexConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

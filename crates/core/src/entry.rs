@@ -1,0 +1,63 @@
+//! Index node entries: leaf records, branches, and spanning records.
+
+use crate::id::{NodeId, RecordId};
+use segidx_geom::Rect;
+
+/// An external index record on a leaf node: a rectangle plus the id of the
+/// data record it describes.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LeafEntry<const D: usize> {
+    /// The indexed geometry (a point, segment, or box).
+    pub rect: Rect<D>,
+    /// The data record this entry points at.
+    pub record: RecordId,
+}
+
+/// An internal branch on a non-leaf node: the stored covering region of a
+/// child node plus the child's id.
+///
+/// In plain R-Trees the stored region is the minimal bounding rectangle of
+/// the child's contents; in Skeleton indexes it may be a larger pre-allocated
+/// tile (paper §4). Search correctness only requires that the stored region
+/// covers everything reachable through the child.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Branch<const D: usize> {
+    /// Covering region of the child.
+    pub rect: Rect<D>,
+    /// The child node.
+    pub child: NodeId,
+}
+
+/// A *spanning index record* stored on a non-leaf node (paper §3.1.1,
+/// Figure 2): an external record that spans the region of one of the node's
+/// branches, linked to that branch.
+///
+/// Invariants maintained by the tree:
+/// * `rect` spans (in at least one dimension) and intersects the region of
+///   the branch whose child is [`SpanningEntry::linked_child`];
+/// * `rect` is wholly contained by the region of the node storing the entry
+///   (enforced by cutting; not applicable to the root, which has no stored
+///   region).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SpanningEntry<const D: usize> {
+    /// The (possibly cut) indexed geometry.
+    pub rect: Rect<D>,
+    /// The data record this entry points at.
+    pub record: RecordId,
+    /// The child id of the branch this entry is linked to.
+    pub linked_child: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_small() {
+        // The paper derives node capacities from a fixed entry size; keep
+        // the in-memory representations compact as well.
+        assert!(std::mem::size_of::<LeafEntry<2>>() <= 40);
+        assert!(std::mem::size_of::<Branch<2>>() <= 40);
+        assert!(std::mem::size_of::<SpanningEntry<2>>() <= 48);
+    }
+}

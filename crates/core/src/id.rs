@@ -1,0 +1,72 @@
+//! Identifier newtypes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user data record (tuple).
+///
+/// The index stores `(rect, RecordId)` pairs; the record id points at the
+/// caller's tuple, exactly as the paper's external index records point at
+/// data records. When a record is *cut* into spanning and remnant portions
+/// (paper §3.1.1), every portion carries the same `RecordId`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u64);
+
+impl RecordId {
+    /// The raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for RecordId {
+    fn from(v: u64) -> Self {
+        RecordId(v)
+    }
+}
+
+/// Identifier of an index node within the tree's node arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw arena slot.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_id_roundtrip() {
+        let r: RecordId = 7u64.into();
+        assert_eq!(r.raw(), 7);
+        assert_eq!(format!("{r:?}"), "r7");
+    }
+
+    #[test]
+    fn node_id_debug() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+}

@@ -1,0 +1,63 @@
+//! # Segment Indexes
+//!
+//! A faithful, production-quality implementation of
+//! *Segment Indexes: Dynamic Indexing Techniques for Multi-Dimensional
+//! Interval Data* (Curtis P. Kolovson and Michael Stonebraker, SIGMOD 1991).
+//!
+//! The paper extends paged, multi-way, tree-structured indexes — Guttman's
+//! R-Tree in particular — with three tactics for interval data whose length
+//! distribution is highly non-uniform (many short intervals, a few very long
+//! ones, as in historical databases):
+//!
+//! 1. **Spanning index records in non-leaf nodes**: an interval is stored in
+//!    the highest node whose child region it spans, so long intervals no
+//!    longer elongate leaf regions and inflate overlap (§2.1.1, §3).
+//! 2. **Variable node sizes**: node size doubles at each higher level so
+//!    that spanning records do not destroy fanout (§2.1.2).
+//! 3. **Skeleton indexes**: the index is pre-constructed from an estimated
+//!    size and distribution (possibly *predicted* from a buffered prefix of
+//!    the input) and then adapts by splitting and coalescing (§4).
+//!
+//! The four index variants evaluated in the paper are all here, sharing one
+//! engine:
+//!
+//! ```
+//! use segidx_core::{RTree, SRTree, SkeletonSRTree, IntervalIndex, RecordId};
+//! use segidx_geom::Rect;
+//!
+//! let mut index = SRTree::<2>::new();
+//! // A salary history: horizontal segments in (time, salary) space.
+//! index.insert(Rect::new([1985.0, 30_000.0], [1991.0, 30_000.0]), RecordId(1));
+//! index.insert(Rect::new([1986.0, 55_000.0], [1988.5, 55_000.0]), RecordId(2));
+//!
+//! // Who earned between 50K and 60K during 1987?
+//! let hits = index.search(&Rect::new([1987.0, 50_000.0], [1988.0, 60_000.0]));
+//! assert_eq!(hits, vec![RecordId(2)]);
+//! ```
+//!
+//! See [`api`] for the variant types, [`tree`] for the engine, and
+//! [`skeleton`] for pre-construction, prediction, and coalescing.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+pub mod baseline;
+pub mod bulk;
+pub mod config;
+pub mod entry;
+pub mod id;
+pub mod node;
+pub mod paged;
+pub mod persist;
+pub mod skeleton;
+pub mod stats;
+pub mod tree;
+
+pub use api::{IntervalIndex, RTree, SRTree, SkeletonRTree, SkeletonSRTree};
+pub use config::{CoalesceConfig, IndexConfig, SplitAlgorithm};
+pub use id::{NodeId, RecordId};
+pub use paged::PagedSearcher;
+pub use skeleton::{build_skeleton, DistributionPredictor, Histogram, SkeletonSpec};
+pub use stats::StatsSnapshot;
+pub use tree::Tree;

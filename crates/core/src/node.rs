@@ -1,0 +1,315 @@
+//! Index nodes and the node arena.
+
+use crate::entry::{Branch, LeafEntry, SpanningEntry};
+use crate::id::NodeId;
+use segidx_geom::Rect;
+
+/// The level-dependent contents of a node.
+#[derive(Clone, Debug)]
+pub enum NodeKind<const D: usize> {
+    /// A leaf holds external index records only.
+    Leaf {
+        /// The leaf's index records.
+        entries: Vec<LeafEntry<D>>,
+    },
+    /// A non-leaf holds branches and — in segment (SR) mode — spanning
+    /// index records linked to those branches.
+    Internal {
+        /// Pointers to child nodes with their covering regions.
+        branches: Vec<Branch<D>>,
+        /// Spanning index records (empty unless segment mode).
+        spanning: Vec<SpanningEntry<D>>,
+    },
+}
+
+/// An index node.
+#[derive(Clone, Debug)]
+pub struct Node<const D: usize> {
+    /// Level in the tree; 0 = leaf.
+    pub level: u32,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Contents.
+    pub kind: NodeKind<D>,
+    /// Number of times this node's contents were modified — the
+    /// "least frequently modified" statistic driving coalescing (paper §4).
+    pub mod_count: u64,
+}
+
+impl<const D: usize> Node<D> {
+    /// Creates an empty leaf.
+    pub fn leaf() -> Self {
+        Self {
+            level: 0,
+            parent: None,
+            kind: NodeKind::Leaf {
+                entries: Vec::new(),
+            },
+            mod_count: 0,
+        }
+    }
+
+    /// Creates an empty internal node at `level ≥ 1`.
+    pub fn internal(level: u32) -> Self {
+        debug_assert!(level >= 1);
+        Self {
+            level,
+            parent: None,
+            kind: NodeKind::Internal {
+                branches: Vec::new(),
+                spanning: Vec::new(),
+            },
+            mod_count: 0,
+        }
+    }
+
+    /// Whether this is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+
+    /// Leaf entries (panics on internal nodes).
+    pub fn entries(&self) -> &[LeafEntry<D>] {
+        match &self.kind {
+            NodeKind::Leaf { entries } => entries,
+            NodeKind::Internal { .. } => panic!("entries() on internal node"),
+        }
+    }
+
+    /// Mutable leaf entries (panics on internal nodes).
+    pub fn entries_mut(&mut self) -> &mut Vec<LeafEntry<D>> {
+        match &mut self.kind {
+            NodeKind::Leaf { entries } => entries,
+            NodeKind::Internal { .. } => panic!("entries_mut() on internal node"),
+        }
+    }
+
+    /// Branch entries (panics on leaves).
+    pub fn branches(&self) -> &[Branch<D>] {
+        match &self.kind {
+            NodeKind::Internal { branches, .. } => branches,
+            NodeKind::Leaf { .. } => panic!("branches() on leaf node"),
+        }
+    }
+
+    /// Mutable branch entries (panics on leaves).
+    pub fn branches_mut(&mut self) -> &mut Vec<Branch<D>> {
+        match &mut self.kind {
+            NodeKind::Internal { branches, .. } => branches,
+            NodeKind::Leaf { .. } => panic!("branches_mut() on leaf node"),
+        }
+    }
+
+    /// Spanning records (panics on leaves).
+    pub fn spanning(&self) -> &[SpanningEntry<D>] {
+        match &self.kind {
+            NodeKind::Internal { spanning, .. } => spanning,
+            NodeKind::Leaf { .. } => panic!("spanning() on leaf node"),
+        }
+    }
+
+    /// Mutable spanning records (panics on leaves).
+    pub fn spanning_mut(&mut self) -> &mut Vec<SpanningEntry<D>> {
+        match &mut self.kind {
+            NodeKind::Internal { spanning, .. } => spanning,
+            NodeKind::Leaf { .. } => panic!("spanning_mut() on leaf node"),
+        }
+    }
+
+    /// Total occupied entry slots: leaf entries, or branches plus spanning
+    /// records. This is what is compared against the node capacity.
+    pub fn occupancy(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf { entries } => entries.len(),
+            NodeKind::Internal { branches, spanning } => branches.len() + spanning.len(),
+        }
+    }
+
+    /// The branch index pointing at `child`, if present.
+    pub fn branch_index_of(&self, child: NodeId) -> Option<usize> {
+        self.branches().iter().position(|b| b.child == child)
+    }
+
+    /// Minimal bounding rectangle of the node's *structural* contents: leaf
+    /// entries for leaves, branch regions for internal nodes. Spanning
+    /// records are excluded — they are kept within the node's region by
+    /// cutting, never by stretching the region (paper §3.1.1).
+    ///
+    /// Returns `None` for an empty node.
+    pub fn content_mbr(&self) -> Option<Rect<D>> {
+        match &self.kind {
+            NodeKind::Leaf { entries } => {
+                let mut it = entries.iter();
+                let first = it.next()?.rect;
+                Some(it.fold(first, |acc, e| acc.union(&e.rect)))
+            }
+            NodeKind::Internal { branches, .. } => {
+                let mut it = branches.iter();
+                let first = it.next()?.rect;
+                Some(it.fold(first, |acc, b| acc.union(&b.rect)))
+            }
+        }
+    }
+
+    /// Records a structural modification (for LFM tracking).
+    #[inline]
+    pub fn touch_modified(&mut self) {
+        self.mod_count += 1;
+    }
+}
+
+/// A slab arena of nodes with id stability and slot reuse.
+#[derive(Clone, Debug, Default)]
+pub struct Arena<const D: usize> {
+    slots: Vec<Option<Node<D>>>,
+    free: Vec<NodeId>,
+    live: usize,
+}
+
+impl<const D: usize> Arena<D> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a node, returning its id.
+    pub fn alloc(&mut self, node: Node<D>) -> NodeId {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id.index()] = Some(node);
+            id
+        } else {
+            let id = NodeId(self.slots.len() as u32);
+            self.slots.push(Some(node));
+            id
+        }
+    }
+
+    /// Removes a node, freeing its slot.
+    pub fn dealloc(&mut self, id: NodeId) -> Node<D> {
+        let node = self.slots[id.index()]
+            .take()
+            .expect("dealloc of free arena slot");
+        self.free.push(id);
+        self.live -= 1;
+        node
+    }
+
+    /// Shared access.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> &Node<D> {
+        self.slots[id.index()].as_ref().expect("use of freed node")
+    }
+
+    /// Exclusive access.
+    #[inline]
+    pub fn get_mut(&mut self, id: NodeId) -> &mut Node<D> {
+        self.slots[id.index()].as_mut().expect("use of freed node")
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the arena has no live nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over live `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<D>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::RecordId;
+
+    fn rect(x0: f64, x1: f64) -> Rect<2> {
+        Rect::new([x0, 0.0], [x1, 1.0])
+    }
+
+    #[test]
+    fn arena_alloc_dealloc_reuses_slots() {
+        let mut arena: Arena<2> = Arena::new();
+        let a = arena.alloc(Node::leaf());
+        let b = arena.alloc(Node::leaf());
+        assert_eq!(arena.len(), 2);
+        arena.dealloc(a);
+        assert_eq!(arena.len(), 1);
+        let c = arena.alloc(Node::internal(1));
+        assert_eq!(c, a, "slot reused");
+        assert_eq!(arena.len(), 2);
+        assert!(!arena.get(c).is_leaf());
+        let ids: Vec<_> = arena.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    #[should_panic]
+    fn use_after_free_panics() {
+        let mut arena: Arena<2> = Arena::new();
+        let a = arena.alloc(Node::leaf());
+        arena.dealloc(a);
+        let _ = arena.get(a);
+    }
+
+    #[test]
+    fn occupancy_counts_branches_and_spanning() {
+        let mut n: Node<2> = Node::internal(1);
+        n.branches_mut().push(Branch {
+            rect: rect(0.0, 1.0),
+            child: NodeId(5),
+        });
+        n.spanning_mut().push(SpanningEntry {
+            rect: rect(0.0, 1.0),
+            record: RecordId(1),
+            linked_child: NodeId(5),
+        });
+        n.spanning_mut().push(SpanningEntry {
+            rect: rect(0.2, 0.9),
+            record: RecordId(2),
+            linked_child: NodeId(5),
+        });
+        assert_eq!(n.occupancy(), 3);
+        assert_eq!(n.branch_index_of(NodeId(5)), Some(0));
+        assert_eq!(n.branch_index_of(NodeId(6)), None);
+    }
+
+    #[test]
+    fn content_mbr_ignores_spanning() {
+        let mut n: Node<2> = Node::internal(1);
+        n.branches_mut().push(Branch {
+            rect: rect(0.0, 1.0),
+            child: NodeId(1),
+        });
+        n.branches_mut().push(Branch {
+            rect: rect(2.0, 3.0),
+            child: NodeId(2),
+        });
+        n.spanning_mut().push(SpanningEntry {
+            rect: rect(-100.0, 100.0),
+            record: RecordId(9),
+            linked_child: NodeId(1),
+        });
+        assert_eq!(n.content_mbr(), Some(rect(0.0, 3.0)));
+    }
+
+    #[test]
+    fn empty_node_has_no_mbr() {
+        let n: Node<2> = Node::leaf();
+        assert!(n.content_mbr().is_none());
+        let n: Node<2> = Node::internal(1);
+        assert!(n.content_mbr().is_none());
+    }
+}

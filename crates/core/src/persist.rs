@@ -1,0 +1,411 @@
+//! Persistence: serializing an index into the paged storage substrate.
+//!
+//! Every index node maps onto one page whose size class follows the paper's
+//! ladder — level 0 nodes on 1 KB pages, level 1 on 2 KB pages, and so on —
+//! so the on-disk layout is exactly the variable-node-size structure of
+//! paper §2.1.2. (A node that overflowed elastically is placed on the
+//! smallest page that fits it.)
+
+use crate::config::{CoalesceConfig, IndexConfig, SplitAlgorithm};
+use crate::entry::{Branch, LeafEntry, SpanningEntry};
+use crate::id::{NodeId, RecordId};
+use crate::node::{Arena, Node, NodeKind};
+use crate::tree::Tree;
+use segidx_geom::Rect;
+use segidx_storage::{
+    ByteReader, ByteWriter, DiskManager, PageId, Result, SizeClass, StorageError,
+};
+use std::collections::HashMap;
+
+const TREE_MAGIC: u32 = 0x5347_5452; // "SGTR"
+const FORMAT_VERSION: u32 = 1;
+
+/// Writes the tree to `disk`, returning the id of its metadata page.
+/// Call [`DiskManager::sync`] afterwards for durability.
+pub fn save<const D: usize>(tree: &Tree<D>, disk: &DiskManager) -> Result<PageId> {
+    // Allocate one page per node first so child references can be encoded.
+    let mut page_of: HashMap<NodeId, PageId> = HashMap::with_capacity(tree.node_count());
+    let mut order: Vec<NodeId> = Vec::with_capacity(tree.node_count());
+    for (id, node) in tree.arena.iter() {
+        let payload_len = encode_node(node).len();
+        let class = size_class_for(&tree.config, node.level, payload_len)?;
+        let page = disk.allocate(class)?;
+        page_of.insert(id, page);
+        order.push(id);
+    }
+    for id in order {
+        let node = tree.arena.get(id);
+        let payload = encode_node_with_children(node, &page_of);
+        let page_id = page_of[&id];
+        let class = disk.size_class_of(page_id)?;
+        let mut page = segidx_storage::Page::new(page_id, class);
+        page.set_payload(&payload)?;
+        disk.write_page(&page)?;
+    }
+
+    // Metadata page.
+    let mut w = ByteWriter::with_capacity(128);
+    w.put_u32(TREE_MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u32(D as u32);
+    w.put_u64(page_of[&tree.root].raw());
+    w.put_u64(tree.len as u64);
+    w.put_u64(tree.entry_count as u64);
+    encode_config(&mut w, &tree.config);
+    let class = SizeClass::fitting(w.len()).ok_or_else(|| {
+        StorageError::BadMeta("tree metadata exceeds the largest page size".into())
+    })?;
+    let meta_id = disk.allocate(class)?;
+    let mut page = segidx_storage::Page::new(meta_id, class);
+    page.set_payload(w.as_bytes())?;
+    disk.write_page(&page)?;
+    Ok(meta_id)
+}
+
+/// Reads a tree back from `disk` given its metadata page id.
+pub fn load<const D: usize>(disk: &DiskManager, meta: PageId) -> Result<Tree<D>> {
+    let meta_page = disk.read_page(meta)?;
+    let mut r = ByteReader::new(meta_page.payload());
+    let magic = r.get_u32()?;
+    if magic != TREE_MAGIC {
+        return Err(StorageError::BadMeta(format!("bad tree magic {magic:#x}")));
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StorageError::BadMeta(format!(
+            "unsupported tree format {version}"
+        )));
+    }
+    let dims = r.get_u32()? as usize;
+    if dims != D {
+        return Err(StorageError::BadMeta(format!(
+            "tree has {dims} dimensions, expected {D}"
+        )));
+    }
+    let root_page = PageId(r.get_u64()?);
+    let len = r.get_u64()? as usize;
+    let entry_count = r.get_u64()? as usize;
+    let config = decode_config(&mut r)?;
+
+    let mut arena: Arena<D> = Arena::new();
+    let mut node_of: HashMap<PageId, NodeId> = HashMap::new();
+    let root = load_node(disk, root_page, &mut arena, &mut node_of)?;
+    let mut tree = Tree::from_parts(config, arena, root);
+    tree.len = len;
+    tree.entry_count = entry_count;
+    Ok(tree)
+}
+
+fn load_node<const D: usize>(
+    disk: &DiskManager,
+    page_id: PageId,
+    arena: &mut Arena<D>,
+    node_of: &mut HashMap<PageId, NodeId>,
+) -> Result<NodeId> {
+    let page = disk.read_page(page_id)?;
+    let mut r = ByteReader::new(page.payload());
+    let level = r.get_u32()?;
+    let is_leaf = r.get_u8()? == 1;
+    let mod_count = r.get_u64()?;
+    let id = if is_leaf {
+        let count = r.get_u32()? as usize;
+        let mut node = Node::leaf();
+        node.level = level;
+        node.mod_count = mod_count;
+        for _ in 0..count {
+            let rect = read_rect::<D>(&mut r)?;
+            let record = RecordId(r.get_u64()?);
+            node.entries_mut().push(LeafEntry { rect, record });
+        }
+        arena.alloc(node)
+    } else {
+        let branch_count = r.get_u32()? as usize;
+        let span_count = r.get_u32()? as usize;
+        let mut branches = Vec::with_capacity(branch_count);
+        for _ in 0..branch_count {
+            let rect = read_rect::<D>(&mut r)?;
+            let child_page = PageId(r.get_u64()?);
+            branches.push((rect, child_page));
+        }
+        let mut spans = Vec::with_capacity(span_count);
+        for _ in 0..span_count {
+            let rect = read_rect::<D>(&mut r)?;
+            let record = RecordId(r.get_u64()?);
+            let linked_page = PageId(r.get_u64()?);
+            spans.push((rect, record, linked_page));
+        }
+        let mut node = Node::internal(level.max(1));
+        node.level = level;
+        node.mod_count = mod_count;
+        let id = arena.alloc(node);
+        for (rect, child_page) in branches {
+            let child = load_node(disk, child_page, arena, node_of)?;
+            arena.get_mut(child).parent = Some(id);
+            arena
+                .get_mut(id)
+                .branches_mut()
+                .push(Branch { rect, child });
+        }
+        for (rect, record, linked_page) in spans {
+            let linked_child = *node_of
+                .get(&linked_page)
+                .ok_or_else(|| StorageError::Corrupt {
+                    page: page_id,
+                    reason: "spanning record linked to unknown child page".into(),
+                })?;
+            arena.get_mut(id).spanning_mut().push(SpanningEntry {
+                rect,
+                record,
+                linked_child,
+            });
+        }
+        id
+    };
+    node_of.insert(page_id, id);
+    Ok(id)
+}
+
+/// Encodes a node without resolved child pages (used only for sizing).
+fn encode_node<const D: usize>(node: &Node<D>) -> Vec<u8> {
+    encode_node_inner(node, |_| PageId(0))
+}
+
+fn encode_node_with_children<const D: usize>(
+    node: &Node<D>,
+    page_of: &HashMap<NodeId, PageId>,
+) -> Vec<u8> {
+    encode_node_inner(node, |id| page_of[&id])
+}
+
+fn encode_node_inner<const D: usize>(
+    node: &Node<D>,
+    resolve: impl Fn(NodeId) -> PageId,
+) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64 + node.occupancy() * (16 * D + 16));
+    w.put_u32(node.level);
+    w.put_u8(u8::from(node.is_leaf()));
+    w.put_u64(node.mod_count);
+    match &node.kind {
+        NodeKind::Leaf { entries } => {
+            w.put_u32(entries.len() as u32);
+            for e in entries {
+                write_rect(&mut w, &e.rect);
+                w.put_u64(e.record.raw());
+            }
+        }
+        NodeKind::Internal { branches, spanning } => {
+            w.put_u32(branches.len() as u32);
+            w.put_u32(spanning.len() as u32);
+            for b in branches {
+                write_rect(&mut w, &b.rect);
+                w.put_u64(resolve(b.child).raw());
+            }
+            for s in spanning {
+                write_rect(&mut w, &s.rect);
+                w.put_u64(s.record.raw());
+                w.put_u64(resolve(s.linked_child).raw());
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn write_rect<const D: usize>(w: &mut ByteWriter, rect: &Rect<D>) {
+    for d in 0..D {
+        w.put_f64(rect.lo(d));
+    }
+    for d in 0..D {
+        w.put_f64(rect.hi(d));
+    }
+}
+
+fn read_rect<const D: usize>(r: &mut ByteReader<'_>) -> Result<Rect<D>> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for v in lo.iter_mut() {
+        *v = r.get_f64()?;
+    }
+    for v in hi.iter_mut() {
+        *v = r.get_f64()?;
+    }
+    Rect::checked(lo, hi).ok_or_else(|| StorageError::Decode("invalid rect bounds".into()))
+}
+
+/// The page size class for a node at `level`: the paper's ladder, enlarged
+/// if an elastic overflow made the payload bigger.
+fn size_class_for(config: &IndexConfig, level: u32, payload_len: usize) -> Result<SizeClass> {
+    let base = if config.vary_node_size {
+        level.min(u32::from(config.max_size_doublings)) as u8
+    } else {
+        0
+    };
+    let mut class =
+        SizeClass::checked(base).unwrap_or(SizeClass::new(segidx_storage::MAX_SIZE_CLASS));
+    while class.payload_capacity() < payload_len {
+        let next = class.raw() + 1;
+        class = SizeClass::checked(next).ok_or_else(|| StorageError::PayloadTooLarge {
+            requested: payload_len,
+            capacity: class.payload_capacity(),
+            size_class: class,
+        })?;
+    }
+    Ok(class)
+}
+
+fn encode_config(w: &mut ByteWriter, c: &IndexConfig) {
+    w.put_u64(c.leaf_node_bytes as u64);
+    w.put_u8(u8::from(c.vary_node_size));
+    w.put_u8(c.max_size_doublings);
+    w.put_u64(c.entry_bytes as u64);
+    w.put_f64(c.min_fill_ratio);
+    w.put_f64(c.branch_fraction);
+    w.put_u8(u8::from(c.segment));
+    w.put_u8(match c.split {
+        SplitAlgorithm::Quadratic => 0,
+        SplitAlgorithm::Linear => 1,
+        SplitAlgorithm::RStar => 2,
+    });
+    match &c.coalesce {
+        None => w.put_u8(0),
+        Some(cc) => {
+            w.put_u8(1);
+            w.put_u64(cc.check_interval);
+            w.put_u64(cc.lfm_candidates as u64);
+        }
+    }
+    w.put_u8(u8::from(c.choose_subtree_overlap));
+    match c.forced_reinsert {
+        None => w.put_u8(0),
+        Some(p) => {
+            w.put_u8(1);
+            w.put_f64(p);
+        }
+    }
+}
+
+fn decode_config(r: &mut ByteReader<'_>) -> Result<IndexConfig> {
+    let leaf_node_bytes = r.get_u64()? as usize;
+    let vary_node_size = r.get_u8()? == 1;
+    let max_size_doublings = r.get_u8()?;
+    let entry_bytes = r.get_u64()? as usize;
+    let min_fill_ratio = r.get_f64()?;
+    let branch_fraction = r.get_f64()?;
+    let segment = r.get_u8()? == 1;
+    let split = match r.get_u8()? {
+        0 => SplitAlgorithm::Quadratic,
+        1 => SplitAlgorithm::Linear,
+        2 => SplitAlgorithm::RStar,
+        other => {
+            return Err(StorageError::Decode(format!(
+                "unknown split algorithm {other}"
+            )))
+        }
+    };
+    let coalesce = match r.get_u8()? {
+        0 => None,
+        _ => Some(CoalesceConfig {
+            check_interval: r.get_u64()?,
+            lfm_candidates: r.get_u64()? as usize,
+        }),
+    };
+    let choose_subtree_overlap = r.get_u8()? == 1;
+    let forced_reinsert = match r.get_u8()? {
+        0 => None,
+        _ => Some(r.get_f64()?),
+    };
+    Ok(IndexConfig {
+        leaf_node_bytes,
+        vary_node_size,
+        max_size_doublings,
+        entry_bytes,
+        min_fill_ratio,
+        branch_fraction,
+        segment,
+        split,
+        coalesce,
+        choose_subtree_overlap,
+        forced_reinsert,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "segidx-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn build_tree(segment: bool, n: u64) -> Tree<2> {
+        let config = if segment {
+            IndexConfig::srtree()
+        } else {
+            IndexConfig::rtree()
+        };
+        let mut t: Tree<2> = Tree::new(config);
+        for i in 0..n {
+            let x = ((i * 37) % 5_000) as f64;
+            let y = ((i * 113) % 5_000) as f64;
+            let len = if i % 9 == 0 { 2_000.0 } else { 25.0 };
+            t.insert(Rect::new([x, y], [x + len, y]), RecordId(i));
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_results() {
+        for segment in [false, true] {
+            let tree = build_tree(segment, 2_000);
+            let disk = DiskManager::create(temp(&format!("rt-{segment}.db"))).unwrap();
+            let meta = save(&tree, &disk).unwrap();
+            disk.sync().unwrap();
+            let back: Tree<2> = load(&disk, meta).unwrap();
+            back.assert_invariants();
+            assert_eq!(back.len(), tree.len());
+            assert_eq!(back.entry_count(), tree.entry_count());
+            assert_eq!(back.node_count(), tree.node_count());
+            assert_eq!(back.height(), tree.height());
+            let q = Rect::new([100.0, 100.0], [3_000.0, 3_000.0]);
+            assert_eq!(back.search(&q), tree.search(&q));
+        }
+    }
+
+    #[test]
+    fn page_sizes_follow_level_ladder() {
+        let tree = build_tree(false, 3_000);
+        let disk = DiskManager::create(temp("ladder.db")).unwrap();
+        let _ = save(&tree, &disk).unwrap();
+        // Leaf pages are 1 KB; at least one larger page exists for the
+        // upper levels.
+        let classes: Vec<u8> = disk.pages().iter().map(|(_, c)| c.raw()).collect();
+        assert!(classes.contains(&0), "leaf pages at 1 KB");
+        assert!(classes.iter().any(|&c| c >= 1), "larger upper-level pages");
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let tree = build_tree(false, 100);
+        let disk = DiskManager::create(temp("dims.db")).unwrap();
+        let meta = save(&tree, &disk).unwrap();
+        let err = load::<3>(&disk, meta).unwrap_err();
+        assert!(err.to_string().contains("dimensions"));
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let tree: Tree<2> = Tree::new(IndexConfig::srtree());
+        let disk = DiskManager::create(temp("empty.db")).unwrap();
+        let meta = save(&tree, &disk).unwrap();
+        let back: Tree<2> = load(&disk, meta).unwrap();
+        assert!(back.is_empty());
+        back.assert_invariants();
+        assert!(back.config().segment);
+    }
+}

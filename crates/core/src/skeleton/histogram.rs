@@ -1,0 +1,225 @@
+//! Per-dimension histograms driving Skeleton pre-partitioning (paper §4).
+//!
+//! A [`Histogram`] describes where the data mass lies along one dimension as
+//! a sequence of partition boundaries. An equi-depth histogram over a data
+//! sample places boundaries at quantiles, so a Skeleton index built from it
+//! gets fine partitions where data is dense and coarse ones where it is
+//! sparse — Figure 6 of the paper.
+
+use segidx_geom::Interval;
+
+/// Partition boundaries for one dimension: `bins + 1` non-decreasing values
+/// whose first and last entries are the domain bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    boundaries: Vec<f64>,
+}
+
+impl Histogram {
+    /// A uniform histogram: `bins` equal-width partitions over `domain`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn uniform(domain: Interval, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let width = domain.length() / bins as f64;
+        let boundaries = (0..=bins)
+            .map(|i| {
+                if i == bins {
+                    domain.hi()
+                } else {
+                    domain.lo() + width * i as f64
+                }
+            })
+            .collect();
+        Self { boundaries }
+    }
+
+    /// An equi-depth histogram: boundaries at sample quantiles, clamped to
+    /// `domain`, so each partition holds roughly the same number of sample
+    /// values. Falls back to [`Histogram::uniform`] for an empty sample.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn equi_depth(mut values: Vec<f64>, domain: Interval, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        values.retain(|v| v.is_finite());
+        if values.is_empty() {
+            return Self::uniform(domain, bins);
+        }
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = values.len();
+        let mut boundaries = Vec::with_capacity(bins + 1);
+        boundaries.push(domain.lo());
+        for i in 1..bins {
+            // Linear-interpolated quantile at i/bins.
+            let q = i as f64 / bins as f64;
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let frac = pos - lo as f64;
+            let v = if lo + 1 < n {
+                values[lo] * (1.0 - frac) + values[lo + 1] * frac
+            } else {
+                values[lo]
+            };
+            boundaries.push(v.clamp(domain.lo(), domain.hi()));
+        }
+        boundaries.push(domain.hi());
+        // Quantiles of heavily duplicated data can collide; enforce
+        // monotonicity (zero-width partitions are legal but useless, so
+        // only non-decreasing order is required).
+        for i in 1..boundaries.len() {
+            if boundaries[i] < boundaries[i - 1] {
+                boundaries[i] = boundaries[i - 1];
+            }
+        }
+        Self { boundaries }
+    }
+
+    /// Builds a histogram directly from explicit boundaries.
+    ///
+    /// # Panics
+    /// Panics if fewer than two boundaries are given or they decrease.
+    pub fn from_boundaries(boundaries: Vec<f64>) -> Self {
+        assert!(boundaries.len() >= 2, "need at least two boundaries");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be non-decreasing"
+        );
+        Self { boundaries }
+    }
+
+    /// Number of partitions.
+    pub fn bins(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The domain covered.
+    pub fn domain(&self) -> Interval {
+        Interval::new(
+            self.boundaries[0],
+            *self.boundaries.last().expect("non-empty boundaries"),
+        )
+    }
+
+    /// The `i`-th partition as an interval.
+    pub fn partition(&self, i: usize) -> Interval {
+        Interval::new(self.boundaries[i], self.boundaries[i + 1])
+    }
+
+    /// All boundaries.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Resamples to a different partition count, treating the histogram as a
+    /// piecewise-linear CDF (each existing partition holds equal mass). The
+    /// Skeleton builder uses this to derive each level's cut points from one
+    /// source histogram.
+    pub fn rebin(&self, new_bins: usize) -> Histogram {
+        assert!(new_bins > 0, "histogram needs at least one bin");
+        let old_bins = self.bins();
+        let mut boundaries = Vec::with_capacity(new_bins + 1);
+        for j in 0..=new_bins {
+            // Quantile j/new_bins in units of old partitions.
+            let pos = j as f64 / new_bins as f64 * old_bins as f64;
+            let cell = (pos.floor() as usize).min(old_bins - 1);
+            let frac = pos - cell as f64;
+            let lo = self.boundaries[cell];
+            let hi = self.boundaries[cell + 1];
+            boundaries.push(lo + (hi - lo) * frac);
+        }
+        // Guard against floating-point jitter at the ends.
+        let last = boundaries.len() - 1;
+        boundaries[0] = self.boundaries[0];
+        boundaries[last] = *self.boundaries.last().unwrap();
+        Histogram { boundaries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Interval {
+        Interval::new(0.0, 100.0)
+    }
+
+    #[test]
+    fn uniform_partitions_equal_width() {
+        let h = Histogram::uniform(domain(), 4);
+        assert_eq!(h.bins(), 4);
+        assert_eq!(h.boundaries(), &[0.0, 25.0, 50.0, 75.0, 100.0]);
+        assert_eq!(h.partition(2), Interval::new(50.0, 75.0));
+        assert_eq!(h.domain(), domain());
+    }
+
+    #[test]
+    fn equi_depth_follows_the_data() {
+        // 90% of the mass in [0, 10]: most cuts land below 10.
+        let mut values: Vec<f64> = (0..900).map(|i| i as f64 / 90.0).collect();
+        values.extend((0..100).map(|i| 10.0 + i as f64 * 0.9));
+        let h = Histogram::equi_depth(values, domain(), 10);
+        assert_eq!(h.bins(), 10);
+        let below = h.boundaries()[1..10].iter().filter(|&&b| b < 10.0).count();
+        assert!(
+            below >= 8,
+            "expected ≥8 interior cuts below 10, got {below}"
+        );
+        assert_eq!(h.boundaries()[0], 0.0);
+        assert_eq!(h.boundaries()[10], 100.0);
+    }
+
+    #[test]
+    fn equi_depth_empty_sample_falls_back_to_uniform() {
+        let h = Histogram::equi_depth(vec![], domain(), 5);
+        assert_eq!(h, Histogram::uniform(domain(), 5));
+        let h = Histogram::equi_depth(vec![f64::NAN], domain(), 5);
+        assert_eq!(h, Histogram::uniform(domain(), 5));
+    }
+
+    #[test]
+    fn equi_depth_duplicate_heavy_sample_is_monotone() {
+        let values = vec![50.0; 1000];
+        let h = Histogram::equi_depth(values, domain(), 8);
+        assert!(h.boundaries().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(h.boundaries()[0], 0.0);
+        assert_eq!(h.boundaries()[8], 100.0);
+    }
+
+    #[test]
+    fn rebin_uniform_stays_uniform() {
+        let h = Histogram::uniform(domain(), 4).rebin(8);
+        assert_eq!(h.bins(), 8);
+        for (i, b) in h.boundaries().iter().enumerate() {
+            assert!((b - i as f64 * 12.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rebin_preserves_skew() {
+        let skewed = Histogram::from_boundaries(vec![0.0, 1.0, 2.0, 4.0, 100.0]);
+        let r = skewed.rebin(2);
+        // Half the mass lies in [0, 2], so the midpoint cut is at 2.
+        assert_eq!(r.boundaries(), &[0.0, 2.0, 100.0]);
+    }
+
+    #[test]
+    fn rebin_roundtrip_endpoints() {
+        let h = Histogram::uniform(domain(), 7).rebin(13).rebin(3);
+        assert_eq!(h.boundaries()[0], 0.0);
+        assert_eq!(*h.boundaries().last().unwrap(), 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::uniform(domain(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decreasing_boundaries_panic() {
+        let _ = Histogram::from_boundaries(vec![0.0, 5.0, 3.0]);
+    }
+}

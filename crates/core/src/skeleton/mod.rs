@@ -1,0 +1,18 @@
+//! Skeleton indexes: adaptable pre-constructed Segment Indexes (paper §4).
+//!
+//! A Skeleton index pre-partitions the domain into a regular grid of empty
+//! nodes from an estimate of the input size and distribution, then adapts to
+//! the actual data through conventional node splitting plus coalescing of
+//! sparse adjacent nodes. When the distribution is unknown,
+//! [`DistributionPredictor`] buffers the first `T` tuples and derives the
+//! histograms from them.
+
+mod build;
+mod coalesce;
+mod histogram;
+mod predict;
+mod rebuild;
+
+pub use build::{build_skeleton, SkeletonSpec};
+pub use histogram::Histogram;
+pub use predict::DistributionPredictor;

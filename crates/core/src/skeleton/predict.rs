@@ -1,0 +1,149 @@
+//! Distribution prediction (paper §4).
+//!
+//! When the input distribution is unknown but tuples arrive in random order,
+//! the paper buffers the first `T` tuples (5–10% of the expected total
+//! worked well; the experiments use the first 10,000), computes a histogram
+//! of the buffered data in each dimension, and builds the Skeleton index
+//! from those histograms.
+
+use crate::skeleton::build::SkeletonSpec;
+use crate::skeleton::histogram::Histogram;
+use segidx_geom::Rect;
+
+/// Collects an initial sample of the input and turns it into a
+/// [`SkeletonSpec`].
+#[derive(Clone, Debug)]
+pub struct DistributionPredictor<const D: usize> {
+    domain: Rect<D>,
+    expected_tuples: usize,
+    target: usize,
+    samples: Vec<Rect<D>>,
+}
+
+impl<const D: usize> DistributionPredictor<D> {
+    /// Default number of histogram bins computed from the sample. The
+    /// Skeleton builder resamples to each level's partition count, so this
+    /// only bounds the resolution of the estimate.
+    pub const DEFAULT_BINS: usize = 64;
+
+    /// Creates a predictor that buffers `target` tuples (the paper's `T`).
+    ///
+    /// # Panics
+    /// Panics if `target == 0`.
+    pub fn new(domain: Rect<D>, expected_tuples: usize, target: usize) -> Self {
+        assert!(target > 0, "prediction buffer must be positive");
+        Self {
+            domain,
+            expected_tuples,
+            target,
+            samples: Vec::with_capacity(target),
+        }
+    }
+
+    /// Creates a predictor buffering the paper-recommended fraction
+    /// (clamped to at least one tuple).
+    pub fn with_fraction(domain: Rect<D>, expected_tuples: usize, fraction: f64) -> Self {
+        let target = ((expected_tuples as f64 * fraction).round() as usize).max(1);
+        Self::new(domain, expected_tuples, target)
+    }
+
+    /// Adds a tuple to the sample. Returns `true` once the buffer has
+    /// reached its target size (the caller should then [`finish`] it).
+    ///
+    /// [`finish`]: DistributionPredictor::finish
+    pub fn offer(&mut self, rect: Rect<D>) -> bool {
+        if self.samples.len() < self.target {
+            self.samples.push(rect);
+        }
+        self.samples.len() >= self.target
+    }
+
+    /// Number of tuples buffered so far.
+    pub fn buffered(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer has reached its target size.
+    pub fn is_full(&self) -> bool {
+        self.samples.len() >= self.target
+    }
+
+    /// Builds equi-depth histograms over the sample (one per dimension,
+    /// over record center points) and returns the resulting spec plus the
+    /// buffered tuples for insertion into the freshly built skeleton.
+    pub fn finish(self) -> (SkeletonSpec<D>, Vec<Rect<D>>) {
+        let histograms = (0..D)
+            .map(|d| {
+                let values: Vec<f64> = self.samples.iter().map(|r| r.center()[d]).collect();
+                Histogram::equi_depth(values, self.domain.interval(d), Self::DEFAULT_BINS)
+            })
+            .collect();
+        let spec = SkeletonSpec {
+            domain: self.domain,
+            expected_tuples: self.expected_tuples,
+            histograms,
+        };
+        (spec, self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segidx_geom::Interval;
+
+    fn domain() -> Rect<2> {
+        Rect::new([0.0, 0.0], [100_000.0, 100_000.0])
+    }
+
+    #[test]
+    fn buffers_until_target() {
+        let mut p = DistributionPredictor::new(domain(), 1000, 10);
+        for i in 0..9 {
+            assert!(!p.offer(Rect::new([i as f64, 0.0], [i as f64 + 1.0, 1.0])));
+        }
+        assert!(!p.is_full());
+        assert!(p.offer(Rect::new([9.0, 0.0], [10.0, 1.0])));
+        assert!(p.is_full());
+        assert_eq!(p.buffered(), 10);
+    }
+
+    #[test]
+    fn fraction_constructor_sizes_buffer() {
+        let p = DistributionPredictor::with_fraction(domain(), 200_000, 0.05);
+        assert_eq!(p.target, 10_000);
+        let p = DistributionPredictor::with_fraction(domain(), 10, 0.001);
+        assert_eq!(p.target, 1, "clamped to one");
+    }
+
+    #[test]
+    fn histograms_reflect_sample_skew() {
+        let mut p = DistributionPredictor::new(domain(), 10_000, 1_000);
+        // X centers concentrated near zero; Y uniform.
+        for i in 0..1000u64 {
+            let x = (i % 100) as f64; // all centers in [0, 100)
+            let y = (i * 100) as f64;
+            p.offer(Rect::new([x, y], [x + 1.0, y]));
+        }
+        let (spec, samples) = p.finish();
+        assert_eq!(samples.len(), 1_000);
+        assert_eq!(spec.histograms.len(), 2);
+        let hx = &spec.histograms[0];
+        // Nearly all interior X cuts below 200.
+        let low = hx.boundaries()[1..hx.bins()]
+            .iter()
+            .filter(|&&b| b < 200.0)
+            .count();
+        assert!(low >= hx.bins() - 2, "x cuts not concentrated: {low}");
+        assert_eq!(hx.domain(), Interval::new(0.0, 100_000.0));
+    }
+
+    #[test]
+    fn overflow_offers_are_ignored() {
+        let mut p = DistributionPredictor::new(domain(), 100, 2);
+        p.offer(Rect::new([0.0, 0.0], [1.0, 1.0]));
+        p.offer(Rect::new([1.0, 0.0], [2.0, 1.0]));
+        assert!(p.offer(Rect::new([2.0, 0.0], [3.0, 1.0])));
+        assert_eq!(p.buffered(), 2, "extra offers not buffered");
+    }
+}

@@ -1,0 +1,169 @@
+//! Logical index statistics — including the paper's performance metric,
+//! the number of index nodes accessed.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by the tree.
+///
+/// `node_accesses` is the paper's metric: every node fetched during a search
+/// (and, separately tallied, during maintenance) counts as one access,
+/// independent of any buffering below the index. Counters bumped from
+/// `&self` methods (search) are atomic, which also makes the tree [`Sync`]:
+/// any number of threads may search one index concurrently.
+#[derive(Debug, Default)]
+pub struct TreeStats {
+    /// Nodes accessed by search operations.
+    pub(crate) search_node_accesses: AtomicU64,
+    /// Number of search operations.
+    pub(crate) searches: AtomicU64,
+    /// Nodes accessed by insert/delete maintenance.
+    pub(crate) maintenance_node_accesses: u64,
+    /// Leaf node splits.
+    pub(crate) leaf_splits: u64,
+    /// Internal node splits.
+    pub(crate) internal_splits: u64,
+    /// Spanning records promoted to a parent after a split (paper §3.1.2).
+    pub(crate) promotions: u64,
+    /// Spanning records demoted after a region expansion (paper §3.1.1).
+    pub(crate) demotions: u64,
+    /// Spanning records relinked to a different branch without demotion.
+    pub(crate) relinks: u64,
+    /// Records cut into spanning + remnant portions (paper §3.1.1).
+    pub(crate) cuts: u64,
+    /// Remnant portions inserted as a result of cuts.
+    pub(crate) remnants_inserted: u64,
+    /// Spanning records stored (gross, including re-stores after demotion).
+    pub(crate) spanning_stores: u64,
+    /// Node overflows that could not be resolved by a split (too few
+    /// branches) and were absorbed elastically.
+    pub(crate) elastic_overflows: u64,
+    /// Pairs of sibling leaves merged by Skeleton coalescing (paper §4).
+    pub(crate) coalesces: u64,
+    /// Spanning records demoted to the leaf level to relieve spanning
+    /// pressure on a full non-leaf node (smallest-first eviction).
+    pub(crate) spanning_evictions: u64,
+    /// Leaf entries moved to an adjacent sibling instead of splitting
+    /// (Skeleton deferred splitting).
+    pub(crate) redistributions: u64,
+    /// Entries removed by R\*-style forced reinsertion.
+    pub(crate) forced_reinserts: u64,
+}
+
+/// A point-in-time copy of [`TreeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Nodes accessed by search operations.
+    pub search_node_accesses: u64,
+    /// Number of search operations.
+    pub searches: u64,
+    /// Nodes accessed by insert/delete maintenance.
+    pub maintenance_node_accesses: u64,
+    /// Leaf node splits.
+    pub leaf_splits: u64,
+    /// Internal node splits.
+    pub internal_splits: u64,
+    /// Spanning records promoted to a parent after a split.
+    pub promotions: u64,
+    /// Spanning records demoted after a region expansion.
+    pub demotions: u64,
+    /// Spanning records relinked to a different branch without demotion.
+    pub relinks: u64,
+    /// Records cut into spanning + remnant portions.
+    pub cuts: u64,
+    /// Remnant portions inserted as a result of cuts.
+    pub remnants_inserted: u64,
+    /// Spanning records stored (gross).
+    pub spanning_stores: u64,
+    /// Unresolvable node overflows absorbed elastically.
+    pub elastic_overflows: u64,
+    /// Sibling leaf merges performed by coalescing.
+    pub coalesces: u64,
+    /// Spanning records demoted to the leaf level under spanning pressure.
+    pub spanning_evictions: u64,
+    /// Leaf entries moved to an adjacent sibling instead of splitting.
+    pub redistributions: u64,
+    /// Entries removed by R\*-style forced reinsertion.
+    pub forced_reinserts: u64,
+}
+
+impl TreeStats {
+    pub(crate) fn record_search_access(&self) {
+        self.search_node_accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_search(&self) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            search_node_accesses: self.search_node_accesses.load(Ordering::Relaxed),
+            searches: self.searches.load(Ordering::Relaxed),
+            maintenance_node_accesses: self.maintenance_node_accesses,
+            leaf_splits: self.leaf_splits,
+            internal_splits: self.internal_splits,
+            promotions: self.promotions,
+            demotions: self.demotions,
+            relinks: self.relinks,
+            cuts: self.cuts,
+            remnants_inserted: self.remnants_inserted,
+            spanning_stores: self.spanning_stores,
+            elastic_overflows: self.elastic_overflows,
+            coalesces: self.coalesces,
+            spanning_evictions: self.spanning_evictions,
+            redistributions: self.redistributions,
+            forced_reinserts: self.forced_reinserts,
+        }
+    }
+
+    /// Resets the search-side counters (searches and their node accesses),
+    /// leaving maintenance history intact. The experiment harness calls this
+    /// between QAR sweeps.
+    pub fn reset_search_counters(&self) {
+        self.search_node_accesses.store(0, Ordering::Relaxed);
+        self.searches.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Average nodes accessed per search — the Y axis of the paper's
+    /// Graphs 1–6. `None` before any searches.
+    pub fn avg_nodes_per_search(&self) -> Option<f64> {
+        (self.searches > 0).then(|| self.search_node_accesses as f64 / self.searches as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_counters_and_average() {
+        let s = TreeStats::default();
+        s.record_search();
+        s.record_search_access();
+        s.record_search_access();
+        s.record_search();
+        s.record_search_access();
+        let snap = s.snapshot();
+        assert_eq!(snap.searches, 2);
+        assert_eq!(snap.search_node_accesses, 3);
+        assert_eq!(snap.avg_nodes_per_search(), Some(1.5));
+    }
+
+    #[test]
+    fn reset_clears_only_search_side() {
+        let mut s = TreeStats::default();
+        s.record_search();
+        s.record_search_access();
+        s.leaf_splits = 7;
+        s.reset_search_counters();
+        let snap = s.snapshot();
+        assert_eq!(snap.searches, 0);
+        assert_eq!(snap.search_node_accesses, 0);
+        assert_eq!(snap.leaf_splits, 7);
+        assert_eq!(snap.avg_nodes_per_search(), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! Deletion.
+//!
+//! The paper notes that historical data indexes "only need to support
+//! insertion and search operations" (§3.1.1) and gives no delete algorithm;
+//! this module provides one as a library extension. A logical record may be
+//! physically stored as several portions (the spanning portion plus remnants
+//! of cuts), all of which lie inside the record's original rectangle — so a
+//! traversal constrained to that rectangle finds every portion.
+//!
+//! Under-full leaves are condensed by reinsertion (Guttman's CondenseTree);
+//! emptied internal nodes are removed, and a single-branch internal root is
+//! collapsed. Stored regions are *not* shrunk on deletion: covering regions
+//! remain conservative, which preserves all search and spanning invariants
+//! at the cost of some precision after heavy deletion.
+
+use super::Tree;
+use crate::id::{NodeId, RecordId};
+use crate::node::NodeKind;
+use segidx_geom::Rect;
+
+impl<const D: usize> Tree<D> {
+    /// Removes the record `record`, whose original geometry was `rect`.
+    ///
+    /// Returns `true` if any portion of the record was found and removed.
+    /// All physical portions (spanning and remnant) are removed in one call.
+    pub fn delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
+        self.reinsert_armed = self.config.forced_reinsert.is_some();
+        let mut removed = 0usize;
+        let mut touched_leaves: Vec<NodeId> = Vec::new();
+
+        // Constrained traversal: every portion of `record` lies inside
+        // `rect`, and stored regions cover their contents, so it suffices to
+        // descend branches intersecting `rect`.
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            self.touch_maintenance(n);
+            let node = self.node_mut(n);
+            match &mut node.kind {
+                NodeKind::Leaf { entries } => {
+                    let before = entries.len();
+                    entries.retain(|e| e.record != record);
+                    let taken = before - entries.len();
+                    if taken > 0 {
+                        node.mod_count += 1;
+                        removed += taken;
+                        touched_leaves.push(n);
+                    }
+                }
+                NodeKind::Internal { branches, spanning } => {
+                    let before = spanning.len();
+                    spanning.retain(|s| s.record != record);
+                    let taken = before - spanning.len();
+                    if taken > 0 {
+                        node.mod_count += 1;
+                        removed += taken;
+                    }
+                    for b in branches.iter() {
+                        if b.rect.intersects(rect) {
+                            stack.push(b.child);
+                        }
+                    }
+                }
+            }
+        }
+        if removed == 0 {
+            return false;
+        }
+        self.entry_count -= removed;
+        self.len -= 1;
+
+        for leaf in touched_leaves {
+            self.condense_leaf(leaf);
+        }
+        self.collapse_root();
+        self.drain_pending();
+        true
+    }
+
+    /// Condenses an under-full leaf: its remaining entries are queued for
+    /// reinsertion and the leaf is unlinked (unless it is the root).
+    fn condense_leaf(&mut self, leaf: NodeId) {
+        let min_fill = self.config.min_fill(0, true);
+        let node = self.node(leaf);
+        if node.parent.is_none() || node.entries().len() >= min_fill {
+            return;
+        }
+        let entries = std::mem::take(self.node_mut(leaf).entries_mut());
+        self.entry_count -= entries.len();
+        for e in entries {
+            self.queue_reinsert(e.rect, e.record);
+        }
+        self.unlink_child(leaf);
+    }
+
+    /// Removes `child` from its parent, handling spanning records linked to
+    /// its branch and recursively removing internal nodes left empty.
+    pub(crate) fn unlink_child(&mut self, child: NodeId) {
+        let Some(parent) = self.node(child).parent else {
+            return;
+        };
+        let bi = self
+            .node(parent)
+            .branch_index_of(child)
+            .expect("parent pointer without matching branch");
+        self.node_mut(parent).branches_mut().swap_remove(bi);
+        self.node_mut(parent).touch_modified();
+        self.arena.dealloc(child);
+
+        // Spanning records linked to the removed branch are relinked to
+        // another branch they span, or demoted.
+        let branch_rects: Vec<(NodeId, Rect<D>)> = self
+            .node(parent)
+            .branches()
+            .iter()
+            .map(|b| (b.child, b.rect))
+            .collect();
+        let mut i = 0;
+        while i < self.node(parent).spanning().len() {
+            let s = self.node(parent).spanning()[i];
+            if s.linked_child != child {
+                i += 1;
+                continue;
+            }
+            match branch_rects.iter().find(|(_, r)| s.rect.spans_any_dim(r)) {
+                Some((new_child, _)) => {
+                    self.node_mut(parent).spanning_mut()[i].linked_child = *new_child;
+                    self.stats.relinks += 1;
+                    i += 1;
+                }
+                None => {
+                    self.node_mut(parent).spanning_mut().swap_remove(i);
+                    self.entry_count -= 1;
+                    self.stats.demotions += 1;
+                    self.queue_reinsert(s.rect, s.record);
+                }
+            }
+        }
+
+        if self.node(parent).branches().is_empty() {
+            // Queue any stranded spanning records and remove the node.
+            let spanning = std::mem::take(self.node_mut(parent).spanning_mut());
+            self.entry_count -= spanning.len();
+            for s in spanning {
+                self.queue_reinsert(s.rect, s.record);
+            }
+            if self.node(parent).parent.is_some() {
+                self.unlink_child(parent);
+            } else {
+                // Empty internal root: reset to an empty leaf.
+                let root = self.root;
+                self.arena.dealloc(root);
+                let new_root = self.arena.alloc(crate::node::Node::leaf());
+                self.root = new_root;
+            }
+        }
+    }
+
+    /// Collapses a single-branch internal root (Guttman's D3), repeatedly.
+    fn collapse_root(&mut self) {
+        loop {
+            let root = self.root;
+            let node = self.node(root);
+            if node.is_leaf() || node.branches().len() != 1 {
+                return;
+            }
+            // Spanning records on the root move down with the collapse only
+            // if they still make sense; otherwise reinsert them.
+            let spanning = std::mem::take(self.node_mut(root).spanning_mut());
+            self.entry_count -= spanning.len();
+            for s in spanning {
+                self.queue_reinsert(s.rect, s.record);
+            }
+            let child = self.node(root).branches()[0].child;
+            self.node_mut(child).parent = None;
+            self.arena.dealloc(root);
+            self.root = child;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::IndexConfig;
+    use crate::id::RecordId;
+    use crate::tree::Tree;
+    use segidx_geom::Rect;
+
+    fn seg(x0: f64, x1: f64, y: f64) -> Rect<2> {
+        Rect::new([x0, y], [x1, y])
+    }
+
+    #[test]
+    fn delete_from_single_leaf() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+        let r = seg(0.0, 10.0, 5.0);
+        t.insert(r, RecordId(1));
+        assert!(t.delete(&r, RecordId(1)));
+        assert!(t.is_empty());
+        assert_eq!(t.entry_count(), 0);
+        assert!(!t.delete(&r, RecordId(1)), "already gone");
+        assert!(t.search(&r).is_empty());
+    }
+
+    #[test]
+    fn delete_leaves_others_intact() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+        let rects: Vec<_> = (0..300u64)
+            .map(|i| {
+                let r = seg((i % 20) as f64 * 5.0, (i % 20) as f64 * 5.0 + 3.0, i as f64);
+                t.insert(r, RecordId(i));
+                r
+            })
+            .collect();
+        for i in (0..300u64).step_by(3) {
+            assert!(t.delete(&rects[i as usize], RecordId(i)), "delete {i}");
+        }
+        assert_eq!(t.len(), 200);
+        let all = t.search(&Rect::new([0.0, 0.0], [1e6, 1e6]));
+        assert_eq!(all.len(), 200);
+        assert!(all.iter().all(|r| r.raw() % 3 != 0));
+    }
+
+    #[test]
+    fn delete_removes_all_cut_portions() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::srtree());
+        for i in 0..600u64 {
+            let x = (i % 30) as f64 * 10.0;
+            let y = (i / 30) as f64 * 10.0;
+            t.insert(seg(x, x + 4.0, y), RecordId(i));
+        }
+        // On a data row so it intersects (and spans) existing node regions.
+        let long = seg(0.0, 300.0, 50.0);
+        t.insert(long, RecordId(7777));
+        let stats = t.stats();
+        assert!(stats.spanning_stores > 0, "long segment stored as spanning");
+        assert!(t.delete(&long, RecordId(7777)));
+        let hits = t.search(&Rect::new([0.0, 0.0], [1000.0, 1000.0]));
+        assert!(!hits.contains(&RecordId(7777)));
+        assert_eq!(t.len(), 600);
+    }
+
+    #[test]
+    fn tree_shrinks_back_to_leaf() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+        let rects: Vec<_> = (0..200u64)
+            .map(|i| {
+                let r = seg(i as f64, i as f64 + 0.5, i as f64);
+                t.insert(r, RecordId(i));
+                r
+            })
+            .collect();
+        assert!(t.height() > 1);
+        for (i, r) in rects.iter().enumerate() {
+            assert!(t.delete(r, RecordId(i as u64)));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.entry_count(), 0);
+        assert!(t.height() <= 2, "tree collapsed, got height {}", t.height());
+        // And remains usable.
+        t.insert(seg(1.0, 2.0, 1.0), RecordId(999));
+        assert_eq!(t.search(&seg(0.0, 3.0, 1.0)), vec![RecordId(999)]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Insertion: ChooseLeaf descent, spanning-record placement, record
+//! cutting, region adjustment, and demotion (paper §3.1.1).
+
+use super::Tree;
+use crate::entry::{LeafEntry, SpanningEntry};
+use crate::id::{NodeId, RecordId};
+use segidx_geom::Rect;
+
+impl<const D: usize> Tree<D> {
+    /// Inserts a record.
+    ///
+    /// In segment (SR) mode the record is stored as a spanning index record
+    /// on the highest-level node with a branch region it spans; if it
+    /// extends beyond that node's own region it is cut into a spanning
+    /// portion and remnant portions (paper §3.1.1, Figures 2–3). Otherwise
+    /// it descends to a leaf by Guttman's least-enlargement rule.
+    pub fn insert(&mut self, rect: Rect<D>, record: RecordId) {
+        self.len += 1;
+        self.reinsert_armed = self.config.forced_reinsert.is_some();
+        self.insert_portion(rect, record);
+        self.drain_pending();
+        self.inserts_since_coalesce += 1;
+        if let Some(cfg) = self.config.coalesce {
+            if self.inserts_since_coalesce >= cfg.check_interval {
+                self.inserts_since_coalesce = 0;
+                self.coalesce_pass(cfg);
+            }
+        }
+    }
+
+    /// Inserts one physical record portion (no pending drain, no coalesce
+    /// trigger) — the building block shared by `insert`, remnant
+    /// reinsertion, demotion, and condensation.
+    pub(crate) fn insert_portion(&mut self, rect: Rect<D>, record: RecordId) {
+        self.insert_portion_inner(rect, record, true);
+    }
+
+    /// As [`insert_portion`](Self::insert_portion), with spanning placement
+    /// optionally disabled: pressure-relief demotions go straight to a leaf
+    /// so they cannot bounce back onto the node that evicted them.
+    pub(crate) fn insert_portion_inner(
+        &mut self,
+        rect: Rect<D>,
+        record: RecordId,
+        allow_spanning: bool,
+    ) {
+        let mut n = self.root;
+        loop {
+            self.touch_maintenance(n);
+            if self.node(n).is_leaf() {
+                self.insert_into_leaf(n, rect, record);
+                return;
+            }
+            if self.config.segment && allow_spanning {
+                if let Some(branch_idx) = self.find_spanned_branch(n, &rect) {
+                    if self.can_host_spanning(n, &rect) {
+                        self.insert_spanning(n, branch_idx, rect, record);
+                        return;
+                    }
+                    // The node is full of larger spanning records: this one
+                    // descends like an ordinary record (it may still find a
+                    // spanning slot at a lower level). This keeps each
+                    // non-leaf node holding its region's *largest*
+                    // intervals, which is the design goal, without cutting
+                    // records that would immediately be evicted.
+                }
+            }
+            n = self.choose_branch(n, &rect);
+        }
+    }
+
+    /// The first branch of `n` whose region the record spans (intersects
+    /// and covers in at least one dimension).
+    fn find_spanned_branch(&self, n: NodeId, rect: &Rect<D>) -> Option<usize> {
+        self.node(n)
+            .branches()
+            .iter()
+            .position(|b| rect.spans_any_dim(&b.rect))
+    }
+
+    /// Whether node `n` should accept `rect` as a spanning record: it has a
+    /// free entry slot, or `rect` is decisively larger than the smallest
+    /// spanning record currently stored (which will then be evicted
+    /// downward). The 1.5× hysteresis dampens displacement churn — each
+    /// admission cuts the record against the node's region, so admitting a
+    /// record that will soon be displaced wastes space on remnants.
+    fn can_host_spanning(&self, n: NodeId, rect: &Rect<D>) -> bool {
+        const DISPLACEMENT_HYSTERESIS: f64 = 1.5;
+        let node = self.node(n);
+        if node.occupancy() < self.config.capacity(node.level) {
+            return true;
+        }
+        node.spanning()
+            .iter()
+            .any(|s| s.rect.margin() * DISPLACEMENT_HYSTERESIS < rect.margin())
+    }
+
+    /// Guttman's ChooseLeaf step: the branch needing least area enlargement
+    /// to cover the record, ties broken by smallest area. With
+    /// `choose_subtree_overlap` set (R\* mode), the level directly above
+    /// the leaves instead minimizes *overlap* enlargement.
+    pub(crate) fn choose_branch(&self, n: NodeId, rect: &Rect<D>) -> NodeId {
+        if self.config.choose_subtree_overlap && self.node(n).level == 1 {
+            return self.choose_branch_min_overlap(n, rect);
+        }
+        let branches = self.node(n).branches();
+        debug_assert!(!branches.is_empty(), "internal node without branches");
+        let mut best = 0;
+        let mut best_enlargement = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for (i, b) in branches.iter().enumerate() {
+            let enlargement = b.rect.enlargement(rect);
+            let area = b.rect.area();
+            if enlargement < best_enlargement
+                || (enlargement == best_enlargement && area < best_area)
+            {
+                best = i;
+                best_enlargement = enlargement;
+                best_area = area;
+            }
+        }
+        branches[best].child
+    }
+
+    /// R\* ChooseSubtree at the leaf level: the branch whose expansion to
+    /// cover the record increases its overlap with the sibling branches
+    /// least; ties by least area enlargement, then smallest area.
+    fn choose_branch_min_overlap(&self, n: NodeId, rect: &Rect<D>) -> NodeId {
+        let branches = self.node(n).branches();
+        debug_assert!(!branches.is_empty(), "internal node without branches");
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, b) in branches.iter().enumerate() {
+            let expanded = b.rect.union(rect);
+            let mut overlap_delta = 0.0;
+            for (j, other) in branches.iter().enumerate() {
+                if i != j {
+                    overlap_delta +=
+                        expanded.overlap_area(&other.rect) - b.rect.overlap_area(&other.rect);
+                }
+            }
+            let key = (overlap_delta, b.rect.enlargement(rect), b.rect.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        branches[best].child
+    }
+
+    /// Stores a spanning index record on `n`, linked to branch
+    /// `branch_idx`, cutting it first if it exceeds `n`'s own region.
+    fn insert_spanning(&mut self, n: NodeId, branch_idx: usize, rect: Rect<D>, record: RecordId) {
+        let linked_child = self.node(n).branches()[branch_idx].child;
+        let stored_rect = match self.region_of(n) {
+            Some(region) if !region.contains_rect(&rect) => {
+                // Cut into a spanning portion (clipped to n's region, so the
+                // containment invariant holds) and remnant portions that are
+                // reinserted from the root (paper Figure 3).
+                let cut = rect.cut(&region);
+                self.stats.cuts += 1;
+                // Remnants are reinserted at the leaf level, as in the
+                // paper's Figure 3 (the remnant portion "is stored in leaf
+                // node E"). Letting remnants re-enter spanning placement
+                // can dice one record into thousands of portions when host
+                // regions are much smaller than the record.
+                for remnant in cut.remnants {
+                    self.stats.remnants_inserted += 1;
+                    self.queue_leaf_reinsert(remnant, record);
+                }
+                cut.spanning
+                    .expect("record spans a branch inside the region, so the clip is non-empty")
+            }
+            // Contained, or stored on the root (which every search visits,
+            // so no containment constraint applies).
+            _ => rect,
+        };
+        debug_assert!(
+            stored_rect.spans_any_dim(&self.node(n).branches()[branch_idx].rect),
+            "clipped spanning portion must still span the linked branch"
+        );
+        let node = self.node_mut(n);
+        node.spanning_mut().push(SpanningEntry {
+            rect: stored_rect,
+            record,
+            linked_child,
+        });
+        node.touch_modified();
+        self.entry_count += 1;
+        self.stats.spanning_stores += 1;
+        self.handle_overflow(n);
+    }
+
+    /// Adds a record to a leaf, expands stored regions up the path, runs
+    /// demotion checks on expanded nodes, and resolves overflow.
+    fn insert_into_leaf(&mut self, leaf: NodeId, rect: Rect<D>, record: RecordId) {
+        let node = self.node_mut(leaf);
+        node.entries_mut().push(LeafEntry { rect, record });
+        node.touch_modified();
+        self.entry_count += 1;
+        self.adjust_upward(leaf, &rect);
+        self.handle_overflow(leaf);
+    }
+
+    /// Expands stored regions from `start` to the root so they cover
+    /// `rect`. Each expansion may break former spanning relationships on the
+    /// parent, so expanded branches get a demotion check (paper §3.1.1:
+    /// "possible demotion of spanning index records").
+    pub(crate) fn adjust_upward(&mut self, start: NodeId, rect: &Rect<D>) {
+        let mut child = start;
+        while let Some(parent) = self.node(child).parent {
+            self.touch_maintenance(parent);
+            let bi = self
+                .node(parent)
+                .branch_index_of(child)
+                .expect("parent pointer without matching branch");
+            let old = self.node(parent).branches()[bi].rect;
+            if old.contains_rect(rect) {
+                // Stored regions nest upward, so every ancestor already
+                // covers the record.
+                break;
+            }
+            let expanded = old.union(rect);
+            self.node_mut(parent).branches_mut()[bi].rect = expanded;
+            if self.config.segment {
+                self.recheck_spanning_links(parent, child);
+            }
+            child = parent;
+        }
+    }
+
+    /// Re-checks spanning records linked to the just-expanded branch
+    /// (pointing at `expanded_child`) on node `parent`. Records that no
+    /// longer span it are relinked to another branch they still span, or
+    /// removed and queued for reinsertion (demotion).
+    pub(crate) fn recheck_spanning_links(&mut self, parent: NodeId, expanded_child: NodeId) {
+        let branch_rects: Vec<(NodeId, Rect<D>)> = self
+            .node(parent)
+            .branches()
+            .iter()
+            .map(|b| (b.child, b.rect))
+            .collect();
+        let expanded_rect = branch_rects
+            .iter()
+            .find(|(c, _)| *c == expanded_child)
+            .expect("expanded branch present")
+            .1;
+
+        let mut i = 0;
+        let mut modified = false;
+        while i < self.node(parent).spanning().len() {
+            let s = self.node(parent).spanning()[i];
+            if s.linked_child != expanded_child || s.rect.spans_any_dim(&expanded_rect) {
+                i += 1;
+                continue;
+            }
+            // Former spanning record: try to relink before demoting.
+            let relink = branch_rects
+                .iter()
+                .find(|(c, r)| *c != expanded_child && s.rect.spans_any_dim(r));
+            match relink {
+                Some((child, _)) => {
+                    self.node_mut(parent).spanning_mut()[i].linked_child = *child;
+                    self.stats.relinks += 1;
+                    i += 1;
+                }
+                None => {
+                    self.node_mut(parent).spanning_mut().swap_remove(i);
+                    self.entry_count -= 1;
+                    self.stats.demotions += 1;
+                    self.queue_reinsert(s.rect, s.record);
+                    modified = true;
+                }
+            }
+        }
+        if modified {
+            self.node_mut(parent).touch_modified();
+        }
+    }
+}

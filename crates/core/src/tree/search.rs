@@ -1,0 +1,155 @@
+//! Search (paper §3.1.3).
+//!
+//! The SR-Tree search descends only branches intersecting the query, exactly
+//! like the R-Tree, and additionally examines the spanning index records of
+//! every node it visits. Because spanning records stored on a node `N` are
+//! wholly contained by `N` (the cutting invariant), every qualifying
+//! spanning record is guaranteed to be found.
+
+use super::Tree;
+use crate::id::RecordId;
+use crate::node::NodeKind;
+use segidx_geom::{Point, Rect};
+
+impl<const D: usize> Tree<D> {
+    /// Returns the ids of all records whose geometry intersects `query`,
+    /// deduplicated (a cut record is reported once even when several of its
+    /// portions qualify) and sorted by id.
+    ///
+    /// Every node visited increments the search node-access counter — the
+    /// paper's performance metric.
+    pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        let mut out: Vec<RecordId> = self
+            .search_entries(query)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Like [`Tree::search`], but returns the raw matching index records
+    /// (portion rectangles included, no deduplication).
+    pub fn search_entries(&self, query: &Rect<D>) -> Vec<(Rect<D>, RecordId)> {
+        self.stats.record_search();
+        let mut results = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            self.stats.record_search_access();
+            let node = self.node(n);
+            match &node.kind {
+                NodeKind::Leaf { entries } => {
+                    for e in entries {
+                        if e.rect.intersects(query) {
+                            results.push((e.rect, e.record));
+                        }
+                    }
+                }
+                NodeKind::Internal { branches, spanning } => {
+                    for s in spanning {
+                        if s.rect.intersects(query) {
+                            results.push((s.rect, s.record));
+                        }
+                    }
+                    for b in branches {
+                        if b.rect.intersects(query) {
+                            stack.push(b.child);
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// All records whose geometry contains the point `p` — the "stabbing
+    /// query" central to interval indexing (e.g. "which salary periods were
+    /// in effect at time t?").
+    pub fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+        self.search(&Rect::from_point(*p))
+    }
+
+    /// Number of index nodes a search for `query` accesses, without
+    /// disturbing the cumulative statistics beyond recording the search.
+    pub fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
+        let before = self.stats.snapshot().search_node_accesses;
+        let _ = self.search_entries(query);
+        self.stats.snapshot().search_node_accesses - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::IndexConfig;
+    use crate::id::RecordId;
+    use crate::tree::Tree;
+    use segidx_geom::{Point, Rect};
+
+    fn seg(x0: f64, x1: f64, y: f64) -> Rect<2> {
+        Rect::new([x0, y], [x1, y])
+    }
+
+    #[test]
+    fn empty_tree_searches_cleanly() {
+        let t: Tree<2> = Tree::new(IndexConfig::rtree());
+        assert!(t.search(&Rect::new([0.0, 0.0], [1.0, 1.0])).is_empty());
+        let snap = t.stats();
+        assert_eq!(snap.searches, 1);
+        assert_eq!(snap.search_node_accesses, 1, "root is always visited");
+    }
+
+    #[test]
+    fn finds_inserted_segments() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+        for i in 0..100u64 {
+            let x = i as f64 * 10.0;
+            t.insert(seg(x, x + 5.0, i as f64), RecordId(i));
+        }
+        assert_eq!(t.len(), 100);
+        // A query over x in [100, 120] at any y hits segments 10, 11, 12.
+        let hits = t.search(&Rect::new([100.0, 0.0], [120.0, 100.0]));
+        assert_eq!(hits, vec![RecordId(10), RecordId(11), RecordId(12)]);
+    }
+
+    #[test]
+    fn stab_query_finds_covering_intervals() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::srtree());
+        t.insert(seg(0.0, 100.0, 5.0), RecordId(1));
+        t.insert(seg(40.0, 60.0, 5.0), RecordId(2));
+        t.insert(seg(80.0, 90.0, 5.0), RecordId(3));
+        let hits = t.stab(&Point::new([50.0, 5.0]));
+        assert_eq!(hits, vec![RecordId(1), RecordId(2)]);
+    }
+
+    #[test]
+    fn search_deduplicates_cut_records() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::srtree());
+        // Enough data to build a multi-level tree, plus one very long
+        // segment that will be stored as spanning portions.
+        for i in 0..500u64 {
+            let x = (i % 50) as f64 * 10.0;
+            let y = (i / 50) as f64 * 10.0;
+            t.insert(seg(x, x + 4.0, y), RecordId(i));
+        }
+        t.insert(seg(0.0, 500.0, 45.0), RecordId(9999));
+        let hits = t.search(&Rect::new([0.0, 0.0], [500.0, 100.0]));
+        let nines = hits.iter().filter(|r| r.0 == 9999).count();
+        assert_eq!(nines, 1, "cut portions deduplicated");
+    }
+
+    #[test]
+    fn access_counting_is_per_search() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+        for i in 0..200u64 {
+            t.insert(seg(i as f64, i as f64 + 1.0, i as f64), RecordId(i));
+        }
+        t.reset_search_stats();
+        let q = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        let a1 = t.count_search_accesses(&q);
+        assert!(a1 >= 2, "multi-level tree visits more than the root");
+        let snap = t.stats();
+        assert_eq!(snap.searches, 1);
+        assert_eq!(snap.search_node_accesses, a1);
+    }
+}

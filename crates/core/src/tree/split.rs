@@ -1,0 +1,740 @@
+//! Node splitting (Guttman 1984 §3.5) with the SR-Tree extensions of paper
+//! §3.1.2: spanning records are carried over with their branches, and are
+//! promoted to the parent when they span one of the two result nodes.
+
+use super::Tree;
+use crate::config::SplitAlgorithm;
+use crate::entry::Branch;
+use crate::id::NodeId;
+use crate::node::Node;
+use segidx_geom::Rect;
+
+impl<const D: usize> Tree<D> {
+    /// Whether `n` exceeds its capacity: "every entry in use and an attempt
+    /// is made to insert a new entry" (paper §3.1.2). An SR-Tree node may
+    /// overflow from either a new branch or a new spanning record; both
+    /// count against the same total capacity. (The `branch_fraction`
+    /// reservation affects only Skeleton fanout sizing, not the dynamic
+    /// overflow rule — with no spanning records an SR-Tree therefore
+    /// behaves *identically* to an R-Tree, as the paper's Graphs 1, 2, and
+    /// 5 report.)
+    pub(crate) fn is_overflowing(&self, n: NodeId) -> bool {
+        let node = self.node(n);
+        node.occupancy() > self.config.capacity(node.level)
+    }
+
+    /// Resolves overflow on `n`, propagating to ancestors.
+    ///
+    /// Leaves, and internal nodes whose *branches* alone exceed capacity,
+    /// are split (Guttman). An internal node that overflows only because of
+    /// its spanning-record load sheds **spanning pressure** instead: the
+    /// smallest spanning records are demoted to the leaf level until the
+    /// node fits. This realizes the paper's reservation of a fraction of
+    /// each non-leaf node for spanning records (§2.1.2, §5 — "reserving 1/3
+    /// of the entries to store spanning index records") while keeping the
+    /// *largest* intervals in non-leaf nodes, which is the design goal
+    /// ("large spanning rectangles were stored in non-leaf nodes", §5.1.
+    /// Splitting such a node instead would halve its region and re-cut its
+    /// records, cascading into an internal-node tower that destroys the
+    /// benefit). A node that can neither split nor shed is allowed to
+    /// overflow elastically and counted in the statistics.
+    pub(crate) fn handle_overflow(&mut self, n: NodeId) {
+        while self.is_overflowing(n) {
+            if self.shed_spanning_pressure(n) {
+                continue;
+            }
+            if self.try_forced_reinsert(n) {
+                continue;
+            }
+            if self.config.coalesce.is_some() && self.try_redistribute_leaf(n) {
+                continue;
+            }
+            match self.split_node(n) {
+                Some(parent) => self.handle_overflow(parent),
+                None => {
+                    self.stats.elastic_overflows += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// R\*-style forced reinsertion: on the *first* leaf overflow of the
+    /// current mutating operation, remove the configured fraction of the
+    /// leaf's entries — those whose centers lie farthest from the node's
+    /// center — and queue them for reinsertion instead of splitting
+    /// (Beckmann et al. 1990 §4.3; disabled in the paper's configurations).
+    fn try_forced_reinsert(&mut self, n: NodeId) -> bool {
+        let Some(fraction) = self.config.forced_reinsert else {
+            return false;
+        };
+        if !self.reinsert_armed || !self.node(n).is_leaf() {
+            return false;
+        }
+        let Some(mbr) = self.node(n).content_mbr() else {
+            return false;
+        };
+        self.reinsert_armed = false;
+        let center = mbr.center();
+        let count = ((self.config.capacity(0) as f64 * fraction).ceil() as usize)
+            .min(self.node(n).entries().len().saturating_sub(1))
+            .max(1);
+        // Sort indices by descending distance from the node center.
+        let mut order: Vec<(f64, usize)> = self
+            .node(n)
+            .entries()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.rect.center().distance(&center), i))
+            .collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut victims: Vec<usize> = order.iter().take(count).map(|&(_, i)| i).collect();
+        victims.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
+        for i in victims {
+            let e = self.node_mut(n).entries_mut().swap_remove(i);
+            self.entry_count -= 1;
+            self.stats.forced_reinserts += 1;
+            self.queue_reinsert(e.rect, e.record);
+        }
+        self.node_mut(n).touch_modified();
+        true
+    }
+
+    /// Deferred splitting for Skeleton indexes: before splitting an
+    /// overflowing leaf, try to move its most outlying entry to an adjacent
+    /// sibling with room. Splitting a pre-partitioned tile leaves both
+    /// halves half-full and permanently degrades the Skeleton's utilization;
+    /// redistribution keeps the pre-allocated grid intact, in the spirit of
+    /// the paper's "high-density regions are made finer grained … sparsely
+    /// populated regions are merged" adaptation (§4). Enabled together with
+    /// coalescing (i.e. for the Skeleton variants only, so the R-Tree
+    /// baseline stays pure Guttman).
+    fn try_redistribute_leaf(&mut self, n: NodeId) -> bool {
+        let node = self.node(n);
+        if !node.is_leaf() || node.parent.is_none() {
+            return false;
+        }
+        let parent = node.parent.expect("checked above");
+        let leaf_cap = self.config.capacity(0);
+
+        // Best (sibling, entry) pair: the move that enlarges the sibling's
+        // region least.
+        let mut best: Option<(NodeId, usize, usize, f64)> = None;
+        for b in self.node(parent).branches() {
+            if b.child == n {
+                continue;
+            }
+            let sib = self.node(b.child);
+            if !sib.is_leaf() || sib.entries().len() + 1 > leaf_cap {
+                continue;
+            }
+            for (ei, e) in self.node(n).entries().iter().enumerate() {
+                let enlargement = b.rect.enlargement(&e.rect);
+                if best.as_ref().is_none_or(|(.., d)| enlargement < *d) {
+                    let bi = self
+                        .node(parent)
+                        .branch_index_of(b.child)
+                        .expect("branch present");
+                    best = Some((b.child, bi, ei, enlargement));
+                }
+            }
+        }
+        let Some((sibling, sibling_bi, entry_idx, enlargement)) = best else {
+            return false;
+        };
+        // Refuse moves that would balloon the sibling's region: a split is
+        // better than creating heavy overlap.
+        let sib_rect = self.node(parent).branches()[sibling_bi].rect;
+        if enlargement > sib_rect.area().max(1.0) {
+            return false;
+        }
+
+        let entry = self.node_mut(n).entries_mut().swap_remove(entry_idx);
+        self.node_mut(n).touch_modified();
+        let sib_node = self.node_mut(sibling);
+        sib_node.entries_mut().push(entry);
+        sib_node.touch_modified();
+        self.stats.redistributions += 1;
+        // Expand the sibling's stored regions (and recheck spanning links)
+        // up the path.
+        self.adjust_upward(sibling, &entry.rect);
+        true
+    }
+
+    /// If `n` is an internal node whose overflow is caused by spanning
+    /// records, demotes its smallest spanning record to the leaf level and
+    /// returns `true`. A node genuinely crowded with *branches* splits
+    /// instead — carrying its spanning records with their branches and
+    /// promoting the ones that span a half (paper §3.1.2, Figure 4).
+    ///
+    /// The shed regime extends halfway from the reserved branch fraction to
+    /// full capacity: Skeleton grids slightly exceed the reservation by
+    /// grid-rounding (e.g. 36 branches against a 2/3 × 51 = 34 reservation)
+    /// and must stay in the shed regime, or spanning pressure would split
+    /// the pre-partitioned tiles and re-cut every resident record.
+    fn shed_spanning_pressure(&mut self, n: NodeId) -> bool {
+        let node = self.node(n);
+        if node.is_leaf() || node.spanning().is_empty() {
+            return false;
+        }
+        let shed_limit =
+            (self.config.branch_capacity(node.level) + self.config.capacity(node.level)) / 2;
+        if node.branches().len() > shed_limit {
+            return false;
+        }
+        let (idx, _) = self
+            .node(n)
+            .spanning()
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.rect
+                    .margin()
+                    .partial_cmp(&b.rect.margin())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty spanning list");
+        let s = self.node_mut(n).spanning_mut().swap_remove(idx);
+        self.node_mut(n).touch_modified();
+        self.entry_count -= 1;
+        self.stats.spanning_evictions += 1;
+        self.queue_leaf_reinsert(s.rect, s.record);
+        true
+    }
+
+    /// Splits `n` into itself plus a new sibling, installing the sibling in
+    /// the parent (growing the tree at the root). Returns the parent that
+    /// received the new branch, or `None` if the node cannot be split.
+    fn split_node(&mut self, n: NodeId) -> Option<NodeId> {
+        self.touch_maintenance(n);
+        let level = self.node(n).level;
+        let is_leaf = self.node(n).is_leaf();
+
+        let sibling = if is_leaf {
+            let entries = std::mem::take(self.node_mut(n).entries_mut());
+            if entries.len() < 2 {
+                *self.node_mut(n).entries_mut() = entries;
+                return None;
+            }
+            let min_fill = self
+                .config
+                .min_fill(level, true)
+                .min(entries.len() / 2)
+                .max(1);
+            let (g1, g2) = split_items(entries, |e| e.rect, min_fill, self.config.split);
+            *self.node_mut(n).entries_mut() = g1;
+            let mut sib = Node::leaf();
+            *sib.entries_mut() = g2;
+            self.stats.leaf_splits += 1;
+            sib
+        } else {
+            let branches = std::mem::take(self.node_mut(n).branches_mut());
+            if branches.len() < 2 {
+                *self.node_mut(n).branches_mut() = branches;
+                return None;
+            }
+            let min_fill = self
+                .config
+                .min_fill(level, false)
+                .min(branches.len() / 2)
+                .max(1);
+            let (b1, b2) = split_items(branches, |b| b.rect, min_fill, self.config.split);
+            // Spanning records are "carried over" with the branch they are
+            // linked to (paper §3.1.2, Figure 4).
+            let moved: Vec<NodeId> = b2.iter().map(|b| b.child).collect();
+            let spanning = std::mem::take(self.node_mut(n).spanning_mut());
+            let (s2, s1): (Vec<_>, Vec<_>) = spanning
+                .into_iter()
+                .partition(|s| moved.contains(&s.linked_child));
+            *self.node_mut(n).branches_mut() = b1;
+            *self.node_mut(n).spanning_mut() = s1;
+            let mut sib = Node::internal(level);
+            *sib.branches_mut() = b2;
+            *sib.spanning_mut() = s2;
+            self.stats.internal_splits += 1;
+            sib
+        };
+
+        let sibling_id = self.arena.alloc(sibling);
+        self.node_mut(n).touch_modified();
+        // Children moved to the sibling need their parent pointers updated.
+        if !is_leaf {
+            let children: Vec<NodeId> = self
+                .node(sibling_id)
+                .branches()
+                .iter()
+                .map(|b| b.child)
+                .collect();
+            for c in children {
+                self.node_mut(c).parent = Some(sibling_id);
+            }
+        }
+
+        let r1 = self.node(n).content_mbr().expect("split half is non-empty");
+        let r2 = self
+            .node(sibling_id)
+            .content_mbr()
+            .expect("split half is non-empty");
+
+        let parent = match self.node(n).parent {
+            Some(p) => {
+                self.touch_maintenance(p);
+                let bi = self
+                    .node(p)
+                    .branch_index_of(n)
+                    .expect("parent pointer without matching branch");
+                self.node_mut(p).branches_mut()[bi].rect = r1;
+                self.node_mut(p).branches_mut().push(Branch {
+                    rect: r2,
+                    child: sibling_id,
+                });
+                self.node_mut(p).touch_modified();
+                self.node_mut(sibling_id).parent = Some(p);
+                p
+            }
+            None => {
+                // Root split: the tree grows a level (Guttman's I4).
+                let mut root = Node::internal(level + 1);
+                root.branches_mut().push(Branch { rect: r1, child: n });
+                root.branches_mut().push(Branch {
+                    rect: r2,
+                    child: sibling_id,
+                });
+                let root_id = self.arena.alloc(root);
+                self.node_mut(n).parent = Some(root_id);
+                self.node_mut(sibling_id).parent = Some(root_id);
+                self.root = root_id;
+                root_id
+            }
+        };
+
+        if self.config.segment {
+            if !is_leaf {
+                // Promotion must run before containment cutting so a record
+                // that spans a whole half keeps its full extent as it moves
+                // up (paper §3.1.2: "possible promotion of spanning index
+                // records").
+                self.promote_spanning(n, sibling_id, parent);
+                self.enforce_spanning_containment(n);
+                self.enforce_spanning_containment(sibling_id);
+            }
+            // The stored region of n shrank from the pre-split region to r1,
+            // which can break the *intersection* half of the spanning
+            // predicate for records on the parent linked to n.
+            self.recheck_spanning_links(parent, n);
+        }
+        Some(parent)
+    }
+
+    /// Moves spanning records on the two split halves up to `parent` when
+    /// they span the region of either half (paper §3.1.2).
+    fn promote_spanning(&mut self, n: NodeId, sibling: NodeId, parent: NodeId) {
+        let rn = self.region_of(n).expect("split node has a stored region");
+        let rs = self
+            .region_of(sibling)
+            .expect("new sibling has a stored region");
+        for host in [n, sibling] {
+            let mut i = 0;
+            while i < self.node(host).spanning().len() {
+                let s = self.node(host).spanning()[i];
+                let target = if s.rect.spans_any_dim(&rn) {
+                    Some(n)
+                } else if s.rect.spans_any_dim(&rs) {
+                    Some(sibling)
+                } else {
+                    None
+                };
+                match target {
+                    Some(spanned_child) => {
+                        self.node_mut(host).spanning_mut().swap_remove(i);
+                        let mut entry = s;
+                        entry.linked_child = spanned_child;
+                        self.node_mut(parent).spanning_mut().push(entry);
+                        self.node_mut(parent).touch_modified();
+                        self.stats.promotions += 1;
+                    }
+                    None => i += 1,
+                }
+            }
+        }
+    }
+
+    /// Restores the invariant that spanning records on `node` lie within its
+    /// stored region, cutting any that stick out (clip in place, queue the
+    /// remnants for reinsertion).
+    pub(crate) fn enforce_spanning_containment(&mut self, node: NodeId) {
+        let Some(region) = self.region_of(node) else {
+            return; // the root has no stored region
+        };
+        let mut i = 0;
+        while i < self.node(node).spanning().len() {
+            let s = self.node(node).spanning()[i];
+            if region.contains_rect(&s.rect) {
+                i += 1;
+                continue;
+            }
+            let cut = s.rect.cut(&region);
+            self.stats.cuts += 1;
+            // Split-time remnants reinsert at the leaf level only: letting
+            // them re-enter spanning placement lets a shrink-cut-readmit
+            // loop amplify one record into thousands of portions.
+            for remnant in &cut.remnants {
+                self.stats.remnants_inserted += 1;
+                self.queue_leaf_reinsert(*remnant, s.record);
+            }
+            let linked_rect = self
+                .node(node)
+                .branch_index_of(s.linked_child)
+                .map(|bi| self.node(node).branches()[bi].rect);
+            match (cut.spanning, linked_rect) {
+                (Some(clipped), Some(branch_rect)) if clipped.spans_any_dim(&branch_rect) => {
+                    self.node_mut(node).spanning_mut()[i].rect = clipped;
+                    i += 1;
+                }
+                _ => {
+                    // The clipped portion lost its spanning relationship;
+                    // demote it to the leaf level instead of keeping a
+                    // dangling record (or re-entering spanning placement).
+                    self.node_mut(node).spanning_mut().swap_remove(i);
+                    self.entry_count -= 1;
+                    self.stats.demotions += 1;
+                    if let Some(clipped) = cut.spanning {
+                        self.queue_leaf_reinsert(clipped, s.record);
+                    }
+                }
+            }
+            self.node_mut(node).touch_modified();
+        }
+    }
+}
+
+/// Distributes `items` into two groups per the configured split algorithm,
+/// each group holding at least `min_fill` items.
+pub(crate) fn split_items<T, const D: usize>(
+    items: Vec<T>,
+    rect_of: impl Fn(&T) -> Rect<D>,
+    min_fill: usize,
+    algorithm: SplitAlgorithm,
+) -> (Vec<T>, Vec<T>) {
+    debug_assert!(items.len() >= 2);
+    if algorithm == SplitAlgorithm::RStar {
+        return rstar_split(items, rect_of, min_fill);
+    }
+    let (seed1, seed2) = match algorithm {
+        SplitAlgorithm::Quadratic => pick_seeds_quadratic(&items, &rect_of),
+        SplitAlgorithm::Linear => pick_seeds_linear(&items, &rect_of),
+        SplitAlgorithm::RStar => unreachable!("handled above"),
+    };
+
+    let total = items.len();
+    let mut g1: Vec<T> = Vec::with_capacity(total);
+    let mut g2: Vec<T> = Vec::with_capacity(total);
+    let mut rest: Vec<T> = Vec::with_capacity(total);
+    for (i, item) in items.into_iter().enumerate() {
+        if i == seed1 {
+            g1.push(item);
+        } else if i == seed2 {
+            g2.push(item);
+        } else {
+            rest.push(item);
+        }
+    }
+    let mut mbr1 = rect_of(&g1[0]);
+    let mut mbr2 = rect_of(&g2[0]);
+
+    while !rest.is_empty() {
+        // Min-fill forcing: if one group needs every remaining item to reach
+        // the minimum, assign them all (Guttman's QS2).
+        if g1.len() + rest.len() == min_fill {
+            for item in rest.drain(..) {
+                mbr1.expand_to_cover(&rect_of(&item));
+                g1.push(item);
+            }
+            break;
+        }
+        if g2.len() + rest.len() == min_fill {
+            for item in rest.drain(..) {
+                mbr2.expand_to_cover(&rect_of(&item));
+                g2.push(item);
+            }
+            break;
+        }
+
+        // PickNext: the entry with the greatest preference for one group
+        // (quadratic); linear split just takes them in arbitrary order.
+        let pick = match algorithm {
+            SplitAlgorithm::RStar => unreachable!("RStar split handled separately"),
+            SplitAlgorithm::Quadratic => {
+                let mut best = 0;
+                let mut best_diff = -1.0;
+                for (i, item) in rest.iter().enumerate() {
+                    let r = rect_of(item);
+                    let d1 = mbr1.enlargement(&r);
+                    let d2 = mbr2.enlargement(&r);
+                    let diff = (d1 - d2).abs();
+                    if diff > best_diff {
+                        best_diff = diff;
+                        best = i;
+                    }
+                }
+                best
+            }
+            SplitAlgorithm::Linear => rest.len() - 1,
+        };
+        let item = rest.swap_remove(pick);
+        let r = rect_of(&item);
+        let d1 = mbr1.enlargement(&r);
+        let d2 = mbr2.enlargement(&r);
+        // Resolve ties by smaller area, then fewer entries (Guttman QS3).
+        let to_first = match d1.partial_cmp(&d2) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => match mbr1.area().partial_cmp(&mbr2.area()) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                _ => g1.len() <= g2.len(),
+            },
+        };
+        if to_first {
+            mbr1.expand_to_cover(&r);
+            g1.push(item);
+        } else {
+            mbr2.expand_to_cover(&r);
+            g2.push(item);
+        }
+    }
+    (g1, g2)
+}
+
+/// Guttman's quadratic PickSeeds: the pair wasting the most area if grouped
+/// together.
+#[allow(clippy::needless_range_loop)] // pairwise index loop is the clearest form
+fn pick_seeds_quadratic<T, const D: usize>(
+    items: &[T],
+    rect_of: &impl Fn(&T) -> Rect<D>,
+) -> (usize, usize) {
+    let mut best = (0, 1);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        let ri = rect_of(&items[i]);
+        for j in (i + 1)..items.len() {
+            let rj = rect_of(&items[j]);
+            let waste = ri.union(&rj).area() - ri.area() - rj.area();
+            if waste > worst_waste {
+                worst_waste = waste;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+/// Guttman's linear PickSeeds: per dimension, the entry with the highest low
+/// side and the entry with the lowest high side; take the dimension with the
+/// greatest separation normalized by the total width.
+fn pick_seeds_linear<T, const D: usize>(
+    items: &[T],
+    rect_of: &impl Fn(&T) -> Rect<D>,
+) -> (usize, usize) {
+    let mut best: Option<(usize, usize)> = None;
+    let mut best_norm = f64::NEG_INFINITY;
+    for d in 0..D {
+        let mut highest_low = (0, f64::NEG_INFINITY);
+        let mut lowest_high = (0, f64::INFINITY);
+        let mut min_lo = f64::INFINITY;
+        let mut max_hi = f64::NEG_INFINITY;
+        for (i, item) in items.iter().enumerate() {
+            let r = rect_of(item);
+            if r.lo(d) > highest_low.1 {
+                highest_low = (i, r.lo(d));
+            }
+            if r.hi(d) < lowest_high.1 {
+                lowest_high = (i, r.hi(d));
+            }
+            min_lo = min_lo.min(r.lo(d));
+            max_hi = max_hi.max(r.hi(d));
+        }
+        let width = max_hi - min_lo;
+        if width <= 0.0 || highest_low.0 == lowest_high.0 {
+            continue;
+        }
+        let norm = (highest_low.1 - lowest_high.1) / width;
+        if norm > best_norm {
+            best_norm = norm;
+            best = Some((lowest_high.0, highest_low.0));
+        }
+    }
+    // Degenerate inputs (all rects identical): fall back to the first pair.
+    best.unwrap_or((0, 1))
+}
+
+/// The R\*-Tree topological split: pick the axis with minimum total margin
+/// over all valid distributions (sorted by low then by high side), then the
+/// distribution on that axis with minimum overlap (ties: minimum total
+/// area).
+fn rstar_split<T, const D: usize>(
+    items: Vec<T>,
+    rect_of: impl Fn(&T) -> Rect<D>,
+    min_fill: usize,
+) -> (Vec<T>, Vec<T>) {
+    let n = items.len();
+    let m = min_fill.clamp(1, n / 2);
+    let rects: Vec<Rect<D>> = items.iter().map(&rect_of).collect();
+
+    // For a sorted order, prefix[i] = MBR of the first i+1 rects and
+    // suffix[i] = MBR of rects i.. .
+    let sweep = |order: &[usize]| -> (Vec<Rect<D>>, Vec<Rect<D>>) {
+        let mut prefix = Vec::with_capacity(n);
+        let mut acc = rects[order[0]];
+        for &i in order {
+            acc.expand_to_cover(&rects[i]);
+            prefix.push(acc);
+        }
+        let mut suffix = vec![rects[order[n - 1]]; n];
+        let mut acc = rects[order[n - 1]];
+        for k in (0..n).rev() {
+            acc.expand_to_cover(&rects[order[k]]);
+            suffix[k] = acc;
+        }
+        (prefix, suffix)
+    };
+
+    let mut best_axis_orders: Vec<Vec<usize>> = Vec::new();
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        let mut margin_sum = 0.0f64;
+        let mut orders: Vec<Vec<usize>> = Vec::with_capacity(2);
+        for by_hi in [false, true] {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let (ka, kb) = if by_hi {
+                    (rects[a].hi(axis), rects[b].hi(axis))
+                } else {
+                    (rects[a].lo(axis), rects[b].lo(axis))
+                };
+                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let (prefix, suffix) = sweep(&order);
+            for k in m..=(n - m) {
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+            }
+            orders.push(order);
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis_orders = orders;
+        }
+    }
+
+    // On the chosen axis: the distribution with minimum overlap, ties by
+    // minimum total area.
+    let mut best: Option<(f64, f64, usize, usize)> = None; // (overlap, area, order_idx, k)
+    for (oi, order) in best_axis_orders.iter().enumerate() {
+        let (prefix, suffix) = sweep(order);
+        for k in m..=(n - m) {
+            let a = prefix[k - 1];
+            let b = suffix[k];
+            let overlap = a.overlap_area(&b);
+            let area = a.area() + b.area();
+            let better = match &best {
+                None => true,
+                Some((bo, ba, ..)) => overlap < *bo || (overlap == *bo && area < *ba),
+            };
+            if better {
+                best = Some((overlap, area, oi, k));
+            }
+        }
+    }
+    let (_, _, oi, k) = best.expect("at least one distribution exists");
+    let order = &best_axis_orders[oi];
+    let in_first: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &i in &order[..k] {
+            v[i] = true;
+        }
+        v
+    };
+    let mut g1 = Vec::with_capacity(k);
+    let mut g2 = Vec::with_capacity(n - k);
+    for (i, item) in items.into_iter().enumerate() {
+        if in_first[i] {
+            g1.push(item);
+        } else {
+            g2.push(item);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, x1: f64, y0: f64, y1: f64) -> Rect<2> {
+        Rect::new([x0, y0], [x1, y1])
+    }
+
+    #[test]
+    fn quadratic_separates_clusters() {
+        let items = vec![
+            r(0.0, 1.0, 0.0, 1.0),
+            r(0.5, 1.5, 0.0, 1.0),
+            r(100.0, 101.0, 0.0, 1.0),
+            r(100.5, 101.5, 0.0, 1.0),
+        ];
+        let (g1, g2) = split_items(items, |x| *x, 2, SplitAlgorithm::Quadratic);
+        assert_eq!(g1.len(), 2);
+        assert_eq!(g2.len(), 2);
+        let mbr = |g: &[Rect<2>]| g.iter().skip(1).fold(g[0], |a, b| a.union(b));
+        assert_eq!(mbr(&g1).overlap_area(&mbr(&g2)), 0.0);
+    }
+
+    #[test]
+    fn linear_separates_clusters() {
+        let items = vec![
+            r(0.0, 1.0, 0.0, 1.0),
+            r(0.5, 1.5, 0.0, 1.0),
+            r(100.0, 101.0, 0.0, 1.0),
+            r(100.5, 101.5, 0.0, 1.0),
+        ];
+        let (g1, g2) = split_items(items, |x| *x, 2, SplitAlgorithm::Linear);
+        assert_eq!(g1.len() + g2.len(), 4);
+        assert!(g1.len() >= 2 - 1 && !g2.is_empty());
+        let mbr = |g: &[Rect<2>]| g.iter().skip(1).fold(g[0], |a, b| a.union(b));
+        assert!(mbr(&g1).overlap_area(&mbr(&g2)) < 1.0);
+    }
+
+    #[test]
+    fn min_fill_respected() {
+        // One far-away outlier: min fill forces balanced-enough groups.
+        let mut items = vec![r(1000.0, 1001.0, 0.0, 1.0)];
+        for i in 0..9 {
+            let x = i as f64;
+            items.push(r(x, x + 0.5, 0.0, 1.0));
+        }
+        for algo in [SplitAlgorithm::Quadratic, SplitAlgorithm::Linear] {
+            let (g1, g2) = split_items(items.clone(), |x| *x, 3, algo);
+            assert!(g1.len() >= 3, "{algo:?}: {} < 3", g1.len());
+            assert!(g2.len() >= 3, "{algo:?}: {} < 3", g2.len());
+            assert_eq!(g1.len() + g2.len(), 10);
+        }
+    }
+
+    #[test]
+    fn identical_rects_still_split() {
+        let items = vec![r(0.0, 1.0, 0.0, 1.0); 6];
+        for algo in [SplitAlgorithm::Quadratic, SplitAlgorithm::Linear] {
+            let (g1, g2) = split_items(items.clone(), |x| *x, 2, algo);
+            assert!(g1.len() >= 2 && g2.len() >= 2, "{algo:?}");
+            assert_eq!(g1.len() + g2.len(), 6);
+        }
+    }
+
+    #[test]
+    fn two_items_split_one_each() {
+        let items = vec![r(0.0, 1.0, 0.0, 1.0), r(5.0, 6.0, 0.0, 1.0)];
+        let (g1, g2) = split_items(items, |x| *x, 1, SplitAlgorithm::Quadratic);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g2.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's illustrative figures as executable scenarios.
+//!
+//! Each test builds the small controlled situation the paper draws and
+//! asserts that the implementation produces exactly the described behavior.
+//! Node capacity is shrunk (4 entries/leaf) so the mechanics fire at toy
+//! scale.
+
+use segidx_core::{IndexConfig, RecordId, Tree};
+use segidx_geom::Rect;
+
+fn tiny_sr() -> Tree<2> {
+    Tree::new(IndexConfig {
+        leaf_node_bytes: 160, // capacity 4
+        segment: true,
+        ..IndexConfig::default()
+    })
+}
+
+fn seg(x0: f64, x1: f64, y: f64) -> Rect<2> {
+    Rect::new([x0, y], [x1, y])
+}
+
+/// Figure 2: a line segment that spans the region of a child node is stored
+/// as a spanning index record on the *parent*, not in a leaf.
+#[test]
+fn figure_2_spanning_segment_stored_on_parent() {
+    let mut t = tiny_sr();
+    // Two well-separated clusters of short segments force a split into two
+    // leaves with disjoint x-ranges (roughly [0,30] and [100,130]).
+    for i in 0..4u64 {
+        t.insert(
+            seg(i as f64 * 10.0, i as f64 * 10.0 + 3.0, 10.0),
+            RecordId(i),
+        );
+    }
+    for i in 0..4u64 {
+        t.insert(
+            seg(100.0 + i as f64 * 10.0, 103.0 + i as f64 * 10.0, 10.0),
+            RecordId(10 + i),
+        );
+    }
+    assert!(t.height() >= 2, "split produced an internal node");
+    let before_entries = t.entry_count();
+
+    // S1: a segment spanning the first cluster's leaf region entirely.
+    t.insert(seg(-5.0, 40.0, 10.0), RecordId(99));
+    assert_eq!(
+        t.spanning_count(),
+        1,
+        "S1 is represented as a spanning index record on the parent"
+    );
+    assert_eq!(t.entry_count(), before_entries + 1, "a single index record");
+    // And search finds it alongside the leaf contents.
+    let hits = t.search(&seg(0.0, 5.0, 10.0));
+    assert!(hits.contains(&RecordId(0)));
+    assert!(hits.contains(&RecordId(99)));
+    t.assert_invariants();
+}
+
+/// Figures 3 and 4 + the §3.1.1 demotion rule, exercised together: with
+/// tiny nodes and a mix of short and long segments, every Segment-Index
+/// mechanism must fire — cutting (Figure 3), split carry-over with
+/// promotion (Figure 4), and demotion/relinking on region expansion — while
+/// the structure stays valid and every logical record stays findable.
+#[test]
+fn figures_3_and_4_mechanics_fire_at_toy_scale() {
+    let mut t = tiny_sr();
+    let mut expected = 0u64;
+    // Deterministic mixed workload: mostly short segments, every 7th one
+    // medium (spans leaf regions), every 31st long (crosses parent
+    // regions, forcing cuts).
+    for i in 0..3_000u64 {
+        let x = ((i * 97) % 2_000) as f64;
+        let y = ((i * 41) % 500) as f64;
+        let len = if i % 31 == 0 {
+            700.0
+        } else if i % 7 == 0 {
+            90.0
+        } else {
+            3.0
+        };
+        t.insert(seg(x, x + len, y), RecordId(i));
+        expected += 1;
+    }
+    let stats = t.stats();
+    assert!(
+        stats.spanning_stores > 0,
+        "Figure 2: spanning records stored"
+    );
+    assert!(stats.cuts > 0, "Figure 3: records cut into portions");
+    assert!(stats.remnants_inserted > 0, "Figure 3: remnants reinserted");
+    assert!(stats.internal_splits > 0, "Figure 4: non-leaf nodes split");
+    assert!(
+        stats.demotions + stats.relinks > 0,
+        "§3.1.1: expansions demoted or relinked spanning records"
+    );
+    t.assert_invariants();
+    // Every logical record is reported exactly once by a full-domain scan.
+    let hits = t.search(&Rect::new([-1_000.0, -1_000.0], [5_000.0, 5_000.0]));
+    assert_eq!(hits.len(), expected as usize);
+}
+
+/// Figure 4's completion rule in isolation: a spanning record that covers a
+/// whole half of a splitting node is *promoted* to the parent (§3.1.2).
+#[test]
+fn figure_4_promotion_on_root_split() {
+    let mut t = tiny_sr();
+    let mut id = 0u64;
+    let cluster = |t: &mut Tree<2>, k: u64, id: &mut u64| {
+        for i in 0..4u64 {
+            let x = k as f64 * 20.0 + i as f64 * 4.0;
+            t.insert(seg(x, x + 1.0, 10.0), RecordId(*id));
+            *id += 1;
+        }
+    };
+    // Two clusters: a two-level tree (root over leaves).
+    cluster(&mut t, 0, &mut id);
+    cluster(&mut t, 1, &mut id);
+    assert_eq!(t.height(), 2, "root with leaf children");
+
+    // S spans the first leaf's region and far beyond: once the root
+    // eventually splits, S will cover one of the halves.
+    t.insert(seg(-5.0, 95.0, 10.0), RecordId(500));
+    assert!(t.spanning_count() >= 1, "S stored as a spanning record");
+    assert_eq!(t.stats().promotions, 0, "no internal split yet");
+
+    // Keep adding clusters until the root splits (branch overflow).
+    let mut k = 2;
+    while t.height() < 3 {
+        cluster(&mut t, k, &mut id);
+        k += 1;
+        assert!(k < 64, "root never split");
+    }
+    let stats = t.stats();
+    assert!(stats.internal_splits >= 1, "the root split");
+    assert!(
+        stats.promotions >= 1,
+        "S promoted to the new root (Figure 4)"
+    );
+    t.assert_invariants();
+    let hits = t.search(&seg(0.0, 2.0, 10.0));
+    assert!(hits.contains(&RecordId(500)));
+    assert_eq!(t.search(&seg(-100.0, 10_000.0, 10.0)).len(), t.len());
+}

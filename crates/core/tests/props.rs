@@ -1,0 +1,242 @@
+//! Model-based property tests: random operation sequences applied to every
+//! index configuration, checked against a flat-vector model after each
+//! batch, with structural invariants verified throughout.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segidx_core::{build_skeleton, CoalesceConfig, IndexConfig, RecordId, SkeletonSpec, Tree};
+use segidx_geom::{Point, Rect};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { rect: Rect<2>, id: u64 },
+    Delete { index: usize },
+    Search { query: Rect<2> },
+    Stab { x: f64, y: f64 },
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect<2>> {
+    // Mixed geometry: points, horizontal segments (short and very long),
+    // and boxes — the paper's full menagerie.
+    prop_oneof![
+        // points
+        (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| Rect::new([x, y], [x, y])),
+        // horizontal segments, skewed lengths
+        (0.0..1000.0f64, 0.0..1000.0f64, 0.0..400.0f64)
+            .prop_map(|(x, y, len)| Rect::new([x, y], [x + len, y])),
+        // boxes
+        (0.0..900.0f64, 0.0..900.0f64, 0.0..100.0f64, 0.0..100.0f64)
+            .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h])),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (rect_strategy(), any::<u64>()).prop_map(|(rect, id)| Op::Insert { rect, id }),
+        1 => any::<usize>().prop_map(|index| Op::Delete { index }),
+        2 => rect_strategy().prop_map(|query| Op::Search { query }),
+        1 => (0.0..1200.0f64, 0.0..1200.0f64).prop_map(|(x, y)| Op::Stab { x, y }),
+    ]
+}
+
+fn configs() -> Vec<(&'static str, IndexConfig)> {
+    let small = IndexConfig {
+        // Small nodes so modest op counts still exercise splits,
+        // promotions, and coalescing.
+        leaf_node_bytes: 320,
+        ..IndexConfig::default()
+    };
+    vec![
+        ("rtree", small.clone()),
+        (
+            "srtree",
+            IndexConfig {
+                segment: true,
+                ..small.clone()
+            },
+        ),
+        (
+            "rtree-linear",
+            IndexConfig {
+                split: segidx_core::SplitAlgorithm::Linear,
+                ..small.clone()
+            },
+        ),
+        (
+            "rstar",
+            IndexConfig {
+                split: segidx_core::SplitAlgorithm::RStar,
+                choose_subtree_overlap: true,
+                forced_reinsert: Some(0.3),
+                ..small.clone()
+            },
+        ),
+        (
+            "srtree-coalesce",
+            IndexConfig {
+                segment: true,
+                coalesce: Some(CoalesceConfig {
+                    check_interval: 25,
+                    lfm_candidates: 5,
+                }),
+                ..small
+            },
+        ),
+    ]
+}
+
+fn run_ops(name: &str, mut tree: Tree<2>, ops: &[Op]) -> Result<(), TestCaseError> {
+    // Model: live (rect, id) pairs. Ids are made unique by sequence number
+    // so deletes are unambiguous.
+    let mut model: Vec<(Rect<2>, RecordId)> = Vec::new();
+    let mut seq = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert { rect, id } => {
+                let rid = RecordId(id.wrapping_mul(1_000_003).wrapping_add(seq));
+                seq += 1;
+                if model.iter().any(|(_, existing)| *existing == rid) {
+                    continue;
+                }
+                tree.insert(*rect, rid);
+                model.push((*rect, rid));
+            }
+            Op::Delete { index } => {
+                if model.is_empty() {
+                    continue;
+                }
+                let (rect, rid) = model.swap_remove(index % model.len());
+                prop_assert!(tree.delete(&rect, rid), "{name}: delete {rid:?} at {step}");
+            }
+            Op::Search { query } => {
+                let mut expected: Vec<RecordId> = model
+                    .iter()
+                    .filter(|(r, _)| r.intersects(query))
+                    .map(|(_, id)| *id)
+                    .collect();
+                expected.sort_unstable();
+                prop_assert_eq!(
+                    tree.search(query),
+                    expected,
+                    "{}: search mismatch at step {}",
+                    name,
+                    step
+                );
+            }
+            Op::Stab { x, y } => {
+                let p = Point::new([*x, *y]);
+                let mut expected: Vec<RecordId> = model
+                    .iter()
+                    .filter(|(r, _)| r.contains_point(&p))
+                    .map(|(_, id)| *id)
+                    .collect();
+                expected.sort_unstable();
+                prop_assert_eq!(
+                    tree.stab(&p),
+                    expected,
+                    "{}: stab mismatch at step {}",
+                    name,
+                    step
+                );
+            }
+        }
+        if step % 64 == 0 {
+            let issues = tree.check_invariants();
+            prop_assert!(issues.is_empty(), "{name} at step {step}: {issues:?}");
+        }
+    }
+    prop_assert_eq!(tree.len(), model.len(), "{}: len mismatch", name);
+    let issues = tree.check_invariants();
+    prop_assert!(issues.is_empty(), "{name} at end: {issues:?}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_ops_match_model(ops in vec(op_strategy(), 1..300)) {
+        for (name, config) in configs() {
+            run_ops(name, Tree::new(config), &ops)?;
+        }
+    }
+
+    #[test]
+    fn random_ops_on_skeleton_match_model(ops in vec(op_strategy(), 1..250)) {
+        let domain = Rect::new([0.0, 0.0], [1400.0, 1400.0]);
+        let config = IndexConfig {
+            leaf_node_bytes: 320,
+            segment: true,
+            coalesce: Some(CoalesceConfig {
+                check_interval: 40,
+                lfm_candidates: 6,
+            }),
+            ..IndexConfig::default()
+        };
+        config.validate().unwrap();
+        let spec = SkeletonSpec::uniform(domain, 200);
+        run_ops("skeleton-sr", build_skeleton(config, &spec), &ops)?;
+    }
+
+    #[test]
+    fn join_matches_model(
+        left in vec(rect_strategy(), 1..80),
+        right in vec(rect_strategy(), 1..80),
+    ) {
+        let build = |records: &[Rect<2>], segment: bool| {
+            let mut t: Tree<2> = Tree::new(IndexConfig {
+                leaf_node_bytes: 320,
+                segment,
+                ..IndexConfig::default()
+            });
+            for (i, r) in records.iter().enumerate() {
+                t.insert(*r, RecordId(i as u64));
+            }
+            t
+        };
+        let ta = build(&left, true);
+        let tb = build(&right, false);
+        let mut expected = Vec::new();
+        for (i, a) in left.iter().enumerate() {
+            for (j, b) in right.iter().enumerate() {
+                if a.intersects(b) {
+                    expected.push((RecordId(i as u64), RecordId(j as u64)));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(ta.join(&tb), expected);
+    }
+
+    #[test]
+    fn nearest_matches_model(
+        records in vec((rect_strategy(), any::<u64>()), 1..150),
+        probe in (0.0..1500.0f64, 0.0..1500.0f64),
+        k in 1usize..20,
+    ) {
+        let mut tree: Tree<2> = Tree::new(IndexConfig {
+            leaf_node_bytes: 320,
+            segment: true,
+            ..IndexConfig::default()
+        });
+        let mut model: Vec<(Rect<2>, RecordId)> = Vec::new();
+        for (i, (rect, _)) in records.iter().enumerate() {
+            let rid = RecordId(i as u64);
+            tree.insert(*rect, rid);
+            model.push((*rect, rid));
+        }
+        let p = Point::new([probe.0, probe.1]);
+        let got = tree.nearest(&p, k);
+        let mut dists: Vec<f64> = model.iter().map(|(r, _)| r.min_dist(&p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.truncate(k);
+        prop_assert_eq!(got.len(), dists.len().min(model.len()));
+        for (n, d) in got.iter().zip(dists.iter()) {
+            prop_assert!((n.distance - d).abs() < 1e-9,
+                "rank distance mismatch: {} vs {}", n.distance, d);
+        }
+    }
+}

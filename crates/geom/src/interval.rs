@@ -1,0 +1,329 @@
+//! Closed one-dimensional intervals.
+
+use crate::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed interval `[lo, hi]` on the real line.
+///
+/// Degenerate intervals (`lo == hi`) represent points, which lets a single
+/// index store both *time range* and *event* data, one of the paper's three
+/// motivating goals (§2.2).
+///
+/// Invariant: `lo <= hi`. Construction via [`Interval::new`] panics if the
+/// invariant would be violated; [`Interval::checked`] returns `None` instead.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Coord,
+    hi: Coord,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is NaN.
+    #[inline]
+    pub fn new(lo: Coord, hi: Coord) -> Self {
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Creates the interval `[lo, hi]`, returning `None` if `lo > hi` or a
+    /// bound is NaN.
+    #[inline]
+    pub fn checked(lo: Coord, hi: Coord) -> Option<Self> {
+        if lo <= hi {
+            Some(Self { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Creates a degenerate (point) interval `[v, v]`.
+    #[inline]
+    pub fn point(v: Coord) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Creates an interval from an unordered pair of endpoints.
+    #[inline]
+    pub fn from_endpoints(a: Coord, b: Coord) -> Self {
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// Creates an interval from its center and total length.
+    #[inline]
+    pub fn centered(center: Coord, length: Coord) -> Self {
+        let half = length.abs() / 2.0;
+        Self {
+            lo: center - half,
+            hi: center + half,
+        }
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> Coord {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> Coord {
+        self.hi
+    }
+
+    /// Length (`hi - lo`); zero for point intervals.
+    #[inline]
+    pub fn length(&self) -> Coord {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    #[inline]
+    pub fn center(&self) -> Coord {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Whether this interval is degenerate (a point).
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `v` lies within the closed interval.
+    #[inline]
+    pub fn contains(&self, v: Coord) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// The paper's *span* predicate: `self` spans `other` iff
+    /// `self.lo ≤ other.lo` and `self.hi ≥ other.hi` (§2).
+    #[inline]
+    pub fn spans(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && self.hi >= other.hi
+    }
+
+    /// Whether the closed intervals share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection of the two intervals, if non-empty.
+    #[inline]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        Interval::checked(lo, hi)
+    }
+
+    /// Smallest interval covering both inputs.
+    #[inline]
+    pub fn union(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Clips `self` to `bounds`. Returns `None` if they do not intersect.
+    #[inline]
+    pub fn clip(&self, bounds: &Interval) -> Option<Interval> {
+        self.intersection(bounds)
+    }
+
+    /// The parts of `self` that lie strictly outside `bounds` — at most one
+    /// piece on each side. Used when an index record is *cut* into a spanning
+    /// portion and remnant portions (paper §3.1.1, Figure 3).
+    pub fn subtract(&self, bounds: &Interval) -> Remnants {
+        let mut out = Remnants::default();
+        if self.lo < bounds.lo {
+            out.push(Interval {
+                lo: self.lo,
+                hi: bounds.lo.min(self.hi),
+            });
+        }
+        if self.hi > bounds.hi {
+            out.push(Interval {
+                lo: bounds.hi.max(self.lo),
+                hi: self.hi,
+            });
+        }
+        out
+    }
+
+    /// Additional length needed for `self` to cover `other`
+    /// (`union.length - self.length`; always ≥ 0).
+    #[inline]
+    pub fn enlargement(&self, other: &Interval) -> Coord {
+        self.union(other).length() - self.length()
+    }
+}
+
+/// Up to two interval pieces produced by [`Interval::subtract`].
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+pub struct Remnants {
+    items: [Option<Interval>; 2],
+    len: usize,
+}
+
+impl Remnants {
+    fn push(&mut self, iv: Interval) {
+        self.items[self.len] = Some(iv);
+        self.len += 1;
+    }
+
+    /// Number of remnant pieces (0–2).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no remnant pieces.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the pieces.
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.items.iter().take(self.len).map(|x| x.unwrap())
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orders_bounds() {
+        let iv = Interval::from_endpoints(5.0, 1.0);
+        assert_eq!(iv.lo(), 1.0);
+        assert_eq!(iv.hi(), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_inverted() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn checked_rejects_nan() {
+        assert!(Interval::checked(f64::NAN, 1.0).is_none());
+        assert!(Interval::checked(0.0, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn point_interval() {
+        let p = Interval::point(3.0);
+        assert!(p.is_point());
+        assert_eq!(p.length(), 0.0);
+        assert!(p.contains(3.0));
+        assert!(!p.contains(3.1));
+    }
+
+    #[test]
+    fn centered_interval() {
+        let iv = Interval::centered(10.0, 4.0);
+        assert_eq!(iv.lo(), 8.0);
+        assert_eq!(iv.hi(), 12.0);
+        assert_eq!(iv.center(), 10.0);
+    }
+
+    #[test]
+    fn spans_is_containment() {
+        let big = Interval::new(0.0, 10.0);
+        let small = Interval::new(2.0, 8.0);
+        assert!(big.spans(&small));
+        assert!(!small.spans(&big));
+        assert!(big.spans(&big), "span is reflexive");
+    }
+
+    #[test]
+    fn closed_interval_touching_intersects() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.0, 2.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Interval::point(1.0)));
+    }
+
+    #[test]
+    fn disjoint_do_not_intersect() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.5, 2.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(5.0, 6.0);
+        let u = a.union(&b);
+        assert!(u.spans(&a) && u.spans(&b));
+        assert_eq!(u, Interval::new(0.0, 6.0));
+    }
+
+    #[test]
+    fn subtract_both_sides() {
+        let seg = Interval::new(0.0, 10.0);
+        let bounds = Interval::new(3.0, 7.0);
+        let rem = seg.subtract(&bounds);
+        assert_eq!(rem.len(), 2);
+        let parts: Vec<_> = rem.iter().collect();
+        assert_eq!(parts[0], Interval::new(0.0, 3.0));
+        assert_eq!(parts[1], Interval::new(7.0, 10.0));
+    }
+
+    #[test]
+    fn subtract_one_side() {
+        let seg = Interval::new(0.0, 5.0);
+        let bounds = Interval::new(3.0, 7.0);
+        let rem = seg.subtract(&bounds);
+        assert_eq!(rem.len(), 1);
+        assert_eq!(rem.iter().next().unwrap(), Interval::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn subtract_contained_is_empty() {
+        let seg = Interval::new(4.0, 5.0);
+        let bounds = Interval::new(3.0, 7.0);
+        assert!(seg.subtract(&bounds).is_empty());
+    }
+
+    #[test]
+    fn subtract_disjoint_yields_whole() {
+        let seg = Interval::new(0.0, 2.0);
+        let bounds = Interval::new(3.0, 7.0);
+        let rem = seg.subtract(&bounds);
+        assert_eq!(rem.len(), 1);
+        assert_eq!(rem.iter().next().unwrap(), seg);
+    }
+
+    #[test]
+    fn enlargement_zero_when_spanning() {
+        let big = Interval::new(0.0, 10.0);
+        let small = Interval::new(2.0, 3.0);
+        assert_eq!(big.enlargement(&small), 0.0);
+        assert_eq!(small.enlargement(&big), 10.0 - 1.0);
+    }
+}

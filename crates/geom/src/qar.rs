@@ -1,0 +1,116 @@
+//! Query-aspect-ratio (QAR) helpers for the paper's experimental setup.
+//!
+//! The paper evaluates search performance with query rectangles of fixed area
+//! (10⁶) whose horizontal-to-vertical aspect ratio sweeps over
+//! `{0.0001, 0.001, 0.01, 0.1, 0.2, 0.5, 1, 2, 5, 10, 100, 1000, 10000}`
+//! (§5). These helpers construct such rectangles and describe the sweep.
+
+use crate::{Coord, Point, Rect};
+
+/// The thirteen QAR values used in the paper's experiments (§5).
+pub const PAPER_QAR_SWEEP: [Coord; 13] = [
+    0.0001, 0.001, 0.01, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0, 1000.0, 10000.0,
+];
+
+/// The horizontal-to-vertical aspect ratio (`width / height`) of a 2-D
+/// rectangle. Returns `None` for rectangles with zero height.
+pub fn qar_of(rect: &Rect<2>) -> Option<Coord> {
+    let h = rect.extent(1);
+    if h == 0.0 {
+        None
+    } else {
+        Some(rect.extent(0) / h)
+    }
+}
+
+/// Builds the 2-D rectangle with the given `area` and horizontal-to-vertical
+/// aspect ratio `qar`, centered on `center`:
+/// `width = sqrt(area · qar)`, `height = sqrt(area / qar)`.
+///
+/// # Panics
+/// Panics if `area` or `qar` is not strictly positive.
+pub fn rect_from_area_qar(center: Point<2>, area: Coord, qar: Coord) -> Rect<2> {
+    assert!(area > 0.0, "area must be positive");
+    assert!(qar > 0.0, "qar must be positive");
+    let w = (area * qar).sqrt();
+    let h = (area / qar).sqrt();
+    Rect::new(
+        [center[0] - w / 2.0, center[1] - h / 2.0],
+        [center[0] + w / 2.0, center[1] + h / 2.0],
+    )
+}
+
+/// An iterator over the paper's QAR sweep paired with `log₁₀(QAR)` — the
+/// X axis of Graphs 1–6.
+#[derive(Clone, Debug, Default)]
+pub struct QarSweep {
+    next: usize,
+}
+
+impl QarSweep {
+    /// Creates a sweep over [`PAPER_QAR_SWEEP`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Iterator for QarSweep {
+    type Item = (Coord, Coord);
+
+    fn next(&mut self) -> Option<(Coord, Coord)> {
+        let q = *PAPER_QAR_SWEEP.get(self.next)?;
+        self.next += 1;
+        Some((q, q.log10()))
+    }
+}
+
+impl ExactSizeIterator for QarSweep {
+    fn len(&self) -> usize {
+        PAPER_QAR_SWEEP.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_has_requested_area_and_qar() {
+        for &q in &PAPER_QAR_SWEEP {
+            let r = rect_from_area_qar(Point::new([50_000.0, 50_000.0]), 1_000_000.0, q);
+            assert!((r.area() - 1_000_000.0).abs() < 1e-4, "area for qar {q}");
+            let got = qar_of(&r).unwrap();
+            assert!((got / q - 1.0).abs() < 1e-9, "qar {q} vs {got}");
+        }
+    }
+
+    #[test]
+    fn extreme_qar_dimensions() {
+        // QAR = 0.0001 with area 1e6 gives a 10 × 100000 query: the full
+        // domain height of the paper's experiments.
+        let r = rect_from_area_qar(Point::new([0.0, 0.0]), 1_000_000.0, 0.0001);
+        assert!((r.extent(0) - 10.0).abs() < 1e-9);
+        assert!((r.extent(1) - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_matches_constant() {
+        let s: Vec<_> = QarSweep::new().collect();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s[0].0, 0.0001);
+        assert_eq!(s[12].0, 10000.0);
+        assert!((s[6].1 - 0.0).abs() < 1e-12, "log10(1) = 0");
+    }
+
+    #[test]
+    fn qar_of_degenerate_height_is_none() {
+        let seg = Rect::new([0.0, 5.0], [10.0, 5.0]);
+        assert_eq!(qar_of(&seg), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_area_panics() {
+        let _ = rect_from_area_qar(Point::origin(), 0.0, 1.0);
+    }
+}

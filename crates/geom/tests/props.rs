@@ -1,0 +1,133 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use segidx_geom::{Interval, Point, Rect};
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (-1.0e6..1.0e6f64, 0.0..1.0e5f64).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+}
+
+fn rect2_strategy() -> impl Strategy<Value = Rect<2>> {
+    (interval_strategy(), interval_strategy()).prop_map(|(x, y)| Rect::from_intervals([x, y]))
+}
+
+proptest! {
+    #[test]
+    fn interval_union_spans_both(a in interval_strategy(), b in interval_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.spans(&a));
+        prop_assert!(u.spans(&b));
+        prop_assert!(u.length() >= a.length().max(b.length()));
+    }
+
+    #[test]
+    fn interval_intersection_contained(a in interval_strategy(), b in interval_strategy()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.spans(&i));
+            prop_assert!(b.spans(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn interval_subtract_partitions_length(a in interval_strategy(), b in interval_strategy()) {
+        let clipped = a.clip(&b).map_or(0.0, |c| c.length());
+        let remnant: f64 = a.subtract(&b).iter().map(|r| r.length()).sum();
+        prop_assert!((clipped + remnant - a.length()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_enlargement_nonnegative(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert!(a.enlargement(&b) >= 0.0);
+        // After union, enlargement is zero.
+        let u = a.union(&b);
+        prop_assert_eq!(u.enlargement(&b), 0.0);
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in rect2_strategy(), b in rect2_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn rect_intersection_symmetric_and_contained(a in rect2_strategy(), b in rect2_strategy()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x, y);
+                prop_assert!(a.contains_rect(&x));
+                prop_assert!(b.contains_rect(&x));
+            }
+            (None, None) => prop_assert!(!a.intersects(&b)),
+            _ => prop_assert!(false, "intersection not symmetric"),
+        }
+    }
+
+    #[test]
+    fn rect_enlargement_nonnegative(a in rect2_strategy(), b in rect2_strategy()) {
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+        prop_assert!(a.union(&b).enlargement(&b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_cut_partitions_area(a in rect2_strategy(), b in rect2_strategy()) {
+        let cut = a.cut(&b);
+        let span_area = cut.spanning.map_or(0.0, |s| s.area());
+        let rem_area: f64 = cut.remnants.iter().map(|r| r.area()).sum();
+        // Relative tolerance: areas here can reach ~1e10.
+        let scale = a.area().max(1.0);
+        prop_assert!(((span_area + rem_area) - a.area()).abs() / scale < 1e-9);
+        // All pieces stay within the original record.
+        if let Some(s) = cut.spanning {
+            prop_assert!(a.contains_rect(&s));
+            prop_assert!(b.contains_rect(&s));
+        }
+        for r in &cut.remnants {
+            prop_assert!(a.contains_rect(r));
+        }
+        // Remnants are pairwise non-overlapping (zero-area overlap allowed on
+        // shared boundaries).
+        for (i, r1) in cut.remnants.iter().enumerate() {
+            for r2 in cut.remnants.iter().skip(i + 1) {
+                prop_assert!(r1.overlap_area(r2) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rect_spanning_implies_intersecting(a in rect2_strategy(), b in rect2_strategy()) {
+        if a.spans_any_dim(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+        if a.contains_rect(&b) {
+            prop_assert!(a.spans_any_dim(&b));
+        }
+    }
+
+    #[test]
+    fn min_dist_properties(a in rect2_strategy(), x in -2.0e6..2.0e6f64, y in -2.0e6..2.0e6f64) {
+        let p = Point::new([x, y]);
+        let d = a.min_dist_sqr(&p);
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(d == 0.0, a.contains_point(&p));
+        prop_assert!((a.min_dist(&p) * a.min_dist(&p) - d).abs() <= 1e-6 * d.max(1.0));
+        // Distance to a larger rectangle can only shrink.
+        let bigger = a.union(&Rect::from_point(Point::new([x + 1.0, y + 1.0])));
+        prop_assert!(bigger.min_dist_sqr(&p) <= d + 1e-9);
+    }
+
+    #[test]
+    fn point_in_rect_iff_degenerate_rect_contained(
+        a in rect2_strategy(),
+        x in -1.0e6..1.0e6f64,
+        y in -1.0e6..1.0e6f64,
+    ) {
+        let p = Point::new([x, y]);
+        prop_assert_eq!(a.contains_point(&p), a.contains_rect(&Rect::from_point(p)));
+    }
+}

@@ -1,0 +1,297 @@
+//! Pages with variable size classes.
+
+use crate::error::{Result, StorageError};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Magic bytes identifying a segidx page ("SGIX").
+const PAGE_MAGIC: u32 = 0x5347_4958;
+
+/// Base page size in bytes; the paper's leaf node size (§5).
+pub const BASE_PAGE_SIZE: usize = 1024;
+
+/// Maximum supported size class (`1 KB << 10` = 1 MB pages).
+pub const MAX_SIZE_CLASS: u8 = 10;
+
+/// Length of the fixed on-disk page header:
+/// magic (4) + size class (1) + flags (1) + reserved (2) + payload len (4) +
+/// checksum (8).
+pub const PAGE_HEADER_LEN: usize = 20;
+
+/// Identifier of a page within a page file.
+///
+/// Page ids are dense, stable, and never reused until the page is explicitly
+/// freed; they map 1:1 onto index node ids when an index is persisted.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A power-of-two page size: `1 KB << class`.
+///
+/// Segment indexes double the node size at each successively higher level
+/// (paper §2.1.2), so an index of height `h` uses size classes `0..h`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SizeClass(u8);
+
+impl SizeClass {
+    /// Creates a size class.
+    ///
+    /// # Panics
+    /// Panics if `class > MAX_SIZE_CLASS`.
+    #[inline]
+    pub fn new(class: u8) -> Self {
+        assert!(
+            class <= MAX_SIZE_CLASS,
+            "size class {class} exceeds maximum {MAX_SIZE_CLASS}"
+        );
+        Self(class)
+    }
+
+    /// Creates a size class, returning `None` if out of range.
+    #[inline]
+    pub fn checked(class: u8) -> Option<Self> {
+        (class <= MAX_SIZE_CLASS).then_some(Self(class))
+    }
+
+    /// The smallest size class whose payload capacity holds `payload` bytes,
+    /// or `None` if even the largest class is too small.
+    pub fn fitting(payload: usize) -> Option<Self> {
+        (0..=MAX_SIZE_CLASS)
+            .map(Self)
+            .find(|c| c.payload_capacity() >= payload)
+    }
+
+    /// The raw class value.
+    #[inline]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Total page size in bytes (`1 KB << class`).
+    #[inline]
+    pub fn page_size(self) -> usize {
+        BASE_PAGE_SIZE << self.0
+    }
+
+    /// Payload capacity in bytes (page size minus header).
+    #[inline]
+    pub fn payload_capacity(self) -> usize {
+        self.page_size() - PAGE_HEADER_LEN
+    }
+
+    /// Number of base-size slots this class occupies in the page file.
+    #[inline]
+    pub fn slots(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+/// An in-memory page: id, size class, and mutable payload.
+#[derive(Clone, Debug)]
+pub struct Page {
+    id: PageId,
+    size_class: SizeClass,
+    payload: BytesMut,
+}
+
+impl Page {
+    /// Creates an empty page of the given size class.
+    pub fn new(id: PageId, size_class: SizeClass) -> Self {
+        Self {
+            id,
+            size_class,
+            payload: BytesMut::new(),
+        }
+    }
+
+    /// The page id.
+    #[inline]
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// The page's size class.
+    #[inline]
+    pub fn size_class(&self) -> SizeClass {
+        self.size_class
+    }
+
+    /// The current payload bytes.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Replaces the payload, enforcing the size-class capacity.
+    pub fn set_payload(&mut self, bytes: &[u8]) -> Result<()> {
+        let capacity = self.size_class.payload_capacity();
+        if bytes.len() > capacity {
+            return Err(StorageError::PayloadTooLarge {
+                requested: bytes.len(),
+                capacity,
+                size_class: self.size_class,
+            });
+        }
+        self.payload.clear();
+        self.payload.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Serializes the page (header + payload + zero padding) into exactly
+    /// `size_class.page_size()` bytes.
+    pub fn to_disk_bytes(&self) -> BytesMut {
+        let size = self.size_class.page_size();
+        let mut buf = BytesMut::with_capacity(size);
+        buf.put_u32_le(PAGE_MAGIC);
+        buf.put_u8(self.size_class.raw());
+        buf.put_u8(0); // flags
+        buf.put_u16_le(0); // reserved
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_u64_le(checksum(&self.payload));
+        buf.extend_from_slice(&self.payload);
+        buf.resize(size, 0);
+        buf
+    }
+
+    /// Parses a page from on-disk bytes, validating magic, size class,
+    /// length, and checksum.
+    pub fn from_disk_bytes(id: PageId, expected_class: SizeClass, raw: &[u8]) -> Result<Self> {
+        let corrupt = |reason: String| StorageError::Corrupt { page: id, reason };
+        if raw.len() != expected_class.page_size() {
+            return Err(corrupt(format!(
+                "expected {} bytes, got {}",
+                expected_class.page_size(),
+                raw.len()
+            )));
+        }
+        let mut cur = raw;
+        let magic = cur.get_u32_le();
+        if magic != PAGE_MAGIC {
+            return Err(corrupt(format!("bad magic {magic:#x}")));
+        }
+        let class = cur.get_u8();
+        if class != expected_class.raw() {
+            return Err(corrupt(format!(
+                "size class mismatch: header {class}, directory {}",
+                expected_class.raw()
+            )));
+        }
+        let _flags = cur.get_u8();
+        let _reserved = cur.get_u16_le();
+        let len = cur.get_u32_le() as usize;
+        if len > expected_class.payload_capacity() {
+            return Err(corrupt(format!("payload length {len} exceeds capacity")));
+        }
+        let stored_checksum = cur.get_u64_le();
+        let payload = &cur[..len];
+        let actual = checksum(payload);
+        if actual != stored_checksum {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {stored_checksum:#x}, computed {actual:#x}"
+            )));
+        }
+        let mut page = Page::new(id, expected_class);
+        page.payload.extend_from_slice(payload);
+        Ok(page)
+    }
+}
+
+/// FNV-1a 64-bit checksum over the payload.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_class_ladder_doubles() {
+        assert_eq!(SizeClass::new(0).page_size(), 1024);
+        assert_eq!(SizeClass::new(1).page_size(), 2048);
+        assert_eq!(SizeClass::new(5).page_size(), 32 * 1024);
+        assert_eq!(SizeClass::new(3).slots(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_class_out_of_range_panics() {
+        let _ = SizeClass::new(MAX_SIZE_CLASS + 1);
+    }
+
+    #[test]
+    fn fitting_selects_smallest() {
+        assert_eq!(SizeClass::fitting(100), Some(SizeClass::new(0)));
+        assert_eq!(SizeClass::fitting(1024), Some(SizeClass::new(1)));
+        assert_eq!(
+            SizeClass::fitting(SizeClass::new(4).payload_capacity()),
+            Some(SizeClass::new(4))
+        );
+        assert_eq!(SizeClass::fitting(2 * 1024 * 1024), None);
+    }
+
+    #[test]
+    fn roundtrip_page() {
+        let mut p = Page::new(PageId(42), SizeClass::new(1));
+        p.set_payload(b"hello segment indexes").unwrap();
+        let bytes = p.to_disk_bytes();
+        assert_eq!(bytes.len(), 2048);
+        let back = Page::from_disk_bytes(PageId(42), SizeClass::new(1), &bytes).unwrap();
+        assert_eq!(back.payload(), b"hello segment indexes");
+        assert_eq!(back.size_class(), SizeClass::new(1));
+    }
+
+    #[test]
+    fn payload_too_large_rejected() {
+        let mut p = Page::new(PageId(0), SizeClass::new(0));
+        let big = vec![0u8; 1024];
+        assert!(matches!(
+            p.set_payload(&big),
+            Err(StorageError::PayloadTooLarge { .. })
+        ));
+        // Exactly at capacity succeeds.
+        let ok = vec![0u8; SizeClass::new(0).payload_capacity()];
+        p.set_payload(&ok).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut p = Page::new(PageId(9), SizeClass::new(0));
+        p.set_payload(b"data").unwrap();
+        let mut bytes = p.to_disk_bytes();
+
+        // Flip a payload bit: checksum must fail.
+        bytes[PAGE_HEADER_LEN] ^= 0xff;
+        let err = Page::from_disk_bytes(PageId(9), SizeClass::new(0), &bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+
+        // Bad magic.
+        let mut bytes = p.to_disk_bytes();
+        bytes[0] = 0;
+        let err = Page::from_disk_bytes(PageId(9), SizeClass::new(0), &bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+
+        // Wrong length.
+        let err = Page::from_disk_bytes(PageId(9), SizeClass::new(0), &bytes[..100]).unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+    }
+}

@@ -1,0 +1,42 @@
+//! A temporal (valid-time) table layer over segment indexes.
+//!
+//! The Segment Indexes paper is motivated by historical databases in the
+//! POSTGRES tradition: tuples carry a *valid time* interval, updates close
+//! the current version and open a new one, and queries ask about the state
+//! of the world *as of* some time (paper §1, Figure 1: employee salary
+//! histories as horizontal segments in (time, salary) space).
+//!
+//! [`TemporalTable`] packages that model:
+//!
+//! * [`TemporalTable::insert`] opens a new version of a key, automatically
+//!   closing the previous one — building exactly the paper's Figure 1 data;
+//! * open (current) versions are indexed up to a configurable time horizon
+//!   and re-indexed when closed;
+//! * [`TemporalTable::as_of`] is the temporal stab query, and
+//!   [`TemporalTable::range`] the (time window × attribute window) rectangle
+//!   query that the paper's experiments measure;
+//! * the underlying index is the SR-Tree, whose spanning records hold the
+//!   long-lived versions ("employees who seldom received raises").
+//!
+//! ```
+//! use segidx_temporal::{TemporalTable, TemporalConfig};
+//!
+//! let mut salaries = TemporalTable::new(TemporalConfig {
+//!     time_horizon: 2100.0,
+//!     ..TemporalConfig::default()
+//! });
+//! salaries.insert(/*employee*/ 1, /*salary*/ 30_000.0, /*at*/ 1975.0);
+//! salaries.insert(1, 41_000.0, 1979.5);
+//! salaries.insert(2, 30_000.0, 1974.0); // never updated: open version
+//!
+//! let world_1977 = salaries.as_of(1977.0);
+//! assert_eq!(world_1977.len(), 2);
+//! assert_eq!(salaries.current_value(1), Some(41_000.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod table;
+
+pub use table::{TemporalConfig, TemporalTable, Version, VersionId};

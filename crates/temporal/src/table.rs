@@ -1,0 +1,425 @@
+//! The temporal table.
+
+use segidx_core::{IndexConfig, RecordId, StatsSnapshot, Tree};
+use segidx_geom::{Interval, Rect};
+use std::collections::HashMap;
+
+/// Identifier of one version of one key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VersionId(pub u64);
+
+impl VersionId {
+    fn record(self) -> RecordId {
+        RecordId(self.0)
+    }
+}
+
+/// One version of a key: an attribute value valid over a time interval.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Version {
+    /// The key this version belongs to.
+    pub key: u64,
+    /// The attribute value during the interval.
+    pub value: f64,
+    /// Start of validity (inclusive).
+    pub from: f64,
+    /// End of validity, or `None` while the version is current.
+    pub to: Option<f64>,
+}
+
+impl Version {
+    /// Whether the version is valid at `t` (closed-open interval
+    /// `[from, to)`, current versions open-ended).
+    pub fn valid_at(&self, t: f64) -> bool {
+        t >= self.from && self.to.is_none_or(|to| t < to)
+    }
+}
+
+/// Configuration for a [`TemporalTable`].
+#[derive(Clone, Debug)]
+pub struct TemporalConfig {
+    /// Upper bound used to index open (current) versions. Queries beyond
+    /// the horizon see no data, so pick it past any timestamp you will use.
+    pub time_horizon: f64,
+    /// Configuration of the underlying index; defaults to the paper's
+    /// SR-Tree (spanning records hold the long-lived versions).
+    pub index: IndexConfig,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        Self {
+            time_horizon: f64::MAX / 2.0,
+            index: IndexConfig::srtree(),
+        }
+    }
+}
+
+/// A keyed, versioned table indexed by a segment index over
+/// (valid time × attribute value).
+///
+/// Updates never destroy history: inserting a new value for a key closes
+/// the current version at the update time and opens a new one, exactly the
+/// append-only regime the paper designs for ("historical data indexes only
+/// need to support insertion and search operations", §3.1.1 — though
+/// [`TemporalTable::expire`] is provided for retention trimming).
+#[derive(Debug)]
+pub struct TemporalTable {
+    index: Tree<2>,
+    versions: Vec<Version>,
+    current: HashMap<u64, VersionId>,
+    horizon: f64,
+}
+
+impl TemporalTable {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    /// Panics if the horizon is not finite-positive or the index
+    /// configuration is invalid.
+    pub fn new(config: TemporalConfig) -> Self {
+        assert!(
+            config.time_horizon.is_finite() && config.time_horizon > 0.0,
+            "time_horizon must be finite and positive"
+        );
+        Self {
+            index: Tree::new(config.index),
+            versions: Vec::new(),
+            current: HashMap::new(),
+            horizon: config.time_horizon,
+        }
+    }
+
+    /// Records that `key` took `value` at time `at`, closing the key's
+    /// previous version (if any). Returns the new version's id.
+    ///
+    /// # Panics
+    /// Panics if `at` is not before the time horizon, or precedes the
+    /// key's current version start (history must be appended in order
+    /// per key).
+    pub fn insert(&mut self, key: u64, value: f64, at: f64) -> VersionId {
+        assert!(at < self.horizon, "timestamp {at} beyond horizon");
+        if let Some(&open) = self.current.get(&key) {
+            let prev = self.versions[open.0 as usize];
+            assert!(
+                at >= prev.from,
+                "out-of-order update for key {key}: {at} < {}",
+                prev.from
+            );
+            self.close_version(open, at);
+        }
+        let id = VersionId(self.versions.len() as u64);
+        self.versions.push(Version {
+            key,
+            value,
+            from: at,
+            to: None,
+        });
+        self.index.insert(self.rect_of(id), id.record());
+        self.current.insert(key, id);
+        id
+    }
+
+    /// Deletes `key` at time `at`: closes its current version without
+    /// opening a new one. Returns `false` if the key has no open version.
+    pub fn delete_key(&mut self, key: u64, at: f64) -> bool {
+        match self.current.remove(&key) {
+            Some(open) => {
+                self.close_version(open, at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Physically removes a closed version from the index and catalog slot
+    /// (retention trimming). Current versions cannot be expired. Returns
+    /// `false` if the version is open or was already expired.
+    pub fn expire(&mut self, id: VersionId) -> bool {
+        let Some(v) = self.versions.get(id.0 as usize).copied() else {
+            return false;
+        };
+        if v.to.is_none() || v.from.is_nan() {
+            return false;
+        }
+        let removed = self.index.delete(&self.rect_of(id), id.record());
+        if removed {
+            // Tombstone the catalog entry.
+            self.versions[id.0 as usize].from = f64::NAN;
+        }
+        removed
+    }
+
+    fn close_version(&mut self, id: VersionId, at: f64) {
+        let old_rect = self.rect_of(id);
+        let v = &mut self.versions[id.0 as usize];
+        debug_assert!(v.to.is_none());
+        v.to = Some(at.max(v.from));
+        let new_rect = {
+            let v = self.versions[id.0 as usize];
+            Rect::new([v.from, v.value], [v.to.unwrap(), v.value])
+        };
+        // Re-index with the real end time.
+        let deleted = self.index.delete(&old_rect, id.record());
+        debug_assert!(deleted, "open version was indexed");
+        self.index.insert(new_rect, id.record());
+    }
+
+    fn rect_of(&self, id: VersionId) -> Rect<2> {
+        let v = self.versions[id.0 as usize];
+        let to = v.to.unwrap_or(self.horizon);
+        Rect::new([v.from, v.value], [to, v.value])
+    }
+
+    /// Looks up a version.
+    pub fn version(&self, id: VersionId) -> Option<Version> {
+        let v = *self.versions.get(id.0 as usize)?;
+        if v.from.is_nan() {
+            None // expired
+        } else {
+            Some(v)
+        }
+    }
+
+    /// The key's current (open) value, if any.
+    pub fn current_value(&self, key: u64) -> Option<f64> {
+        self.current
+            .get(&key)
+            .map(|id| self.versions[id.0 as usize].value)
+    }
+
+    /// All versions valid at time `t` — the temporal stab query
+    /// ("what did the world look like at t?").
+    pub fn as_of(&self, t: f64) -> Vec<(VersionId, Version)> {
+        let probe = Rect::new([t, f64::MIN / 2.0], [t, f64::MAX / 2.0]);
+        let mut out: Vec<(VersionId, Version)> = self
+            .index
+            .search(&probe)
+            .into_iter()
+            .map(|r| (VersionId(r.raw()), self.versions[r.raw() as usize]))
+            // The index is closed-interval; enforce the table's
+            // closed-open semantics at version ends.
+            .filter(|(_, v)| v.valid_at(t))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// All versions whose validity overlaps `time` and whose value lies in
+    /// `value` — the paper's rectangle query over historical data.
+    pub fn range(&self, time: Interval, value: Interval) -> Vec<(VersionId, Version)> {
+        let query = Rect::from_intervals([time, value]);
+        let mut out: Vec<(VersionId, Version)> = self
+            .index
+            .search(&query)
+            .into_iter()
+            .map(|r| (VersionId(r.raw()), self.versions[r.raw() as usize]))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// The full history of one key, oldest first.
+    pub fn history_of(&self, key: u64) -> Vec<(VersionId, Version)> {
+        let mut out: Vec<(VersionId, Version)> = self
+            .versions
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.key == key && !v.from.is_nan())
+            .map(|(i, v)| (VersionId(i as u64), *v))
+            .collect();
+        out.sort_by(|a, b| a.1.from.partial_cmp(&b.1.from).unwrap());
+        out
+    }
+
+    /// All currently open versions, sorted by key.
+    pub fn current(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .current
+            .iter()
+            .map(|(&k, id)| (k, self.versions[id.0 as usize].value))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Total versions recorded (including expired slots).
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Number of keys with an open version.
+    pub fn key_count(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Index statistics (the paper's node-access counters).
+    pub fn index_stats(&self) -> StatsSnapshot {
+        self.index.stats()
+    }
+
+    /// The underlying index, for inspection.
+    pub fn index(&self) -> &Tree<2> {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TemporalTable {
+        TemporalTable::new(TemporalConfig {
+            time_horizon: 10_000.0,
+            ..TemporalConfig::default()
+        })
+    }
+
+    #[test]
+    fn figure1_salary_history() {
+        let mut t = table();
+        t.insert(1, 30_000.0, 1975.0);
+        t.insert(1, 41_000.0, 1979.5);
+        t.insert(1, 55_000.0, 1984.0);
+        t.insert(2, 30_000.0, 1974.0); // long-lived, never updated
+
+        // As-of queries walk the timeline.
+        let w = t.as_of(1977.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].1.value, 30_000.0);
+        let w = t.as_of(1990.0);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().any(|(_, v)| v.value == 55_000.0));
+        assert!(w.iter().any(|(_, v)| v.value == 30_000.0));
+
+        // Versions close exactly at update time (closed-open semantics).
+        let w = t.as_of(1979.5);
+        let emp1: Vec<_> = w.iter().filter(|(_, v)| v.key == 1).collect();
+        assert_eq!(emp1.len(), 1);
+        assert_eq!(emp1[0].1.value, 41_000.0, "new version valid at its start");
+
+        assert_eq!(t.current_value(1), Some(55_000.0));
+        assert_eq!(t.history_of(1).len(), 3);
+        assert_eq!(t.current(), vec![(1, 55_000.0), (2, 30_000.0)]);
+    }
+
+    #[test]
+    fn before_any_data_is_empty() {
+        let mut t = table();
+        t.insert(5, 1.0, 100.0);
+        assert!(t.as_of(99.9).is_empty());
+        assert_eq!(t.as_of(100.0).len(), 1);
+    }
+
+    #[test]
+    fn delete_key_closes_without_reopening() {
+        let mut t = table();
+        t.insert(9, 7.0, 10.0);
+        assert!(t.delete_key(9, 20.0));
+        assert!(!t.delete_key(9, 30.0), "already closed");
+        assert_eq!(t.current_value(9), None);
+        assert_eq!(t.as_of(15.0).len(), 1);
+        assert!(t.as_of(25.0).is_empty());
+        // History retained.
+        assert_eq!(t.history_of(9).len(), 1);
+        assert_eq!(t.history_of(9)[0].1.to, Some(20.0));
+    }
+
+    #[test]
+    fn range_query_matches_filtering() {
+        let mut t = table();
+        for key in 0..200u64 {
+            let mut at = (key % 50) as f64;
+            for step in 0..5 {
+                t.insert(key, (key * 10 + step) as f64, at);
+                at += 3.0 + (key % 7) as f64;
+            }
+        }
+        let time = Interval::new(10.0, 20.0);
+        let value = Interval::new(100.0, 900.0);
+        let got = t.range(time, value);
+        for (_, v) in &got {
+            assert!(value.contains(v.value));
+            let end = v.to.unwrap_or(10_000.0);
+            assert!(v.from <= time.hi() && end >= time.lo());
+        }
+        // Differential check against the catalog.
+        let expected = t
+            .versions
+            .iter()
+            .filter(|v| {
+                let end = v.to.unwrap_or(10_000.0);
+                value.contains(v.value) && v.from <= time.hi() && end >= time.lo()
+            })
+            .count();
+        assert_eq!(got.len(), expected);
+    }
+
+    #[test]
+    fn expire_removes_closed_versions_only() {
+        let mut t = table();
+        let v1 = t.insert(1, 5.0, 0.0);
+        let v2 = t.insert(1, 6.0, 10.0); // closes v1
+        assert!(!t.expire(v2), "open version cannot be expired");
+        assert!(t.expire(v1));
+        assert!(!t.expire(v1), "double expire is a no-op");
+        assert!(t.version(v1).is_none());
+        assert!(t.as_of(5.0).is_empty(), "expired version gone from index");
+        assert_eq!(t.as_of(12.0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_update_panics() {
+        let mut t = table();
+        t.insert(1, 5.0, 100.0);
+        t.insert(1, 6.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn timestamp_beyond_horizon_panics() {
+        let mut t = table();
+        t.insert(1, 5.0, 10_001.0);
+    }
+
+    #[test]
+    fn long_lived_versions_become_spanning_records() {
+        let mut t = table();
+        // Many short-lived keys plus a few ancient open versions: the
+        // paper's skew. Spanning records should appear in the SR-Tree.
+        for key in 0..2_000u64 {
+            let at = (key % 100) as f64 * 10.0;
+            t.insert(key, (key % 500) as f64, at);
+            if key % 3 != 0 {
+                t.insert(key, (key % 500) as f64 + 1.0, at + 2.0);
+                t.insert(key, (key % 500) as f64 + 2.0, at + 4.0);
+            }
+            // key % 3 == 0 stays open: a segment to the horizon.
+        }
+        let stats = t.index_stats();
+        assert!(stats.spanning_stores > 0, "open versions span node regions");
+        assert!(t.index().check_invariants().is_empty());
+        // Consistency: every open version is visible at a late time.
+        let late = t.as_of(9_999.0);
+        assert_eq!(late.len(), t.key_count());
+    }
+
+    #[test]
+    fn index_and_catalog_stay_consistent_under_churn() {
+        let mut t = table();
+        for round in 0..50u64 {
+            for key in 0..40u64 {
+                t.insert(key, (round * 40 + key) as f64, round as f64 * 10.0);
+            }
+        }
+        // Each key has 50 versions; 49 closed.
+        assert_eq!(t.version_count(), 2_000);
+        assert_eq!(t.key_count(), 40);
+        for probe in [5.0, 250.0, 495.0] {
+            let w = t.as_of(probe);
+            assert_eq!(w.len(), 40, "every key valid at {probe}");
+        }
+        assert!(t.index().check_invariants().is_empty());
+    }
+}

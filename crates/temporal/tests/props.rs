@@ -1,0 +1,103 @@
+//! Property tests: the temporal table against a naive version log.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segidx_temporal::{TemporalConfig, TemporalTable};
+
+const HORIZON: f64 = 1_000.0;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Update key at a time offset after its last version (keeps per-key
+    /// order valid by construction).
+    Update { key: u64, value: f64, advance: f64 },
+    /// Close a key's open version.
+    Delete { key: u64, advance: f64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u64..20, -1000.0..1000.0f64, 0.0..40.0f64)
+            .prop_map(|(key, value, advance)| Op::Update { key, value, advance }),
+        1 => (0u64..20, 0.0..40.0f64)
+            .prop_map(|(key, advance)| Op::Delete { key, advance }),
+    ]
+}
+
+/// Naive model: a list of (key, value, from, to).
+#[derive(Default)]
+struct Model {
+    versions: Vec<(u64, f64, f64, Option<f64>)>,
+    open: std::collections::HashMap<u64, usize>,
+    clock: std::collections::HashMap<u64, f64>,
+}
+
+impl Model {
+    fn as_of(&self, t: f64) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .versions
+            .iter()
+            .filter(|(_, _, from, to)| t >= *from && to.is_none_or(|to| t < to))
+            .map(|(k, v, _, _)| (*k, *v))
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn table_matches_model(ops in vec(op_strategy(), 1..120), probes in vec(0.0..HORIZON, 1..10)) {
+        let mut table = TemporalTable::new(TemporalConfig {
+            time_horizon: HORIZON * 10.0,
+            ..TemporalConfig::default()
+        });
+        let mut model = Model::default();
+
+        for op in &ops {
+            match op {
+                Op::Update { key, value, advance } => {
+                    let t = model.clock.get(key).copied().unwrap_or(0.0) + advance;
+                    model.clock.insert(*key, t);
+                    if let Some(&vi) = model.open.get(key) {
+                        model.versions[vi].3 = Some(t.max(model.versions[vi].2));
+                    }
+                    model.open.insert(*key, model.versions.len());
+                    model.versions.push((*key, *value, t, None));
+                    table.insert(*key, *value, t);
+                }
+                Op::Delete { key, advance } => {
+                    let t = model.clock.get(key).copied().unwrap_or(0.0) + advance;
+                    let expected = model.open.contains_key(key);
+                    if expected {
+                        model.clock.insert(*key, t);
+                        let vi = model.open.remove(key).unwrap();
+                        model.versions[vi].3 = Some(t.max(model.versions[vi].2));
+                        prop_assert!(table.delete_key(*key, t));
+                    } else {
+                        prop_assert!(!table.delete_key(*key, t));
+                    }
+                }
+            }
+        }
+
+        // As-of snapshots agree at every probe time.
+        for &t in &probes {
+            let got: Vec<(u64, f64)> = table
+                .as_of(t)
+                .into_iter()
+                .map(|(_, v)| (v.key, v.value))
+                .collect();
+            let mut got_sorted = got;
+            got_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(got_sorted, model.as_of(t), "as_of({})", t);
+        }
+
+        // Structure stays sound.
+        let issues = table.index().check_invariants();
+        prop_assert!(issues.is_empty(), "{issues:?}");
+        prop_assert_eq!(table.version_count(), model.versions.len());
+    }
+}

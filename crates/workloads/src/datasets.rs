@@ -1,0 +1,323 @@
+//! The paper's input data distributions (§5).
+
+use crate::dist::{Exponential, Sampler, Uniform};
+use crate::{BETA_LEN, BETA_Y, DOMAIN_MAX, SHORT_LEN_MAX};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use segidx_core::RecordId;
+use segidx_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// How interval lengths are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LengthKind {
+    /// Uniform over `[0, 100]` — "relatively short" intervals.
+    Short,
+    /// Exponential with β = 2000 — the skewed mix of many short and a few
+    /// very long intervals that motivates Segment Indexes.
+    Exponential,
+}
+
+/// How point coordinates (Y values / centroids) are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ValueKind {
+    Uniform,
+    /// Exponential with β = 7000, clamped into the domain.
+    Exponential,
+}
+
+/// The input distributions of paper §5 (plus the two exponential-centroid
+/// rectangle variants the paper ran but omitted for brevity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataDistribution {
+    /// Interval data: uniform Y values, uniform lengths over `[0, 100]`.
+    I1,
+    /// Interval data: exponential Y values (β = 7000), uniform lengths.
+    I2,
+    /// Interval data: uniform Y values, exponential lengths (β = 2000).
+    I3,
+    /// Interval data: exponential Y values, exponential lengths.
+    I4,
+    /// Rectangle data: uniform centroids, uniform side lengths.
+    R1,
+    /// Rectangle data: uniform centroids, exponential side lengths.
+    R2,
+    /// Rectangle data: exponential centroids, uniform side lengths
+    /// (mentioned in §5.1, results omitted there).
+    RE1,
+    /// Rectangle data: exponential centroids, exponential side lengths
+    /// (mentioned in §5.1, results omitted there).
+    RE2,
+}
+
+impl DataDistribution {
+    /// All distributions, in paper order.
+    pub const ALL: [DataDistribution; 8] = [
+        DataDistribution::I1,
+        DataDistribution::I2,
+        DataDistribution::I3,
+        DataDistribution::I4,
+        DataDistribution::R1,
+        DataDistribution::R2,
+        DataDistribution::RE1,
+        DataDistribution::RE2,
+    ];
+
+    /// The six distributions whose results appear as Graphs 1–6.
+    pub const PAPER_GRAPHS: [DataDistribution; 6] = [
+        DataDistribution::I1,
+        DataDistribution::I2,
+        DataDistribution::I3,
+        DataDistribution::I4,
+        DataDistribution::R1,
+        DataDistribution::R2,
+    ];
+
+    /// Short identifier (`"I1"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataDistribution::I1 => "I1",
+            DataDistribution::I2 => "I2",
+            DataDistribution::I3 => "I3",
+            DataDistribution::I4 => "I4",
+            DataDistribution::R1 => "R1",
+            DataDistribution::R2 => "R2",
+            DataDistribution::RE1 => "RE1",
+            DataDistribution::RE2 => "RE2",
+        }
+    }
+
+    /// The paper's prose description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            DataDistribution::I1 => "intervals: uniform Y, uniform length [0,100]",
+            DataDistribution::I2 => "intervals: exponential Y (β=7000), uniform length",
+            DataDistribution::I3 => "intervals: uniform Y, exponential length (β=2000)",
+            DataDistribution::I4 => "intervals: exponential Y, exponential length",
+            DataDistribution::R1 => "rectangles: uniform centroids, uniform sides [0,100]",
+            DataDistribution::R2 => "rectangles: uniform centroids, exponential sides (β=2000)",
+            DataDistribution::RE1 => "rectangles: exponential centroids, uniform sides",
+            DataDistribution::RE2 => "rectangles: exponential centroids, exponential sides",
+        }
+    }
+
+    /// Whether this is line-segment (interval) data as opposed to rectangle
+    /// data.
+    pub fn is_interval(&self) -> bool {
+        matches!(
+            self,
+            DataDistribution::I1
+                | DataDistribution::I2
+                | DataDistribution::I3
+                | DataDistribution::I4
+        )
+    }
+
+    fn length_kind(&self) -> LengthKind {
+        match self {
+            DataDistribution::I1
+            | DataDistribution::I2
+            | DataDistribution::R1
+            | DataDistribution::RE1 => LengthKind::Short,
+            DataDistribution::I3
+            | DataDistribution::I4
+            | DataDistribution::R2
+            | DataDistribution::RE2 => LengthKind::Exponential,
+        }
+    }
+
+    fn value_kind(&self) -> ValueKind {
+        match self {
+            DataDistribution::I1
+            | DataDistribution::I3
+            | DataDistribution::R1
+            | DataDistribution::R2 => ValueKind::Uniform,
+            DataDistribution::I2
+            | DataDistribution::I4
+            | DataDistribution::RE1
+            | DataDistribution::RE2 => ValueKind::Exponential,
+        }
+    }
+
+    /// Generates `n` tuples deterministically from `seed`, in random order
+    /// (the paper inserts the entire set in random order).
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(self.name()));
+        let center = Uniform::new(0.0, DOMAIN_MAX);
+        let exp_value = Exponential::new(BETA_Y);
+        let short_len = Uniform::new(0.0, SHORT_LEN_MAX);
+        let exp_len = Exponential::new(BETA_LEN);
+
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let draw_center = |rng: &mut StdRng, kind: ValueKind| -> f64 {
+                match kind {
+                    ValueKind::Uniform => center.sample(rng),
+                    ValueKind::Exponential => exp_value.sample_in(rng, 0.0, DOMAIN_MAX),
+                }
+            };
+            let draw_len = |rng: &mut StdRng| -> f64 {
+                match self.length_kind() {
+                    LengthKind::Short => short_len.sample(rng),
+                    LengthKind::Exponential => exp_len.sample(rng),
+                }
+            };
+            let rect = if self.is_interval() {
+                // X: an interval; Y: a point value.
+                let cx = center.sample(&mut rng);
+                let len = draw_len(&mut rng);
+                let y = draw_center(&mut rng, self.value_kind());
+                let x0 = (cx - len / 2.0).clamp(0.0, DOMAIN_MAX);
+                let x1 = (cx + len / 2.0).clamp(0.0, DOMAIN_MAX);
+                Rect::new([x0, y], [x1, y])
+            } else {
+                // Both dimensions are intervals around the centroid.
+                let kind = self.value_kind();
+                let cx = draw_center(&mut rng, kind);
+                let cy = draw_center(&mut rng, kind);
+                let lx = draw_len(&mut rng);
+                let ly = draw_len(&mut rng);
+                Rect::new(
+                    [
+                        (cx - lx / 2.0).clamp(0.0, DOMAIN_MAX),
+                        (cy - ly / 2.0).clamp(0.0, DOMAIN_MAX),
+                    ],
+                    [
+                        (cx + lx / 2.0).clamp(0.0, DOMAIN_MAX),
+                        (cy + ly / 2.0).clamp(0.0, DOMAIN_MAX),
+                    ],
+                )
+            };
+            records.push((rect, RecordId(i as u64)));
+        }
+        Dataset {
+            distribution: *self,
+            seed,
+            records,
+        }
+    }
+}
+
+/// A generated input set.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Which distribution produced it.
+    pub distribution: DataDistribution,
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// The tuples, in insertion (random) order.
+    pub records: Vec<(Rect<2>, RecordId)>,
+}
+
+impl Dataset {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Tiny stable string hash for seed derivation (FNV-1a).
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain;
+
+    #[test]
+    fn all_distributions_generate_in_domain() {
+        for dist in DataDistribution::ALL {
+            let ds = dist.generate(2_000, 42);
+            assert_eq!(ds.len(), 2_000);
+            for (r, _) in &ds.records {
+                assert!(
+                    domain().contains_rect(r),
+                    "{}: {r:?} escapes the domain",
+                    dist.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_data_has_point_y() {
+        for dist in [
+            DataDistribution::I1,
+            DataDistribution::I2,
+            DataDistribution::I3,
+            DataDistribution::I4,
+        ] {
+            let ds = dist.generate(500, 7);
+            assert!(ds.records.iter().all(|(r, _)| r.extent(1) == 0.0));
+        }
+    }
+
+    #[test]
+    fn rectangle_data_has_positive_extent_in_both_dims() {
+        let ds = DataDistribution::R2.generate(500, 7);
+        let with_area = ds
+            .records
+            .iter()
+            .filter(|(r, _)| r.extent(0) > 0.0 && r.extent(1) > 0.0)
+            .count();
+        assert!(with_area > 450, "most rectangles have positive area");
+    }
+
+    #[test]
+    fn short_lengths_bounded_long_lengths_unbounded() {
+        let short = DataDistribution::I1.generate(5_000, 1);
+        assert!(short
+            .records
+            .iter()
+            .all(|(r, _)| r.extent(0) <= SHORT_LEN_MAX));
+        let long = DataDistribution::I3.generate(5_000, 1);
+        let over = long
+            .records
+            .iter()
+            .filter(|(r, _)| r.extent(0) > SHORT_LEN_MAX)
+            .count();
+        // P(Exp(2000) > 100) ≈ 0.95.
+        assert!(
+            over > 4_000,
+            "expected most exponential lengths > 100, got {over}"
+        );
+        let mean: f64 =
+            long.records.iter().map(|(r, _)| r.extent(0)).sum::<f64>() / long.len() as f64;
+        assert!((mean / BETA_LEN - 1.0).abs() < 0.1, "mean length {mean}");
+    }
+
+    #[test]
+    fn exponential_y_is_skewed_low() {
+        let ds = DataDistribution::I2.generate(10_000, 3);
+        let low = ds.records.iter().filter(|(r, _)| r.lo(1) < BETA_Y).count();
+        // P(Exp(7000) < 7000) = 1 - 1/e ≈ 0.63.
+        assert!(
+            (low as f64 / 10_000.0 - 0.63).abs() < 0.03,
+            "{low} of 10000 below β"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = DataDistribution::I3.generate(100, 5);
+        let b = DataDistribution::I3.generate(100, 5);
+        let c = DataDistribution::I3.generate(100, 6);
+        assert_eq!(a.records, b.records);
+        assert_ne!(a.records, c.records);
+        // Distinct distributions do not share streams even with equal seeds.
+        let d = DataDistribution::I4.generate(100, 5);
+        assert_ne!(a.records, d.records);
+    }
+}

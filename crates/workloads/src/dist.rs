@@ -1,0 +1,166 @@
+//! Scalar samplers for the paper's value distributions.
+
+use rand::{Rng, RngExt};
+
+/// A one-dimensional value sampler.
+pub trait Sampler {
+    /// Draws one value.
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64;
+
+    /// Draws one value, rejection-clamped into `[lo, hi]` (resampling up to
+    /// a fixed budget, then clamping — keeps the shape of the distribution
+    /// better than plain clamping for heavy tails).
+    fn sample_in<R: Rng>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        for _ in 0..16 {
+            let v = self.sample(rng);
+            if (lo..=hi).contains(&v) {
+                return v;
+            }
+        }
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform sampler over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid uniform range [{lo}, {hi})");
+        Self { lo, hi }
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+}
+
+/// Exponential distribution with mean `beta` (inverse-transform sampling:
+/// `-β · ln(1 - u)`). The paper uses β = 7000 for skewed Y values and
+/// β = 2000 for skewed interval lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    beta: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler with mean `beta`.
+    ///
+    /// # Panics
+    /// Panics if `beta` is not strictly positive.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0, "beta must be positive, got {beta}");
+        Self { beta }
+    }
+
+    /// The distribution mean.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u = rng.random_range(0.0_f64..1.0);
+        -self.beta * (1.0 - u).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = Uniform::new(5.0, 10.0);
+        for _ in 0..10_000 {
+            let v = u.sample(&mut rng);
+            assert!((5.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = Uniform::new(3.0, 3.0);
+        assert_eq!(u.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn uniform_mean_is_midpoint() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let u = Uniform::new(0.0, 100.0);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| u.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_beta() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = Exponential::new(2_000.0);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean / 2_000.0 - 1.0).abs() < 0.02,
+            "mean {mean}, expected ≈ 2000"
+        );
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let e = Exponential::new(7_000.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| e.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| v >= 0.0));
+        // Median of Exp(β) is β·ln2 ≈ 0.693β < mean: strong right skew.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            (median / (7_000.0 * std::f64::consts::LN_2) - 1.0).abs() < 0.05,
+            "median {median}"
+        );
+    }
+
+    #[test]
+    fn sample_in_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let e = Exponential::new(100_000.0); // heavy tail vs the bound
+        for _ in 0..5_000 {
+            let v = e.sample_in(&mut rng, 0.0, 1_000.0);
+            assert!((0.0..=1_000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let e = Exponential::new(2_000.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(33);
+            (0..100).map(|_| e.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(33);
+            (0..100).map(|_| e.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,240 @@
+//! Dataset import/export.
+//!
+//! Generated workloads are deterministic given a seed, but exporting the
+//! exact tuples makes runs auditable and lets external tools (plotting,
+//! other implementations) consume identical inputs. The format is a plain
+//! CSV with a comment header:
+//!
+//! ```text
+//! # segidx-dataset distribution=I3 seed=42
+//! id,x_lo,y_lo,x_hi,y_hi
+//! 0,123.4,50.0,2123.4,50.0
+//! ```
+
+use crate::datasets::{DataDistribution, Dataset};
+use segidx_core::RecordId;
+use segidx_geom::Rect;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from dataset IO.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid dataset export.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "i/o error: {e}"),
+            DatasetIoError::Format { line, message } => {
+                write!(f, "format error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {}
+
+impl From<std::io::Error> for DatasetIoError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+impl Dataset {
+    /// Writes the dataset as CSV.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<(), DatasetIoError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            w,
+            "# segidx-dataset distribution={} seed={}",
+            self.distribution.name(),
+            self.seed
+        )?;
+        writeln!(w, "id,x_lo,y_lo,x_hi,y_hi")?;
+        for (rect, id) in &self.records {
+            writeln!(
+                w,
+                "{},{},{},{},{}",
+                id.raw(),
+                rect.lo(0),
+                rect.lo(1),
+                rect.hi(0),
+                rect.hi(1)
+            )?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a dataset previously written by [`Dataset::write_csv`].
+    pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, DatasetIoError> {
+        let f = std::fs::File::open(path)?;
+        let mut lines = BufReader::new(f).lines().enumerate();
+
+        let (_, header) = lines.next().ok_or(DatasetIoError::Format {
+            line: 1,
+            message: "empty file".into(),
+        })?;
+        let header = header?;
+        let (distribution, seed) = parse_header(&header).ok_or(DatasetIoError::Format {
+            line: 1,
+            message: format!("bad header: {header:?}"),
+        })?;
+
+        let (_, columns) = lines.next().ok_or(DatasetIoError::Format {
+            line: 2,
+            message: "missing column row".into(),
+        })?;
+        let columns = columns?;
+        if columns.trim() != "id,x_lo,y_lo,x_hi,y_hi" {
+            return Err(DatasetIoError::Format {
+                line: 2,
+                message: format!("unexpected columns: {columns:?}"),
+            });
+        }
+
+        let mut records = Vec::new();
+        for (idx, line) in lines {
+            let line = line?;
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(DatasetIoError::Format {
+                    line: lineno,
+                    message: format!("expected 5 fields, got {}", fields.len()),
+                });
+            }
+            let parse = |s: &str, what: &str| -> Result<f64, DatasetIoError> {
+                s.trim().parse().map_err(|_| DatasetIoError::Format {
+                    line: lineno,
+                    message: format!("bad {what}: {s:?}"),
+                })
+            };
+            let id: u64 = fields[0]
+                .trim()
+                .parse()
+                .map_err(|_| DatasetIoError::Format {
+                    line: lineno,
+                    message: format!("bad id: {:?}", fields[0]),
+                })?;
+            let lo = [parse(fields[1], "x_lo")?, parse(fields[2], "y_lo")?];
+            let hi = [parse(fields[3], "x_hi")?, parse(fields[4], "y_hi")?];
+            let rect = Rect::checked(lo, hi).ok_or(DatasetIoError::Format {
+                line: lineno,
+                message: "inverted rectangle bounds".into(),
+            })?;
+            records.push((rect, RecordId(id)));
+        }
+        Ok(Dataset {
+            distribution,
+            seed,
+            records,
+        })
+    }
+}
+
+fn parse_header(header: &str) -> Option<(DataDistribution, u64)> {
+    let rest = header.strip_prefix("# segidx-dataset ")?;
+    let mut distribution = None;
+    let mut seed = None;
+    for token in rest.split_whitespace() {
+        if let Some(name) = token.strip_prefix("distribution=") {
+            distribution = DataDistribution::ALL
+                .iter()
+                .find(|d| d.name() == name)
+                .copied();
+        } else if let Some(v) = token.strip_prefix("seed=") {
+            seed = v.parse().ok();
+        }
+    }
+    Some((distribution?, seed?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("segidx-dsio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = DataDistribution::I3.generate(500, 99);
+        let path = temp("i3.csv");
+        ds.write_csv(&path).unwrap();
+        let back = Dataset::read_csv(&path).unwrap();
+        assert_eq!(back.distribution, ds.distribution);
+        assert_eq!(back.seed, ds.seed);
+        assert_eq!(back.records, ds.records);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        let path = temp("bad1.csv");
+        std::fs::write(&path, "not a dataset\n").unwrap();
+        assert!(matches!(
+            Dataset::read_csv(&path),
+            Err(DatasetIoError::Format { line: 1, .. })
+        ));
+
+        let path = temp("bad2.csv");
+        std::fs::write(
+            &path,
+            "# segidx-dataset distribution=R1 seed=1\nid,x_lo,y_lo,x_hi,y_hi\n0,5,5,1,1\n",
+        )
+        .unwrap();
+        let err = Dataset::read_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("inverted"));
+
+        let path = temp("bad3.csv");
+        std::fs::write(
+            &path,
+            "# segidx-dataset distribution=R1 seed=1\nid,x_lo,y_lo,x_hi,y_hi\n0,1,2\n",
+        )
+        .unwrap();
+        let err = Dataset::read_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("5 fields"));
+    }
+
+    #[test]
+    fn unknown_distribution_rejected() {
+        let path = temp("bad4.csv");
+        std::fs::write(
+            &path,
+            "# segidx-dataset distribution=Z9 seed=1\nid,x_lo,y_lo,x_hi,y_hi\n",
+        )
+        .unwrap();
+        assert!(Dataset::read_csv(&path).is_err());
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let ds = DataDistribution::R1.generate(10, 3);
+        let path = temp("blank.csv");
+        ds.write_csv(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(Dataset::read_csv(&path).unwrap().records, ds.records);
+    }
+}

@@ -1,0 +1,93 @@
+//! Query workloads: the paper's QAR sweep (§5).
+
+use crate::dist::{Sampler, Uniform};
+use crate::{DOMAIN_MAX, QUERIES_PER_QAR, QUERY_AREA};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use segidx_geom::{rect_from_area_qar, Point, Rect, PAPER_QAR_SWEEP};
+
+/// The queries for one QAR value.
+#[derive(Clone, Debug)]
+pub struct QuerySet {
+    /// The horizontal-to-vertical aspect ratio.
+    pub qar: f64,
+    /// `log₁₀(qar)` — the X coordinate in the paper's graphs.
+    pub log10_qar: f64,
+    /// Query rectangles of area [`QUERY_AREA`], centroids uniform over the
+    /// domain.
+    pub queries: Vec<Rect<2>>,
+}
+
+/// Queries for a single QAR value: `count` rectangles of area
+/// [`QUERY_AREA`] with uniformly random centroids, deterministic in `seed`.
+pub fn queries_for_qar(qar: f64, count: usize, seed: u64) -> QuerySet {
+    let mut rng = StdRng::seed_from_u64(seed ^ qar.to_bits());
+    let centroid = Uniform::new(0.0, DOMAIN_MAX);
+    let queries = (0..count)
+        .map(|_| {
+            let cx = centroid.sample(&mut rng);
+            let cy = centroid.sample(&mut rng);
+            rect_from_area_qar(Point::new([cx, cy]), QUERY_AREA, qar)
+        })
+        .collect();
+    QuerySet {
+        qar,
+        log10_qar: qar.log10(),
+        queries,
+    }
+}
+
+/// The full sweep of paper §5: 100 queries for each of the thirteen QAR
+/// values from 10⁻⁴ to 10⁴.
+pub fn paper_query_sweep(seed: u64) -> Vec<QuerySet> {
+    PAPER_QAR_SWEEP
+        .iter()
+        .map(|&qar| queries_for_qar(qar, QUERIES_PER_QAR, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_paper_shape() {
+        let sweep = paper_query_sweep(1);
+        assert_eq!(sweep.len(), 13);
+        for qs in &sweep {
+            assert_eq!(qs.queries.len(), QUERIES_PER_QAR);
+            for q in &qs.queries {
+                assert!((q.area() - QUERY_AREA).abs() < 1e-3);
+                let qar = q.extent(0) / q.extent(1);
+                assert!((qar / qs.qar - 1.0).abs() < 1e-9);
+            }
+        }
+        assert_eq!(sweep[0].qar, 0.0001);
+        assert_eq!(sweep[12].qar, 10_000.0);
+    }
+
+    #[test]
+    fn centroids_lie_in_domain() {
+        let qs = queries_for_qar(1.0, 500, 9);
+        for q in &qs.queries {
+            let c = q.center();
+            assert!((0.0..DOMAIN_MAX).contains(&c[0]));
+            assert!((0.0..DOMAIN_MAX).contains(&c[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_per_qar() {
+        let a = queries_for_qar(0.5, 10, 4);
+        let b = queries_for_qar(0.5, 10, 4);
+        assert_eq!(a.queries, b.queries);
+        let c = queries_for_qar(2.0, 10, 4);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn log_axis_matches() {
+        let qs = queries_for_qar(100.0, 1, 0);
+        assert!((qs.log10_qar - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Skeleton adaptation (paper §4): distribution prediction, splitting, and
+//! coalescing on skewed data.
+//!
+//! Builds three Skeleton SR-Trees over the same heavily skewed dataset:
+//! one pre-partitioned assuming a uniform distribution, one given the true
+//! histogram, and one using distribution prediction (buffering the first 5%
+//! of tuples) — then compares structure and search cost.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_skeleton
+//! ```
+
+use segment_indexes::core::{Histogram, IntervalIndex, SkeletonSRTree, SkeletonSpec};
+use segment_indexes::geom::Rect;
+use segment_indexes::workloads::{queries_for_qar, DataDistribution};
+
+fn main() {
+    const N: usize = 50_000;
+    let domain = Rect::new([0.0, 0.0], [100_000.0, 100_000.0]);
+
+    // I4: exponential interval lengths *and* exponential Y values — the
+    // most skewed of the paper's distributions.
+    let dataset = DataDistribution::I4.generate(N, 42);
+
+    // The true marginal distribution of Y (β = 7000): dense near zero.
+    let true_y: Vec<f64> = dataset.records.iter().map(|(r, _)| r.center()[1]).collect();
+    let true_x: Vec<f64> = dataset.records.iter().map(|(r, _)| r.center()[0]).collect();
+
+    let mut variants: Vec<(&str, SkeletonSRTree<2>)> = vec![
+        (
+            "uniform assumption",
+            SkeletonSRTree::from_spec(&SkeletonSpec::uniform(domain, N)),
+        ),
+        (
+            "true histogram",
+            SkeletonSRTree::from_spec(&SkeletonSpec {
+                domain,
+                expected_tuples: N,
+                histograms: vec![
+                    Histogram::equi_depth(true_x, domain.interval(0), 64),
+                    Histogram::equi_depth(true_y, domain.interval(1), 64),
+                ],
+            }),
+        ),
+        (
+            "distribution prediction (5%)",
+            SkeletonSRTree::with_prediction(domain, N, N / 20),
+        ),
+    ];
+
+    for (_, index) in variants.iter_mut() {
+        for (rect, id) in &dataset.records {
+            index.insert(*rect, *id);
+        }
+    }
+
+    // A small QAR sweep, averaged.
+    let queries: Vec<Rect<2>> = [0.001, 0.1, 1.0, 10.0, 1000.0]
+        .iter()
+        .flat_map(|&q| queries_for_qar(q, 40, 9).queries)
+        .collect();
+
+    println!("{N} tuples of I4 (exponential lengths, exponential Y)\n");
+    println!(
+        "{:<30} {:>7} {:>7} {:>10} {:>10} {:>12}",
+        "skeleton construction", "nodes", "height", "coalesces", "spanning", "avg accesses"
+    );
+    for (name, index) in &variants {
+        index.reset_search_stats();
+        let mut total = 0u64;
+        for q in &queries {
+            total += index.count_search_accesses(q);
+        }
+        let snap = index.stats();
+        println!(
+            "{:<30} {:>7} {:>7} {:>10} {:>10} {:>12.1}",
+            name,
+            index.node_count(),
+            index.height(),
+            snap.coalesces,
+            snap.spanning_stores,
+            total as f64 / queries.len() as f64
+        );
+        assert!(index.check_invariants().is_empty());
+    }
+
+    println!(
+        "\nThe uniform skeleton wastes nodes in the empty upper region and must\n\
+         coalesce them away; prediction from the first 5% tracks the true\n\
+         histogram closely, as the paper reports (§4: values of T in the\n\
+         range of 5% to 10% of the expected number of tuples worked well)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Spatial join: overlaying two map layers.
+//!
+//! Joins a layer of flood-risk zones (few, large rectangles) against a
+//! layer of buildings (many, small rectangles) to find every building in a
+//! risk zone — one synchronized traversal instead of one query per zone.
+//!
+//! ```sh
+//! cargo run --release --example map_overlay
+//! ```
+
+use segment_indexes::core::{IndexConfig, RecordId, Tree};
+use segment_indexes::geom::Rect;
+
+fn main() {
+    // Buildings: 30K small footprints on a grid-ish city plan.
+    let mut buildings: Tree<2> = Tree::new(IndexConfig::rtree());
+    let mut building_count = 0u64;
+    for block_x in 0..150u64 {
+        for block_y in 0..50u64 {
+            for lot in 0..4u64 {
+                let x = block_x as f64 * 600.0 + lot as f64 * 140.0;
+                let y = block_y as f64 * 900.0 + (lot % 2) as f64 * 300.0;
+                buildings.insert(
+                    Rect::new([x, y], [x + 90.0, y + 120.0]),
+                    RecordId(building_count),
+                );
+                building_count += 1;
+            }
+        }
+    }
+
+    // Flood zones: a handful of large, irregular spans along "rivers".
+    let zones = [
+        Rect::new([0.0, 4_000.0], [90_000.0, 6_500.0]), // east-west river
+        Rect::new([30_000.0, 0.0], [33_000.0, 45_000.0]), // north-south river
+        Rect::new([60_000.0, 20_000.0], [75_000.0, 28_000.0]), // lake
+    ];
+    let mut zone_index: Tree<2> = Tree::new(IndexConfig::srtree());
+    for (i, z) in zones.iter().enumerate() {
+        zone_index.insert(*z, RecordId(i as u64));
+    }
+
+    // One synchronized traversal computes the full overlay.
+    let pairs = zone_index.join(&buildings);
+    println!(
+        "{building_count} buildings × {} flood zones → {} (zone, building) pairs",
+        zones.len(),
+        pairs.len()
+    );
+    for (i, _) in zones.iter().enumerate() {
+        let n = pairs.iter().filter(|(z, _)| z.raw() == i as u64).count();
+        println!("  zone {i}: {n} buildings at risk");
+    }
+
+    // Sanity: the join agrees with per-zone searches.
+    let mut by_query = 0usize;
+    for (i, z) in zones.iter().enumerate() {
+        let hits = buildings.search(z);
+        by_query += hits.len();
+        let joined = pairs
+            .iter()
+            .filter(|(zid, _)| zid.raw() == i as u64)
+            .count();
+        assert_eq!(hits.len(), joined);
+    }
+    assert_eq!(by_query, pairs.len());
+    println!("\njoin verified against {by_query} per-zone query results");
+}

@@ -1,0 +1,88 @@
+//! Physical I/O vs buffer-pool size for a disk-resident index.
+//!
+//! The paper's premise is a disk-resident index of which "only a small
+//! portion may reside in main memory at a given time" (§1). This example
+//! persists an SR-Tree, then replays the same query workload through buffer
+//! pools of increasing size, showing logical node accesses (constant — the
+//! paper's metric) against physical page reads (shrinking as the pool
+//! approaches the index size).
+//!
+//! ```sh
+//! cargo run --release --example paged_io
+//! ```
+
+use segment_indexes::core::{persist, IndexConfig, PagedSearcher, Tree};
+use segment_indexes::storage::{BufferPool, BufferPoolConfig, DiskManager};
+use segment_indexes::workloads::{queries_for_qar, DataDistribution};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("segidx-paged-io");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("index.db");
+
+    // Build and persist a 50K-tuple SR-Tree over skewed interval data.
+    let dataset = DataDistribution::I3.generate(50_000, 7);
+    let mut tree: Tree<2> = Tree::new(IndexConfig::srtree());
+    for (rect, id) in &dataset.records {
+        tree.insert(*rect, *id);
+    }
+    let disk = Arc::new(DiskManager::create(&path)?);
+    let meta = persist::save(&tree, &disk)?;
+    disk.sync()?;
+    let index_bytes: usize = disk.pages().iter().map(|(_, c)| c.page_size()).sum();
+    println!(
+        "persisted index: {} records, {} pages, {:.1} MB",
+        tree.len(),
+        disk.page_count(),
+        index_bytes as f64 / 1e6
+    );
+
+    // A mixed workload replayed identically under each pool size.
+    let queries: Vec<_> = [0.001, 0.1, 1.0, 10.0, 1000.0]
+        .iter()
+        .flat_map(|&q| queries_for_qar(q, 40, 3).queries)
+        .collect();
+
+    println!(
+        "\n{:>12} {:>16} {:>15} {:>9}",
+        "pool size", "logical accesses", "physical reads", "hit rate"
+    );
+    for fraction in [0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let capacity_bytes = ((index_bytes as f64 * fraction) as usize).max(8 * 1024);
+        let pool = BufferPool::with_config(Arc::clone(&disk), BufferPoolConfig { capacity_bytes });
+        let searcher: PagedSearcher<2> = PagedSearcher::open(&pool, meta)?;
+        // I/O counters live on the shared DiskManager; measure this pool's
+        // contribution as a delta.
+        let before = pool.stats().snapshot();
+        let mut results = 0usize;
+        for q in &queries {
+            results += searcher.search(q)?.len();
+        }
+        let io = pool.stats().snapshot();
+        let reads = io.reads - before.reads;
+        let hits = io.pool_hits - before.pool_hits;
+        let misses = io.pool_misses - before.pool_misses;
+        println!(
+            "{:>11.0}% {:>16} {:>15} {:>8.0}%",
+            fraction * 100.0,
+            searcher.logical_accesses(),
+            reads,
+            hits as f64 / (hits + misses).max(1) as f64 * 100.0
+        );
+        // The workload result is identical regardless of pool size.
+        assert_eq!(results, {
+            let mut r = 0;
+            for q in &queries {
+                r += tree.search(q).len();
+            }
+            r
+        });
+    }
+    println!(
+        "\nLogical accesses (the paper's metric) are buffer-independent;\n\
+         physical reads fall as the pool grows — the variable node sizes of\n\
+         §2.1.2 keep the upper levels cheap to cache."
+    );
+    Ok(())
+}

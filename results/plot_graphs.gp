@@ -1,0 +1,26 @@
+# Renders the reproduced Graphs 1-6 from the CSVs written by
+#   cargo run --release -p segidx-bench --bin reproduce -- --graph paper --csv results
+# Usage: gnuplot -c plot_graphs.gp          (from the results/ directory)
+# Output: graphs.svg, one panel per paper graph, axes matching the paper
+# (X = log10 of the query aspect ratio, Y = average nodes accessed/search).
+
+set terminal svg size 1200,800 dynamic font "Helvetica,11"
+set output "graphs.svg"
+set multiplot layout 2,3 title "Segment Indexes (SIGMOD 1991) — reproduced evaluation"
+
+set datafile separator ","
+set key top center font ",9"
+set xlabel "log_{10}(QAR)" offset 0,0.5
+set ylabel "avg nodes accessed" offset 1.5,0
+set grid back lw 0.5
+
+titles = "'G1: I1 uniform/uniform' 'G2: I2 uniform len/exp Y' 'G3: I3 exp len/uniform Y' 'G4: I4 exp/exp' 'G5: R1 rect uniform' 'G6: R2 rect exp sides'"
+
+do for [g=1:6] {
+    set title word(titles, g)
+    plot sprintf("graph%d.csv", g) using 2:3 with linespoints lw 2 pt 4  title "R-Tree", \
+         ""                        using 2:4 with linespoints lw 2 pt 6  title "SR-Tree", \
+         ""                        using 2:5 with linespoints lw 2 pt 8  title "Skeleton R", \
+         ""                        using 2:6 with linespoints lw 2 pt 12 title "Skeleton SR"
+}
+unset multiplot

@@ -1,0 +1,87 @@
+//! Concurrent read access: `Tree` is `Sync`, so any number of threads may
+//! search one index simultaneously while another (immutable) index is
+//! joined against it.
+
+use segidx_core::{IndexConfig, RecordId, Tree};
+use segidx_geom::{Point, Rect};
+use segidx_workloads::{queries_for_qar, DataDistribution};
+use std::sync::Arc;
+
+// Compile-time proof that shared search access is allowed.
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn tree_is_sync_and_send() {
+    assert_sync::<Tree<2>>();
+    fn assert_send<T: Send>() {}
+    assert_send::<Tree<2>>();
+}
+
+#[test]
+fn parallel_searches_agree_with_serial() {
+    let dataset = DataDistribution::I3.generate(10_000, 13);
+    let mut tree: Tree<2> = Tree::new(IndexConfig::srtree());
+    for (r, id) in &dataset.records {
+        tree.insert(*r, *id);
+    }
+    let tree = Arc::new(tree);
+
+    let queries: Vec<Rect<2>> = [0.001, 1.0, 1000.0]
+        .iter()
+        .flat_map(|&q| queries_for_qar(q, 30, 5).queries)
+        .collect();
+    let serial: Vec<Vec<RecordId>> = queries.iter().map(|q| tree.search(q)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for t in 0..6 {
+            let tree = Arc::clone(&tree);
+            let queries = &queries;
+            let serial = &serial;
+            scope.spawn(move |_| {
+                // Each thread walks the query list from a different offset.
+                for k in 0..queries.len() {
+                    let i = (k + t * 17) % queries.len();
+                    assert_eq!(tree.search(&queries[i]), serial[i], "query {i}");
+                }
+                // Mix in stabs and kNN.
+                let p = Point::new([5_000.0 + t as f64, 5_000.0]);
+                let knn = tree.nearest(&p, 5);
+                assert_eq!(knn.len(), 5);
+            });
+        }
+    })
+    .unwrap();
+
+    // Counters aggregated across threads without tearing: 6 threads × (90
+    // searches + 1 kNN) plus the 90 serial searches.
+    let snap = tree.stats();
+    assert_eq!(snap.searches, 90 + 6 * 91);
+}
+
+#[test]
+fn join_runs_against_shared_trees() {
+    let a = DataDistribution::R1.generate(2_000, 1);
+    let b = DataDistribution::R1.generate(2_000, 2);
+    let build = |ds: &segidx_workloads::Dataset| {
+        let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+        for (r, id) in &ds.records {
+            t.insert(*r, *id);
+        }
+        Arc::new(t)
+    };
+    let ta = build(&a);
+    let tb = build(&b);
+    let expected = ta.join(&tb);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..4 {
+            let ta = Arc::clone(&ta);
+            let tb = Arc::clone(&tb);
+            let expected = &expected;
+            scope.spawn(move |_| {
+                assert_eq!(&ta.join(&tb), expected);
+            });
+        }
+    })
+    .unwrap();
+}

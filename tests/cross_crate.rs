@@ -1,0 +1,138 @@
+//! Integration across the workspace: workload generation (segidx-workloads)
+//! → index construction (segidx-core) → persistence onto variable-size
+//! pages (segidx-storage) → reload → identical query answers.
+
+use segidx_core::{persist, IndexConfig, RecordId, Tree};
+use segidx_geom::Rect;
+use segidx_storage::{BufferPool, BufferPoolConfig, DiskManager, SizeClass};
+use segidx_workloads::{paper_query_sweep, DataDistribution};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("segidx-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn full_pipeline_roundtrip() {
+    let dataset = DataDistribution::I3.generate(5_000, 9);
+    let mut tree: Tree<2> = Tree::new(IndexConfig::srtree());
+    for (r, id) in &dataset.records {
+        tree.insert(*r, *id);
+    }
+    tree.assert_invariants();
+
+    let path = temp("pipeline.db");
+    let disk = DiskManager::create(&path).unwrap();
+    let meta = persist::save(&tree, &disk).unwrap();
+    disk.sync().unwrap();
+    drop(disk);
+
+    let disk = DiskManager::open(&path).unwrap();
+    let loaded: Tree<2> = persist::load(&disk, meta).unwrap();
+    loaded.assert_invariants();
+    assert_eq!(loaded.len(), tree.len());
+
+    // Every query of the paper's sweep answers identically.
+    for qs in paper_query_sweep(3) {
+        for q in qs.queries.iter().take(5) {
+            assert_eq!(loaded.search(q), tree.search(q));
+        }
+    }
+}
+
+#[test]
+fn persisted_pages_follow_the_node_size_ladder() {
+    let dataset = DataDistribution::I1.generate(8_000, 2);
+    let mut tree: Tree<2> = Tree::new(IndexConfig::rtree());
+    for (r, id) in &dataset.records {
+        tree.insert(*r, *id);
+    }
+    let disk = DiskManager::create(temp("ladder.db")).unwrap();
+    let _ = persist::save(&tree, &disk).unwrap();
+
+    // Leaf pages are the base size; counts per class mirror the level
+    // profile. Completely full leaves encode slightly beyond the 1 KB
+    // payload (page header overhead) and are promoted one class, so allow
+    // a small fraction of promotions.
+    let profile = tree.level_profile();
+    let pages = disk.pages();
+    let leaves = pages
+        .iter()
+        .filter(|(_, c)| *c == SizeClass::new(0))
+        .count();
+    assert!(
+        leaves >= profile[0] * 9 / 10,
+        "expected ≈{} 1 KB pages, found {leaves}",
+        profile[0]
+    );
+    assert!(
+        pages.iter().any(|(_, c)| c.raw() >= 1),
+        "larger upper pages"
+    );
+}
+
+#[test]
+fn buffer_pool_serves_a_working_set_smaller_than_the_index() {
+    // Persist an index, then read every page back through a pool whose
+    // budget holds only a fraction of it — exercising eviction + reread.
+    let dataset = DataDistribution::R1.generate(6_000, 4);
+    let mut tree: Tree<2> = Tree::new(IndexConfig::rtree());
+    for (r, id) in &dataset.records {
+        tree.insert(*r, *id);
+    }
+    let disk = Arc::new(DiskManager::create(temp("pool.db")).unwrap());
+    let _ = persist::save(&tree, &disk).unwrap();
+    let pages = disk.pages();
+    let total_bytes: usize = pages.iter().map(|(_, c)| c.page_size()).sum();
+
+    let pool = BufferPool::with_config(
+        Arc::clone(&disk),
+        BufferPoolConfig {
+            capacity_bytes: total_bytes / 8,
+        },
+    );
+    // Two passes: the second still faults (working set exceeds budget).
+    for _ in 0..2 {
+        for (id, _) in &pages {
+            let ok = pool.with_page(*id, |p| !p.payload().is_empty()).unwrap();
+            assert!(ok);
+        }
+    }
+    let stats = pool.stats().snapshot();
+    assert!(stats.evictions > 0, "pool must evict under pressure");
+    assert!(
+        pool.cached_bytes() <= total_bytes / 8,
+        "pool respects its byte budget"
+    );
+}
+
+#[test]
+fn all_variants_roundtrip_through_disk() {
+    for (name, config) in [
+        ("rtree", IndexConfig::rtree()),
+        ("srtree", IndexConfig::srtree()),
+    ] {
+        let dataset = DataDistribution::I4.generate(3_000, 8);
+        let mut tree: Tree<2> = Tree::new(config);
+        for (r, id) in &dataset.records {
+            tree.insert(*r, *id);
+        }
+        // Also delete some records before persisting.
+        for (r, id) in dataset.records.iter().step_by(5) {
+            assert!(tree.delete(r, *id));
+        }
+        tree.assert_invariants();
+
+        let disk = DiskManager::create(temp(&format!("variant-{name}.db"))).unwrap();
+        let meta = persist::save(&tree, &disk).unwrap();
+        let loaded: Tree<2> = persist::load(&disk, meta).unwrap();
+        loaded.assert_invariants();
+        let q = Rect::new([0.0, 0.0], [100_000.0, 100_000.0]);
+        assert_eq!(loaded.search(&q), tree.search(&q), "{name}");
+        assert_eq!(loaded.entry_count(), tree.entry_count(), "{name}");
+    }
+    let _ = RecordId(0);
+}

@@ -1,0 +1,136 @@
+//! Differential testing: every index variant (and the bulk loader) must
+//! return exactly the same answers as a brute-force scan, across workloads,
+//! query shapes, and interleaved deletions.
+
+use segidx_bench::Variant;
+use segidx_core::bulk::bulk_load;
+use segidx_core::{IndexConfig, RecordId};
+use segidx_geom::{Point, Rect};
+use segidx_workloads::{queries_for_qar, DataDistribution};
+
+const N: usize = 4_000;
+
+fn brute_force(records: &[(Rect<2>, RecordId)], query: &Rect<2>) -> Vec<RecordId> {
+    let mut out: Vec<RecordId> = records
+        .iter()
+        .filter(|(r, _)| r.intersects(query))
+        .map(|(_, id)| *id)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn query_mix(seed: u64) -> Vec<Rect<2>> {
+    let mut queries: Vec<Rect<2>> = [0.0001, 0.01, 1.0, 100.0, 10_000.0]
+        .iter()
+        .flat_map(|&q| queries_for_qar(q, 6, seed).queries)
+        .collect();
+    // Stabbing points and a full-domain scan.
+    for i in 0..10u64 {
+        let x = (i * 9_973 % 100_000) as f64;
+        let y = (i * 31_337 % 100_000) as f64;
+        queries.push(Rect::from_point(Point::new([x, y])));
+    }
+    queries.push(Rect::new([0.0, 0.0], [100_000.0, 100_000.0]));
+    queries
+}
+
+#[test]
+fn variants_match_brute_force_on_all_distributions() {
+    for dist in DataDistribution::ALL {
+        let dataset = dist.generate(N, 21);
+        let queries = query_mix(4);
+        for variant in Variant::ALL {
+            let mut index = variant.build_index(N);
+            for (r, id) in &dataset.records {
+                index.insert(*r, *id);
+            }
+            assert!(
+                index.check_invariants().is_empty(),
+                "{} on {}: {:?}",
+                variant.name(),
+                dist.name(),
+                index.check_invariants()
+            );
+            for query in &queries {
+                let expected = brute_force(&dataset.records, query);
+                let got = index.search(query);
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} on {} disagrees for {query:?}",
+                    variant.name(),
+                    dist.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bulk_loaded_tree_matches_brute_force() {
+    let dataset = DataDistribution::R2.generate(N, 33);
+    let tree = bulk_load(IndexConfig::rtree(), dataset.records.clone());
+    tree.assert_invariants();
+    for query in &query_mix(5) {
+        assert_eq!(tree.search(query), brute_force(&dataset.records, query));
+    }
+}
+
+#[test]
+fn deletions_keep_variants_consistent() {
+    let dataset = DataDistribution::I3.generate(N, 55);
+    for variant in Variant::ALL {
+        let mut index = variant.build_index(N);
+        for (r, id) in &dataset.records {
+            index.insert(*r, *id);
+        }
+        // Delete every third record.
+        let mut remaining: Vec<(Rect<2>, RecordId)> = Vec::new();
+        for (i, (r, id)) in dataset.records.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(index.delete(r, *id), "{}: delete {id:?}", variant.name());
+            } else {
+                remaining.push((*r, *id));
+            }
+        }
+        assert_eq!(index.len(), remaining.len(), "{}", variant.name());
+        assert!(
+            index.check_invariants().is_empty(),
+            "{} after deletes: {:?}",
+            variant.name(),
+            index.check_invariants()
+        );
+        for query in &query_mix(6) {
+            assert_eq!(
+                index.search(query),
+                brute_force(&remaining, query),
+                "{} disagrees after deletes for {query:?}",
+                variant.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_insert_delete_search() {
+    let dataset = DataDistribution::I4.generate(2_000, 77);
+    let mut index = Variant::SkeletonSRTree.build_index(2_000);
+    let mut live: Vec<(Rect<2>, RecordId)> = Vec::new();
+    for (i, (r, id)) in dataset.records.iter().enumerate() {
+        index.insert(*r, *id);
+        live.push((*r, *id));
+        // Periodically delete an old record and verify a probe.
+        if i % 7 == 3 {
+            let victim = live.remove(live.len() / 2);
+            assert!(index.delete(&victim.0, victim.1));
+        }
+        if i % 251 == 0 {
+            let q = Rect::new([0.0, 0.0], [50_000.0, 50_000.0]);
+            assert_eq!(index.search(&q), brute_force(&live, &q), "at step {i}");
+        }
+    }
+    assert_eq!(index.len(), live.len());
+    assert!(index.check_invariants().is_empty());
+}
