@@ -21,6 +21,13 @@ pub trait IntervalIndex<const D: usize> {
     fn insert(&mut self, rect: Rect<D>, record: RecordId);
     /// All records intersecting `query`, deduplicated and sorted by id.
     fn search(&self, query: &Rect<D>) -> Vec<RecordId>;
+    /// Runs every query in `queries` and returns per-query results in input
+    /// order, bit-identical to calling [`search`](Self::search) per query.
+    /// Tree-backed variants fan the batch out across worker threads (see
+    /// [`Tree::search_batch`]); the default runs the queries serially.
+    fn search_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
+        queries.iter().map(|q| self.search(q)).collect()
+    }
     /// Index nodes accessed by a search for `query` (the paper's metric).
     fn count_search_accesses(&self, query: &Rect<D>) -> u64;
     /// Removes a record by its original rectangle and id.
@@ -55,6 +62,9 @@ macro_rules! delegate_tree_methods {
         }
         fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
             self.tree().search(query)
+        }
+        fn search_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
+            self.tree().search_batch(queries)
         }
         fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
             self.tree().count_search_accesses(query)
@@ -357,6 +367,13 @@ macro_rules! skeleton_variant {
             }
             fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
                 self.0.search(query)
+            }
+            fn search_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
+                match self.0.tree() {
+                    Some(t) => t.search_batch(queries),
+                    // Buffering phase: linear scans are cheap; run serially.
+                    None => queries.iter().map(|q| self.0.search(q)).collect(),
+                }
             }
             fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
                 match self.0.tree() {

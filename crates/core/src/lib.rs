@@ -60,4 +60,4 @@ pub use id::{NodeId, RecordId};
 pub use paged::PagedSearcher;
 pub use skeleton::{build_skeleton, DistributionPredictor, Histogram, SkeletonSpec};
 pub use stats::StatsSnapshot;
-pub use tree::Tree;
+pub use tree::{SearchCursor, Tree};

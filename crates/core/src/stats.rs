@@ -17,6 +17,10 @@ pub struct TreeStats {
     pub(crate) search_node_accesses: AtomicU64,
     /// Number of search operations.
     pub(crate) searches: AtomicU64,
+    /// Records returned by search operations (cumulative result-set sizes),
+    /// the numerator of the running selectivity estimate used to pre-size
+    /// result buffers.
+    pub(crate) search_results: AtomicU64,
     /// Nodes accessed by insert/delete maintenance.
     pub(crate) maintenance_node_accesses: u64,
     /// Leaf node splits.
@@ -57,6 +61,9 @@ pub struct StatsSnapshot {
     pub search_node_accesses: u64,
     /// Number of search operations.
     pub searches: u64,
+    /// Records returned by search operations (cumulative result-set sizes).
+    #[serde(default)]
+    pub search_results: u64,
     /// Nodes accessed by insert/delete maintenance.
     pub maintenance_node_accesses: u64,
     /// Leaf node splits.
@@ -88,12 +95,39 @@ pub struct StatsSnapshot {
 }
 
 impl TreeStats {
-    pub(crate) fn record_search_access(&self) {
-        self.search_node_accesses.fetch_add(1, Ordering::Relaxed);
+    /// Flushes the node accesses of one completed search in a single atomic
+    /// add. The search kernels accumulate accesses in a local counter and
+    /// call this once per search, so concurrent readers never contend on the
+    /// counter cache line inside the traversal loop.
+    pub(crate) fn record_search_accesses(&self, accesses: u64) {
+        self.search_node_accesses
+            .fetch_add(accesses, Ordering::Relaxed);
     }
 
     pub(crate) fn record_search(&self) {
         self.searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flushes the counters of one completed search (one search, its node
+    /// accesses, and its result count) — three atomic adds per search total.
+    pub(crate) fn flush_search(&self, accesses: u64, results: u64) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.search_node_accesses
+            .fetch_add(accesses, Ordering::Relaxed);
+        self.search_results.fetch_add(results, Ordering::Relaxed);
+    }
+
+    /// Running selectivity estimate: mean records returned per search so
+    /// far, rounded up. Zero before any searches. Used to pre-size result
+    /// buffers.
+    pub(crate) fn hits_estimate(&self) -> usize {
+        let searches = self.searches.load(Ordering::Relaxed);
+        if searches == 0 {
+            return 0;
+        }
+        self.search_results
+            .load(Ordering::Relaxed)
+            .div_ceil(searches) as usize
     }
 
     /// Copies the current values.
@@ -101,6 +135,7 @@ impl TreeStats {
         StatsSnapshot {
             search_node_accesses: self.search_node_accesses.load(Ordering::Relaxed),
             searches: self.searches.load(Ordering::Relaxed),
+            search_results: self.search_results.load(Ordering::Relaxed),
             maintenance_node_accesses: self.maintenance_node_accesses,
             leaf_splits: self.leaf_splits,
             internal_splits: self.internal_splits,
@@ -124,6 +159,7 @@ impl TreeStats {
     pub fn reset_search_counters(&self) {
         self.search_node_accesses.store(0, Ordering::Relaxed);
         self.searches.store(0, Ordering::Relaxed);
+        self.search_results.store(0, Ordering::Relaxed);
     }
 }
 
@@ -142,27 +178,34 @@ mod tests {
     #[test]
     fn search_counters_and_average() {
         let s = TreeStats::default();
-        s.record_search();
-        s.record_search_access();
-        s.record_search_access();
-        s.record_search();
-        s.record_search_access();
+        s.flush_search(2, 5);
+        s.flush_search(1, 0);
         let snap = s.snapshot();
         assert_eq!(snap.searches, 2);
         assert_eq!(snap.search_node_accesses, 3);
+        assert_eq!(snap.search_results, 5);
         assert_eq!(snap.avg_nodes_per_search(), Some(1.5));
+    }
+
+    #[test]
+    fn hits_estimate_tracks_mean_result_size() {
+        let s = TreeStats::default();
+        assert_eq!(s.hits_estimate(), 0, "no searches yet");
+        s.flush_search(1, 10);
+        s.flush_search(1, 5);
+        assert_eq!(s.hits_estimate(), 8, "ceil(15 / 2)");
     }
 
     #[test]
     fn reset_clears_only_search_side() {
         let mut s = TreeStats::default();
-        s.record_search();
-        s.record_search_access();
+        s.flush_search(1, 3);
         s.leaf_splits = 7;
         s.reset_search_counters();
         let snap = s.snapshot();
         assert_eq!(snap.searches, 0);
         assert_eq!(snap.search_node_accesses, 0);
+        assert_eq!(snap.search_results, 0);
         assert_eq!(snap.leaf_splits, 7);
         assert_eq!(snap.avg_nodes_per_search(), None);
     }

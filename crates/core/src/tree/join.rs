@@ -26,14 +26,18 @@ impl<const D: usize> Tree<D> {
         let mut stack: Vec<(NodeId, NodeId)> = vec![(self.root, other.root)];
         let mut visited_left: HashSet<NodeId> = HashSet::new();
         let mut visited_right: HashSet<NodeId> = HashSet::new();
+        // Node accesses accumulate locally and flush once per join, like
+        // the search kernel.
+        let mut left_accesses: u64 = 0;
+        let mut right_accesses: u64 = 0;
 
         while let Some((l, r)) = stack.pop() {
             // Node-access accounting (once per distinct node per join).
             if visited_left.insert(l) {
-                self.stats.record_search_access();
+                left_accesses += 1;
             }
             if visited_right.insert(r) {
-                other.stats.record_search_access();
+                right_accesses += 1;
             }
             let ln = self.node(l);
             let rn = other.node(r);
@@ -85,6 +89,8 @@ impl<const D: usize> Tree<D> {
                 }
             }
         }
+        self.stats.record_search_accesses(left_accesses);
+        other.stats.record_search_accesses(right_accesses);
         out.sort_unstable();
         out.dedup();
         out

@@ -18,6 +18,7 @@
 //! | Skeleton R-Tree    | no        | yes                    |
 //! | Skeleton SR-Tree   | yes       | yes                    |
 
+mod batch;
 mod delete;
 mod insert;
 mod inspect;
@@ -29,6 +30,7 @@ mod validate;
 
 pub use inspect::{LevelReport, TreeReport};
 pub use nearest::Neighbor;
+pub use search::SearchCursor;
 
 use crate::config::IndexConfig;
 use crate::id::{NodeId, RecordId};

@@ -72,11 +72,14 @@ impl<const D: usize> Tree<D> {
     /// rectangles), nearest first. Ties are broken arbitrarily. Counts node
     /// accesses like a search.
     pub fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
-        self.stats.record_search();
         let mut out: Vec<Neighbor<D>> = Vec::with_capacity(k);
         if k == 0 {
+            self.stats.flush_search(0, 0);
             return out;
         }
+        // Node accesses accumulate locally and flush to the shared counters
+        // once at the end, like the search kernel.
+        let mut accesses: u64 = 0;
         let mut heap: BinaryHeap<HeapItem<D>> = BinaryHeap::new();
         heap.push(HeapItem::Node {
             id: self.root,
@@ -107,7 +110,7 @@ impl<const D: usize> Tree<D> {
                     }
                 }
                 HeapItem::Node { id, .. } => {
-                    self.stats.record_search_access();
+                    accesses += 1;
                     let node = self.node(id);
                     match &node.kind {
                         NodeKind::Leaf { entries } => {
@@ -138,6 +141,7 @@ impl<const D: usize> Tree<D> {
                 }
             }
         }
+        self.stats.flush_search(accesses, out.len() as u64);
         out
     }
 }

@@ -1,66 +1,181 @@
-//! Search (paper §3.1.3).
+//! Search (paper §3.1.3) — allocation-free kernel plus reusable cursors.
 //!
 //! The SR-Tree search descends only branches intersecting the query, exactly
 //! like the R-Tree, and additionally examines the spanning index records of
 //! every node it visits. Because spanning records stored on a node `N` are
 //! wholly contained by `N` (the cutting invariant), every qualifying
 //! spanning record is guaranteed to be found.
+//!
+//! ## Hot-path discipline
+//!
+//! All traversal state (the DFS stack) and result storage live in a
+//! [`SearchCursor`], so a cursor reused across queries performs **zero heap
+//! allocation** once its buffers have grown to the workload's high-water
+//! mark. Node accesses are accumulated in a local counter and flushed to
+//! [`TreeStats`](crate::stats::TreeStats) once per search — concurrent
+//! readers never ping-pong the shared counter cache line inside the
+//! traversal loop. The batched, parallel entry points built on these
+//! kernels live in [`batch`](super::batch).
 
 use super::Tree;
-use crate::id::RecordId;
+use crate::id::{NodeId, RecordId};
 use crate::node::NodeKind;
 use segidx_geom::{Point, Rect};
 
-impl<const D: usize> Tree<D> {
-    /// Returns the ids of all records whose geometry intersects `query`,
-    /// deduplicated (a cut record is reported once even when several of its
-    /// portions qualify) and sorted by id.
-    ///
-    /// Every node visited increments the search node-access counter — the
-    /// paper's performance metric.
-    pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
-        let mut out: Vec<RecordId> = self
-            .search_entries(query)
-            .into_iter()
-            .map(|(_, r)| r)
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+/// Reusable scratch state for the search kernels.
+///
+/// Holds the traversal stack and result buffers so repeated
+/// [`Tree::search_with`] / [`Tree::stab_with`] /
+/// [`Tree::search_entries_with`] calls on one thread do no heap allocation
+/// after warm-up. One cursor serves one thread; the batch engine creates one
+/// cursor per worker.
+///
+/// ```
+/// use segidx_core::{IndexConfig, RecordId, SearchCursor, Tree};
+/// use segidx_geom::Rect;
+///
+/// let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+/// t.insert(Rect::new([0.0, 0.0], [5.0, 0.0]), RecordId(1));
+/// let mut cursor = SearchCursor::new();
+/// for _ in 0..1_000 {
+///     // Allocation-free after the first iteration.
+///     let hits = t.search_with(&mut cursor, &Rect::new([1.0, 0.0], [2.0, 1.0]));
+///     assert_eq!(hits, [RecordId(1)]);
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SearchCursor<const D: usize> {
+    /// DFS stack of nodes still to visit.
+    stack: Vec<NodeId>,
+    /// Raw matching index records of the latest query.
+    entries: Vec<(Rect<D>, RecordId)>,
+    /// Sorted (and, in segment mode, deduplicated) ids of the latest query.
+    ids: Vec<RecordId>,
+}
+
+impl<const D: usize> SearchCursor<D> {
+    /// An empty cursor; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Like [`Tree::search`], but returns the raw matching index records
-    /// (portion rectangles included, no deduplication).
-    pub fn search_entries(&self, query: &Rect<D>) -> Vec<(Rect<D>, RecordId)> {
-        self.stats.record_search();
-        let mut results = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(n) = stack.pop() {
-            self.stats.record_search_access();
+    /// A cursor whose result buffers are pre-sized for `expected_hits`
+    /// matches per query (e.g. from a selectivity estimate).
+    pub fn with_capacity(expected_hits: usize) -> Self {
+        Self {
+            stack: Vec::with_capacity(16),
+            entries: Vec::with_capacity(expected_hits),
+            ids: Vec::with_capacity(expected_hits),
+        }
+    }
+}
+
+impl<const D: usize> Tree<D> {
+    /// The traversal kernel shared by every search entry point: fills
+    /// `cursor.entries` with the raw matching index records and returns the
+    /// number of nodes accessed. Performs no allocation beyond growing the
+    /// cursor's buffers and touches no shared state.
+    pub(crate) fn search_kernel(&self, query: &Rect<D>, cursor: &mut SearchCursor<D>) -> u64 {
+        cursor.entries.clear();
+        cursor.stack.clear();
+        cursor.stack.push(self.root);
+        let mut accesses: u64 = 0;
+        while let Some(n) = cursor.stack.pop() {
+            accesses += 1;
             let node = self.node(n);
             match &node.kind {
                 NodeKind::Leaf { entries } => {
                     for e in entries {
                         if e.rect.intersects(query) {
-                            results.push((e.rect, e.record));
+                            cursor.entries.push((e.rect, e.record));
                         }
                     }
                 }
                 NodeKind::Internal { branches, spanning } => {
                     for s in spanning {
                         if s.rect.intersects(query) {
-                            results.push((s.rect, s.record));
+                            cursor.entries.push((s.rect, s.record));
                         }
                     }
                     for b in branches {
                         if b.rect.intersects(query) {
-                            stack.push(b.child);
+                            cursor.stack.push(b.child);
                         }
                     }
                 }
             }
         }
-        results
+        accesses
+    }
+
+    /// Extracts sorted ids from the kernel's raw entries. The `dedup` pass
+    /// runs only in segment mode: without cutting, every logical record is
+    /// stored exactly once, so duplicates are impossible.
+    fn finish_ids<'c>(&self, cursor: &'c mut SearchCursor<D>) -> &'c [RecordId] {
+        cursor.ids.clear();
+        cursor.ids.extend(cursor.entries.iter().map(|(_, r)| *r));
+        cursor.ids.sort_unstable();
+        if self.config.segment {
+            cursor.ids.dedup();
+        }
+        &cursor.ids
+    }
+
+    /// Returns the ids of all records whose geometry intersects `query`.
+    ///
+    /// # Guarantees
+    ///
+    /// * **Deterministic order**: results are always sorted ascending by
+    ///   [`RecordId`], independent of traversal order, tree shape, or
+    ///   variant — so all four paper variants return bit-identical results
+    ///   for the same logical contents.
+    /// * **Duplicate-free**: in segment (SR) mode, a cut record is reported
+    ///   once even when several of its portions qualify. In non-segment
+    ///   (R-Tree) mode no cutting occurs, every logical record is stored
+    ///   exactly once, and the dedup pass is skipped entirely — results are
+    ///   duplicate-free provided inserted ids were unique.
+    ///
+    /// Every node visited counts one search node access — the paper's
+    /// performance metric — accumulated locally and flushed to the shared
+    /// counters once per search.
+    pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        let mut cursor = SearchCursor::with_capacity(self.stats.hits_estimate());
+        self.search_with(&mut cursor, query).to_vec()
+    }
+
+    /// Like [`Tree::search`], but reuses `cursor`'s buffers and returns a
+    /// slice borrowed from it — zero heap allocation after warm-up. Same
+    /// ordering and deduplication guarantees as [`Tree::search`].
+    pub fn search_with<'c>(
+        &self,
+        cursor: &'c mut SearchCursor<D>,
+        query: &Rect<D>,
+    ) -> &'c [RecordId] {
+        let accesses = self.search_kernel(query, cursor);
+        self.stats
+            .flush_search(accesses, cursor.entries.len() as u64);
+        self.finish_ids(cursor)
+    }
+
+    /// Like [`Tree::search`], but returns the raw matching index records
+    /// (portion rectangles included, no deduplication, unspecified order).
+    pub fn search_entries(&self, query: &Rect<D>) -> Vec<(Rect<D>, RecordId)> {
+        let mut cursor = SearchCursor::with_capacity(self.stats.hits_estimate());
+        self.search_entries_with(&mut cursor, query).to_vec()
+    }
+
+    /// Like [`Tree::search_entries`], but reuses `cursor`'s buffers and
+    /// returns a slice borrowed from it — zero heap allocation after
+    /// warm-up.
+    pub fn search_entries_with<'c>(
+        &self,
+        cursor: &'c mut SearchCursor<D>,
+        query: &Rect<D>,
+    ) -> &'c [(Rect<D>, RecordId)] {
+        let accesses = self.search_kernel(query, cursor);
+        self.stats
+            .flush_search(accesses, cursor.entries.len() as u64);
+        &cursor.entries
     }
 
     /// All records whose geometry contains the point `p` — the "stabbing
@@ -70,17 +185,30 @@ impl<const D: usize> Tree<D> {
         self.search(&Rect::from_point(*p))
     }
 
+    /// Like [`Tree::stab`], but reuses `cursor`'s buffers — zero heap
+    /// allocation after warm-up.
+    pub fn stab_with<'c>(&self, cursor: &'c mut SearchCursor<D>, p: &Point<D>) -> &'c [RecordId] {
+        self.search_with(cursor, &Rect::from_point(*p))
+    }
+
     /// Number of index nodes a search for `query` accesses, without
     /// disturbing the cumulative statistics beyond recording the search.
+    ///
+    /// The count is accumulated locally inside the kernel and returned
+    /// directly, so a concurrent search on another thread cannot corrupt
+    /// it (it is *not* derived by diffing the shared counter).
     pub fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
-        let before = self.stats.snapshot().search_node_accesses;
-        let _ = self.search_entries(query);
-        self.stats.snapshot().search_node_accesses - before
+        let mut cursor = SearchCursor::with_capacity(self.stats.hits_estimate());
+        let accesses = self.search_kernel(query, &mut cursor);
+        self.stats
+            .flush_search(accesses, cursor.entries.len() as u64);
+        accesses
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::SearchCursor;
     use crate::config::IndexConfig;
     use crate::id::RecordId;
     use crate::tree::Tree;
@@ -136,6 +264,50 @@ mod tests {
         let hits = t.search(&Rect::new([0.0, 0.0], [500.0, 100.0]));
         let nines = hits.iter().filter(|r| r.0 == 9999).count();
         assert_eq!(nines, 1, "cut portions deduplicated");
+    }
+
+    #[test]
+    fn rtree_mode_is_duplicate_free_without_dedup() {
+        // Pins the invariant that lets non-segment search skip its dedup
+        // pass: without cutting, every logical record surfaces exactly once
+        // even in a deep multi-level tree.
+        let mut t: Tree<2> = Tree::new(IndexConfig::rtree());
+        for i in 0..2_000u64 {
+            let x = (i % 40) as f64 * 12.0;
+            let y = (i / 40) as f64 * 8.0;
+            let len = if i % 9 == 0 { 400.0 } else { 5.0 };
+            t.insert(seg(x, x + len, y), RecordId(i));
+        }
+        assert_eq!(t.stats().cuts, 0, "no cutting outside segment mode");
+        let everything = Rect::new([-1.0, -1.0], [1_000.0, 1_000.0]);
+        // The raw entries — before any sort/dedup — already carry unique ids.
+        let entries = t.search_entries(&everything);
+        let mut raw_ids: Vec<RecordId> = entries.iter().map(|(_, r)| *r).collect();
+        let raw_len = raw_ids.len();
+        raw_ids.sort_unstable();
+        raw_ids.dedup();
+        assert_eq!(raw_ids.len(), raw_len, "raw R-Tree entries are unique");
+        // And the public result equals them, sorted.
+        assert_eq!(t.search(&everything), raw_ids);
+    }
+
+    #[test]
+    fn cursor_reuse_matches_fresh_searches() {
+        let mut t: Tree<2> = Tree::new(IndexConfig::srtree());
+        for i in 0..1_000u64 {
+            let x = (i % 50) as f64 * 10.0;
+            let y = (i / 50) as f64 * 10.0;
+            let len = if i % 7 == 0 { 300.0 } else { 4.0 };
+            t.insert(seg(x, x + len, y), RecordId(i));
+        }
+        let mut cursor = SearchCursor::new();
+        for qi in 0..20u64 {
+            let x = (qi * 23) as f64;
+            let q = Rect::new([x, 0.0], [x + 80.0, 200.0]);
+            assert_eq!(t.search_with(&mut cursor, &q), t.search(&q), "query {qi}");
+            let p = Point::new([x, 50.0]);
+            assert_eq!(t.stab_with(&mut cursor, &p), t.stab(&p));
+        }
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Concurrent read access: `Tree` is `Sync`, so any number of threads may
 //! search one index simultaneously while another (immutable) index is
-//! joined against it.
+//! joined against it — and the batch engine fans one query list out across
+//! worker threads with results identical to serial execution.
 
-use segidx_core::{IndexConfig, RecordId, Tree};
+use segidx_core::{
+    IndexConfig, IntervalIndex, RTree, RecordId, SRTree, SkeletonRTree, SkeletonSRTree, Tree,
+};
 use segidx_geom::{Point, Rect};
-use segidx_workloads::{queries_for_qar, DataDistribution};
+use segidx_workloads::{queries_for_qar, DataDistribution, DOMAIN_MAX};
 use std::sync::Arc;
 
 // Compile-time proof that shared search access is allowed.
@@ -56,6 +59,123 @@ fn parallel_searches_agree_with_serial() {
     // searches + 1 kNN) plus the 90 serial searches.
     let snap = tree.stats();
     assert_eq!(snap.searches, 90 + 6 * 91);
+}
+
+#[test]
+fn search_batch_equals_serial_search_for_all_variants() {
+    // Property: `search_batch` ≡ per-query `search` — same ids, same order —
+    // for every paper variant and worker count, and the stats counters
+    // aggregate to the same totals without tearing.
+    let n = 10_000;
+    let dataset = DataDistribution::I3.generate(n, 13);
+    let domain = Rect::new([0.0, 0.0], [DOMAIN_MAX, DOMAIN_MAX]);
+
+    let mut rtree = RTree::<2>::new();
+    let mut srtree = SRTree::<2>::new();
+    let mut sk_r = SkeletonRTree::<2>::with_prediction(domain, n, n / 10);
+    let mut sk_sr = SkeletonSRTree::<2>::with_prediction(domain, n, n / 10);
+    for (r, id) in &dataset.records {
+        rtree.insert(*r, *id);
+        srtree.insert(*r, *id);
+        sk_r.insert(*r, *id);
+        sk_sr.insert(*r, *id);
+    }
+    sk_r.finalize();
+    sk_sr.finalize();
+
+    let queries: Vec<Rect<2>> = [0.001, 1.0, 1000.0]
+        .iter()
+        .flat_map(|&q| queries_for_qar(q, 25, 5).queries)
+        .collect();
+
+    let trees: Vec<(&str, &Tree<2>)> = vec![
+        ("R-Tree", rtree.tree()),
+        ("SR-Tree", srtree.tree()),
+        ("Skeleton R-Tree", sk_r.tree().expect("finalized")),
+        ("Skeleton SR-Tree", sk_sr.tree().expect("finalized")),
+    ];
+    for (name, tree) in trees {
+        let serial: Vec<Vec<RecordId>> = queries.iter().map(|q| tree.search(q)).collect();
+        assert!(
+            serial.iter().any(|ids| !ids.is_empty()),
+            "{name}: degenerate workload"
+        );
+        tree.reset_search_stats();
+        let mut batch_runs = 0u64;
+        for workers in [1usize, 2, 6] {
+            assert_eq!(
+                tree.search_batch_threads(&queries, workers),
+                serial,
+                "{name}: workers={workers}"
+            );
+            batch_runs += 1;
+        }
+        let snap = tree.stats();
+        assert_eq!(
+            snap.searches,
+            batch_runs * queries.len() as u64,
+            "{name}: searches counter aggregates without tearing"
+        );
+        assert_eq!(
+            snap.search_node_accesses % batch_runs,
+            0,
+            "{name}: identical batches flush identical access totals"
+        );
+        assert_eq!(
+            snap.search_results % batch_runs,
+            0,
+            "{name}: identical batches flush identical result totals"
+        );
+    }
+
+    // The object-safe trait surface batches too (default worker count).
+    let boxed: Vec<Box<dyn IntervalIndex<2>>> = vec![
+        Box::new(rtree),
+        Box::new(srtree),
+        Box::new(sk_r),
+        Box::new(sk_sr),
+    ];
+    for v in &boxed {
+        let serial: Vec<Vec<RecordId>> = queries.iter().map(|q| v.search(q)).collect();
+        assert_eq!(
+            v.search_batch(&queries),
+            serial,
+            "{}: trait-level batch",
+            v.variant_name()
+        );
+    }
+}
+
+#[test]
+fn tree_level_batch_threads_and_stab_batch_match_serial() {
+    let dataset = DataDistribution::I3.generate(10_000, 29);
+    for config in [IndexConfig::rtree(), IndexConfig::srtree()] {
+        let mut tree: Tree<2> = Tree::new(config);
+        for (r, id) in &dataset.records {
+            tree.insert(*r, *id);
+        }
+        let queries: Vec<Rect<2>> = [0.01, 100.0]
+            .iter()
+            .flat_map(|&q| queries_for_qar(q, 40, 11).queries)
+            .collect();
+        let serial: Vec<Vec<RecordId>> = queries.iter().map(|q| tree.search(q)).collect();
+        tree.reset_search_stats();
+        for workers in [1usize, 2, 6] {
+            assert_eq!(tree.search_batch_threads(&queries, workers), serial);
+        }
+        let snap = tree.stats();
+        assert_eq!(snap.searches, 3 * queries.len() as u64);
+
+        let points: Vec<Point<2>> = (0..60)
+            .map(|i| Point::new([((i * 1_999) % 100_000) as f64, ((i * 733) % 100_000) as f64]))
+            .collect();
+        let stab_serial: Vec<Vec<RecordId>> = points.iter().map(|p| tree.stab(p)).collect();
+        for workers in [1usize, 2, 6] {
+            assert_eq!(tree.stab_batch_threads(&points, workers), stab_serial);
+        }
+        assert_eq!(tree.search_batch(&queries), serial);
+        assert_eq!(tree.stab_batch(&points), stab_serial);
+    }
 }
 
 #[test]
