@@ -97,18 +97,17 @@ pub fn run_experiment(experiment: &Experiment) -> GraphResult {
     let dataset = experiment.dataset();
     let mut series: Vec<Option<Series>> = vec![None, None, None, None];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for variant in Variant::ALL {
             let records = &dataset.records;
             let exp = *experiment;
-            handles.push(scope.spawn(move |_| run_variant(variant, records, &exp)));
+            handles.push(scope.spawn(move || run_variant(variant, records, &exp)));
         }
         for (i, h) in handles.into_iter().enumerate() {
             series[i] = Some(h.join().expect("variant thread panicked"));
         }
-    })
-    .expect("experiment scope");
+    });
 
     GraphResult {
         experiment: *experiment,

@@ -121,7 +121,7 @@ fn build_node(mut items: Vec<Item>) -> Option<Box<IntervalNode>> {
         .iter()
         .flat_map(|i| [i.interval.lo(), i.interval.hi()])
         .collect();
-    endpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    endpoints.sort_unstable_by(f64::total_cmp);
     let center = endpoints[endpoints.len() / 2];
 
     let mut here = Vec::new();
@@ -139,9 +139,9 @@ fn build_node(mut items: Vec<Item>) -> Option<Box<IntervalNode>> {
     // Degenerate distributions (all intervals containing the center) still
     // terminate: left/right strictly shrink.
     let mut by_lo = here.clone();
-    by_lo.sort_by(|a, b| a.interval.lo().partial_cmp(&b.interval.lo()).unwrap());
+    by_lo.sort_unstable_by(|a, b| a.interval.lo().total_cmp(&b.interval.lo()));
     let mut by_hi = here;
-    by_hi.sort_by(|a, b| b.interval.hi().partial_cmp(&a.interval.hi()).unwrap());
+    by_hi.sort_unstable_by(|a, b| b.interval.hi().total_cmp(&a.interval.hi()));
 
     Some(Box::new(IntervalNode {
         center,

@@ -93,11 +93,7 @@ fn str_chunks<T, const D: usize>(
     if n <= cap {
         return vec![items];
     }
-    items.sort_by(|a, b| {
-        let ca = rect_of(a).center()[dim];
-        let cb = rect_of(b).center()[dim];
-        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    items.sort_unstable_by(|a, b| rect_of(a).center()[dim].total_cmp(&rect_of(b).center()[dim]));
     if dim == D - 1 {
         // Final dimension: fixed-size runs.
         let mut out = Vec::with_capacity(n.div_ceil(cap));

@@ -1,7 +1,17 @@
-//! Index node entries: leaf records, branches, and spanning records.
+//! Index node entries: leaf records, branches, and spanning records —
+//! plus the structure-of-arrays stores that hold them inside nodes.
+//!
+//! Nodes do **not** store `Vec<LeafEntry>` etc. directly. Each store keeps
+//! the entry rectangles as per-dimension `lo`/`hi` coordinate planes
+//! (see [`RectSoA`]) alongside parallel payload arrays, so the search hot
+//! loops can hand contiguous `&[f64]` planes straight to the branchless
+//! scan kernels in `segidx_geom`. The entry structs ([`LeafEntry`],
+//! [`Branch`], [`SpanningEntry`]) survive as *views*: mutation paths and
+//! invariant logic work with whole entries reconstructed on demand, which
+//! keeps them readable while the layout stays scan-friendly.
 
 use crate::id::{NodeId, RecordId};
-use segidx_geom::Rect;
+use segidx_geom::{Coord, Rect};
 
 /// An external index record on a leaf node: a rectangle plus the id of the
 /// data record it describes.
@@ -48,6 +58,356 @@ pub struct SpanningEntry<const D: usize> {
     pub linked_child: NodeId,
 }
 
+/// Rectangles stored as structure-of-arrays coordinate planes: entry
+/// `i`'s bounds in dimension `d` are `los[d][i]` / `his[d][i]`, each
+/// plane a contiguous `Vec<f64>`. Intersection-style scans touch only
+/// the planes they test, never the payload they don't.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RectSoA<const D: usize> {
+    los: [Vec<Coord>; D],
+    his: [Vec<Coord>; D],
+}
+
+impl<const D: usize> RectSoA<D> {
+    /// An empty plane set.
+    pub fn new() -> Self {
+        Self {
+            los: std::array::from_fn(|_| Vec::new()),
+            his: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    /// Number of rectangles stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.los[0].len()
+    }
+
+    /// Whether no rectangles are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.los[0].is_empty()
+    }
+
+    /// Reconstructs rectangle `i` from the planes.
+    #[inline]
+    pub fn get(&self, i: usize) -> Rect<D> {
+        Rect::new(
+            std::array::from_fn(|d| self.los[d][i]),
+            std::array::from_fn(|d| self.his[d][i]),
+        )
+    }
+
+    /// Appends a rectangle.
+    #[inline]
+    pub fn push(&mut self, rect: &Rect<D>) {
+        for d in 0..D {
+            self.los[d].push(rect.lo(d));
+            self.his[d].push(rect.hi(d));
+        }
+    }
+
+    /// Overwrites rectangle `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, rect: &Rect<D>) {
+        for d in 0..D {
+            self.los[d][i] = rect.lo(d);
+            self.his[d][i] = rect.hi(d);
+        }
+    }
+
+    /// Removes rectangle `i` by swapping in the last one.
+    #[inline]
+    pub fn swap_remove(&mut self, i: usize) -> Rect<D> {
+        Rect::new(
+            std::array::from_fn(|d| self.los[d].swap_remove(i)),
+            std::array::from_fn(|d| self.his[d].swap_remove(i)),
+        )
+    }
+
+    /// Drops all rectangles, keeping allocations.
+    pub fn clear(&mut self) {
+        for d in 0..D {
+            self.los[d].clear();
+            self.his[d].clear();
+        }
+    }
+
+    /// The `(lo, hi)` planes, ready for the `segidx_geom` scan kernels.
+    #[inline]
+    pub fn planes(&self) -> ([&[Coord]; D], [&[Coord]; D]) {
+        (
+            std::array::from_fn(|d| self.los[d].as_slice()),
+            std::array::from_fn(|d| self.his[d].as_slice()),
+        )
+    }
+
+    /// Union of all stored rectangles, `None` when empty.
+    pub fn union_all(&self) -> Option<Rect<D>> {
+        if self.is_empty() {
+            return None;
+        }
+        let lo = std::array::from_fn(|d| self.los[d].iter().copied().fold(f64::INFINITY, f64::min));
+        let hi = std::array::from_fn(|d| {
+            self.his[d]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        });
+        Some(Rect::new(lo, hi))
+    }
+}
+
+impl<const D: usize> Default for RectSoA<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Generates the shared Vec-like entry-view API for one store type. Each
+/// store pairs a [`RectSoA`] with parallel payload columns; the macro
+/// wires the entry struct (the *view*) to the columns so mutation code
+/// reads like it did when nodes held `Vec<Entry>`.
+macro_rules! soa_store {
+    (
+        $(#[$doc:meta])*
+        $store:ident, $entry:ident, $rect_field:ident,
+        { $( $(#[$fdoc:meta])* $field:ident : $fty:ty ),+ $(,)? }
+    ) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug, Default, PartialEq)]
+        pub struct $store<const D: usize> {
+            rects: RectSoA<D>,
+            $( $field: Vec<$fty>, )+
+        }
+
+        impl<const D: usize> $store<D> {
+            /// An empty store.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Number of entries.
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.rects.len()
+            }
+
+            /// Whether the store is empty.
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.rects.is_empty()
+            }
+
+            /// Entry `i` as a by-value view.
+            #[inline]
+            pub fn get(&self, i: usize) -> $entry<D> {
+                $entry {
+                    $rect_field: self.rects.get(i),
+                    $( $field: self.$field[i], )+
+                }
+            }
+
+            /// Rectangle of entry `i` (no payload gather).
+            #[inline]
+            pub fn rect(&self, i: usize) -> Rect<D> {
+                self.rects.get(i)
+            }
+
+            /// Overwrites the rectangle of entry `i`.
+            #[inline]
+            pub fn set_rect(&mut self, i: usize, rect: &Rect<D>) {
+                self.rects.set(i, rect);
+            }
+
+            /// Appends an entry.
+            #[inline]
+            pub fn push(&mut self, e: $entry<D>) {
+                self.rects.push(&e.$rect_field);
+                $( self.$field.push(e.$field); )+
+            }
+
+            /// Removes entry `i` by swapping in the last one.
+            #[inline]
+            pub fn swap_remove(&mut self, i: usize) -> $entry<D> {
+                $entry {
+                    $rect_field: self.rects.swap_remove(i),
+                    $( $field: self.$field.swap_remove(i), )+
+                }
+            }
+
+            /// Drops all entries, keeping allocations.
+            pub fn clear(&mut self) {
+                self.rects.clear();
+                $( self.$field.clear(); )+
+            }
+
+            /// Iterates entry views in storage order.
+            pub fn iter(&self) -> impl Iterator<Item = $entry<D>> + '_ {
+                (0..self.len()).map(move |i| self.get(i))
+            }
+
+            /// Keeps only entries satisfying `pred`, preserving order.
+            pub fn retain(&mut self, mut pred: impl FnMut(&$entry<D>) -> bool) {
+                let mut kept = 0;
+                for i in 0..self.len() {
+                    let e = self.get(i);
+                    if pred(&e) {
+                        if kept != i {
+                            self.rects.set(kept, &e.$rect_field);
+                            $( self.$field[kept] = e.$field; )+
+                        }
+                        kept += 1;
+                    }
+                }
+                self.truncate(kept);
+            }
+
+            /// Shortens the store to `len` entries.
+            pub fn truncate(&mut self, len: usize) {
+                for d in 0..D {
+                    let (los, his) = self.rects.planes_mut_internal();
+                    los[d].truncate(len);
+                    his[d].truncate(len);
+                }
+                $( self.$field.truncate(len); )+
+            }
+
+            /// Moves all entries out into a `Vec` of views (for
+            /// redistribution algorithms that shuffle whole entries),
+            /// leaving the store empty with capacity intact.
+            pub fn take_vec(&mut self) -> Vec<$entry<D>> {
+                let out: Vec<$entry<D>> = self.iter().collect();
+                self.clear();
+                out
+            }
+
+            /// Replaces the store's contents with `entries`.
+            pub fn assign(&mut self, entries: Vec<$entry<D>>) {
+                self.clear();
+                self.extend(entries);
+            }
+
+            /// The `(lo, hi)` coordinate planes for scan kernels.
+            #[inline]
+            pub fn planes(&self) -> ([&[Coord]; D], [&[Coord]; D]) {
+                self.rects.planes()
+            }
+
+            /// Union of all entry rectangles, `None` when empty.
+            pub fn union_all(&self) -> Option<Rect<D>> {
+                self.rects.union_all()
+            }
+        }
+
+        impl<const D: usize> Extend<$entry<D>> for $store<D> {
+            fn extend<I: IntoIterator<Item = $entry<D>>>(&mut self, iter: I) {
+                for e in iter {
+                    self.push(e);
+                }
+            }
+        }
+
+        impl<const D: usize> FromIterator<$entry<D>> for $store<D> {
+            fn from_iter<I: IntoIterator<Item = $entry<D>>>(iter: I) -> Self {
+                let mut s = Self::new();
+                s.extend(iter);
+                s
+            }
+        }
+    };
+}
+
+impl<const D: usize> RectSoA<D> {
+    /// Internal mutable plane access for the store macro.
+    #[inline]
+    fn planes_mut_internal(&mut self) -> (&mut [Vec<Coord>; D], &mut [Vec<Coord>; D]) {
+        (&mut self.los, &mut self.his)
+    }
+}
+
+soa_store!(
+    /// SoA store of a leaf's index records: coordinate planes plus the
+    /// parallel record-id column.
+    LeafStore, LeafEntry, rect,
+    {
+        record: RecordId,
+    }
+);
+
+soa_store!(
+    /// SoA store of an internal node's branches: coordinate planes plus
+    /// the parallel child-id column.
+    BranchStore, Branch, rect,
+    {
+        child: NodeId,
+    }
+);
+
+soa_store!(
+    /// SoA store of an internal node's spanning records: coordinate
+    /// planes plus record-id and linked-child columns.
+    SpanningStore, SpanningEntry, rect,
+    {
+        record: RecordId,
+        linked_child: NodeId,
+    }
+);
+
+impl<const D: usize> LeafStore<D> {
+    /// The record-id payload column.
+    #[inline]
+    pub fn records(&self) -> &[RecordId] {
+        &self.record
+    }
+
+    /// Record id of entry `i`.
+    #[inline]
+    pub fn record(&self, i: usize) -> RecordId {
+        self.record[i]
+    }
+}
+
+impl<const D: usize> BranchStore<D> {
+    /// The child-id payload column.
+    #[inline]
+    pub fn children(&self) -> &[NodeId] {
+        &self.child
+    }
+
+    /// Child id of branch `i`.
+    #[inline]
+    pub fn child(&self, i: usize) -> NodeId {
+        self.child[i]
+    }
+
+    /// Index of the branch pointing at `child`, if present.
+    #[inline]
+    pub fn position_of_child(&self, child: NodeId) -> Option<usize> {
+        self.child.iter().position(|&c| c == child)
+    }
+}
+
+impl<const D: usize> SpanningStore<D> {
+    /// Record id of entry `i`.
+    #[inline]
+    pub fn record(&self, i: usize) -> RecordId {
+        self.record[i]
+    }
+
+    /// Linked child of entry `i`.
+    #[inline]
+    pub fn linked_child(&self, i: usize) -> NodeId {
+        self.linked_child[i]
+    }
+
+    /// Relinks entry `i` to another branch's child.
+    #[inline]
+    pub fn set_linked_child(&mut self, i: usize, child: NodeId) {
+        self.linked_child[i] = child;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +419,101 @@ mod tests {
         assert!(std::mem::size_of::<LeafEntry<2>>() <= 40);
         assert!(std::mem::size_of::<Branch<2>>() <= 40);
         assert!(std::mem::size_of::<SpanningEntry<2>>() <= 48);
+    }
+
+    fn entry(x0: f64, x1: f64, id: u64) -> LeafEntry<2> {
+        LeafEntry {
+            rect: Rect::new([x0, 0.0], [x1, 1.0]),
+            record: RecordId(id),
+        }
+    }
+
+    #[test]
+    fn store_roundtrips_entries() {
+        let mut s: LeafStore<2> = LeafStore::new();
+        for i in 0..10 {
+            s.push(entry(i as f64, i as f64 + 2.0, i));
+        }
+        assert_eq!(s.len(), 10);
+        for i in 0..10 {
+            assert_eq!(s.get(i), entry(i as f64, i as f64 + 2.0, i as u64));
+        }
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected.len(), 10);
+        assert_eq!(collected[3], s.get(3));
+    }
+
+    #[test]
+    fn planes_are_parallel_and_contiguous() {
+        let mut s: LeafStore<2> = LeafStore::new();
+        s.push(entry(1.0, 4.0, 1));
+        s.push(entry(2.0, 6.0, 2));
+        let (los, his) = s.planes();
+        assert_eq!(los[0], &[1.0, 2.0]);
+        assert_eq!(his[0], &[4.0, 6.0]);
+        assert_eq!(los[1], &[0.0, 0.0]);
+        assert_eq!(his[1], &[1.0, 1.0]);
+        assert_eq!(s.records(), &[RecordId(1), RecordId(2)]);
+    }
+
+    #[test]
+    fn swap_remove_and_retain_match_vec_semantics() {
+        let mut s: LeafStore<2> = LeafStore::new();
+        let mut model: Vec<LeafEntry<2>> = Vec::new();
+        for i in 0..12 {
+            let e = entry(i as f64, i as f64 + 1.0, i);
+            s.push(e);
+            model.push(e);
+        }
+        assert_eq!(s.swap_remove(4), model.swap_remove(4));
+        assert_eq!(s.iter().collect::<Vec<_>>(), model);
+        s.retain(|e| e.record.0 % 3 != 0);
+        model.retain(|e| e.record.0 % 3 != 0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), model);
+    }
+
+    #[test]
+    fn take_vec_empties_the_store() {
+        let mut s: LeafStore<2> = LeafStore::new();
+        s.push(entry(0.0, 1.0, 7));
+        s.push(entry(5.0, 9.0, 8));
+        let v = s.take_vec();
+        assert_eq!(v.len(), 2);
+        assert!(s.is_empty());
+        s.extend(v);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.record(1), RecordId(8));
+    }
+
+    #[test]
+    fn set_rect_and_union_all() {
+        let mut s: BranchStore<2> = BranchStore::new();
+        s.push(Branch {
+            rect: Rect::new([0.0, 0.0], [1.0, 1.0]),
+            child: NodeId(1),
+        });
+        s.push(Branch {
+            rect: Rect::new([5.0, 5.0], [6.0, 6.0]),
+            child: NodeId(2),
+        });
+        s.set_rect(0, &Rect::new([-1.0, 0.0], [2.0, 1.0]));
+        assert_eq!(s.rect(0), Rect::new([-1.0, 0.0], [2.0, 1.0]));
+        assert_eq!(s.child(0), NodeId(1));
+        assert_eq!(s.union_all(), Some(Rect::new([-1.0, 0.0], [6.0, 6.0])));
+        assert_eq!(s.position_of_child(NodeId(2)), Some(1));
+        assert_eq!(s.position_of_child(NodeId(9)), None);
+    }
+
+    #[test]
+    fn spanning_store_relinks() {
+        let mut s: SpanningStore<2> = SpanningStore::new();
+        s.push(SpanningEntry {
+            rect: Rect::new([0.0, 0.0], [10.0, 0.0]),
+            record: RecordId(3),
+            linked_child: NodeId(1),
+        });
+        s.set_linked_child(0, NodeId(4));
+        assert_eq!(s.linked_child(0), NodeId(4));
+        assert_eq!(s.record(0), RecordId(3));
     }
 }

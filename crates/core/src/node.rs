@@ -1,24 +1,27 @@
 //! Index nodes and the node arena.
 
-use crate::entry::{Branch, LeafEntry, SpanningEntry};
+use crate::entry::{BranchStore, LeafStore, SpanningStore};
 use crate::id::NodeId;
 use segidx_geom::Rect;
 
-/// The level-dependent contents of a node.
+/// The level-dependent contents of a node. Entries live in
+/// structure-of-arrays stores (see [`crate::entry`]): per-dimension
+/// coordinate planes plus parallel payload columns, so search scans run
+/// over contiguous `&[f64]` slices via the `segidx_geom` kernels.
 #[derive(Clone, Debug)]
 pub enum NodeKind<const D: usize> {
     /// A leaf holds external index records only.
     Leaf {
         /// The leaf's index records.
-        entries: Vec<LeafEntry<D>>,
+        entries: LeafStore<D>,
     },
     /// A non-leaf holds branches and — in segment (SR) mode — spanning
     /// index records linked to those branches.
     Internal {
         /// Pointers to child nodes with their covering regions.
-        branches: Vec<Branch<D>>,
+        branches: BranchStore<D>,
         /// Spanning index records (empty unless segment mode).
-        spanning: Vec<SpanningEntry<D>>,
+        spanning: SpanningStore<D>,
     },
 }
 
@@ -43,7 +46,7 @@ impl<const D: usize> Node<D> {
             level: 0,
             parent: None,
             kind: NodeKind::Leaf {
-                entries: Vec::new(),
+                entries: LeafStore::new(),
             },
             mod_count: 0,
         }
@@ -56,8 +59,8 @@ impl<const D: usize> Node<D> {
             level,
             parent: None,
             kind: NodeKind::Internal {
-                branches: Vec::new(),
-                spanning: Vec::new(),
+                branches: BranchStore::new(),
+                spanning: SpanningStore::new(),
             },
             mod_count: 0,
         }
@@ -69,48 +72,48 @@ impl<const D: usize> Node<D> {
         matches!(self.kind, NodeKind::Leaf { .. })
     }
 
-    /// Leaf entries (panics on internal nodes).
-    pub fn entries(&self) -> &[LeafEntry<D>] {
+    /// Leaf entry store (panics on internal nodes).
+    pub fn entries(&self) -> &LeafStore<D> {
         match &self.kind {
             NodeKind::Leaf { entries } => entries,
             NodeKind::Internal { .. } => panic!("entries() on internal node"),
         }
     }
 
-    /// Mutable leaf entries (panics on internal nodes).
-    pub fn entries_mut(&mut self) -> &mut Vec<LeafEntry<D>> {
+    /// Mutable leaf entry store (panics on internal nodes).
+    pub fn entries_mut(&mut self) -> &mut LeafStore<D> {
         match &mut self.kind {
             NodeKind::Leaf { entries } => entries,
             NodeKind::Internal { .. } => panic!("entries_mut() on internal node"),
         }
     }
 
-    /// Branch entries (panics on leaves).
-    pub fn branches(&self) -> &[Branch<D>] {
+    /// Branch store (panics on leaves).
+    pub fn branches(&self) -> &BranchStore<D> {
         match &self.kind {
             NodeKind::Internal { branches, .. } => branches,
             NodeKind::Leaf { .. } => panic!("branches() on leaf node"),
         }
     }
 
-    /// Mutable branch entries (panics on leaves).
-    pub fn branches_mut(&mut self) -> &mut Vec<Branch<D>> {
+    /// Mutable branch store (panics on leaves).
+    pub fn branches_mut(&mut self) -> &mut BranchStore<D> {
         match &mut self.kind {
             NodeKind::Internal { branches, .. } => branches,
             NodeKind::Leaf { .. } => panic!("branches_mut() on leaf node"),
         }
     }
 
-    /// Spanning records (panics on leaves).
-    pub fn spanning(&self) -> &[SpanningEntry<D>] {
+    /// Spanning record store (panics on leaves).
+    pub fn spanning(&self) -> &SpanningStore<D> {
         match &self.kind {
             NodeKind::Internal { spanning, .. } => spanning,
             NodeKind::Leaf { .. } => panic!("spanning() on leaf node"),
         }
     }
 
-    /// Mutable spanning records (panics on leaves).
-    pub fn spanning_mut(&mut self) -> &mut Vec<SpanningEntry<D>> {
+    /// Mutable spanning record store (panics on leaves).
+    pub fn spanning_mut(&mut self) -> &mut SpanningStore<D> {
         match &mut self.kind {
             NodeKind::Internal { spanning, .. } => spanning,
             NodeKind::Leaf { .. } => panic!("spanning_mut() on leaf node"),
@@ -128,7 +131,7 @@ impl<const D: usize> Node<D> {
 
     /// The branch index pointing at `child`, if present.
     pub fn branch_index_of(&self, child: NodeId) -> Option<usize> {
-        self.branches().iter().position(|b| b.child == child)
+        self.branches().position_of_child(child)
     }
 
     /// Minimal bounding rectangle of the node's *structural* contents: leaf
@@ -139,16 +142,8 @@ impl<const D: usize> Node<D> {
     /// Returns `None` for an empty node.
     pub fn content_mbr(&self) -> Option<Rect<D>> {
         match &self.kind {
-            NodeKind::Leaf { entries } => {
-                let mut it = entries.iter();
-                let first = it.next()?.rect;
-                Some(it.fold(first, |acc, e| acc.union(&e.rect)))
-            }
-            NodeKind::Internal { branches, .. } => {
-                let mut it = branches.iter();
-                let first = it.next()?.rect;
-                Some(it.fold(first, |acc, b| acc.union(&b.rect)))
-            }
+            NodeKind::Leaf { entries } => entries.union_all(),
+            NodeKind::Internal { branches, .. } => branches.union_all(),
         }
     }
 
@@ -232,6 +227,7 @@ impl<const D: usize> Arena<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::{Branch, SpanningEntry};
     use crate::id::RecordId;
 
     fn rect(x0: f64, x1: f64) -> Rect<2> {

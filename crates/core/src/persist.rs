@@ -188,7 +188,7 @@ fn encode_node_inner<const D: usize>(
     match &node.kind {
         NodeKind::Leaf { entries } => {
             w.put_u32(entries.len() as u32);
-            for e in entries {
+            for e in entries.iter() {
                 write_rect(&mut w, &e.rect);
                 w.put_u64(e.record.raw());
             }
@@ -196,11 +196,11 @@ fn encode_node_inner<const D: usize>(
         NodeKind::Internal { branches, spanning } => {
             w.put_u32(branches.len() as u32);
             w.put_u32(spanning.len() as u32);
-            for b in branches {
+            for b in branches.iter() {
                 write_rect(&mut w, &b.rect);
                 w.put_u64(resolve(b.child).raw());
             }
-            for s in spanning {
+            for s in spanning.iter() {
                 write_rect(&mut w, &s.rect);
                 w.put_u64(s.record.raw());
                 w.put_u64(resolve(s.linked_child).raw());

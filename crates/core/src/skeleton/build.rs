@@ -290,7 +290,7 @@ mod tests {
         let mut widths: Vec<f64> = Vec::new();
         for (_, node) in t.arena.iter() {
             if node.level == 1 {
-                for b in node.branches() {
+                for b in node.branches().iter() {
                     widths.push(b.rect.extent(0));
                 }
             }

@@ -57,7 +57,7 @@ impl<const D: usize> Tree<D> {
         // dead space; require spatial adjacency (bounded dead space) so a
         // merge does not create a sprawling region.
         let mut best: Option<(NodeId, Rect<D>, f64)> = None;
-        for b in self.node(parent).branches() {
+        for b in self.node(parent).branches().iter() {
             if b.child == leaf {
                 continue;
             }
@@ -87,13 +87,15 @@ impl<const D: usize> Tree<D> {
             .node(parent)
             .branch_index_of(sibling)
             .expect("sibling branch present");
-        self.node_mut(parent).branches_mut()[bi].rect = merged_region;
+        self.node_mut(parent)
+            .branches_mut()
+            .set_rect(bi, &merged_region);
         if self.config.segment {
             self.recheck_spanning_links(parent, sibling);
         }
 
         // 2. Move the entries across.
-        let entries = std::mem::take(self.node_mut(leaf).entries_mut());
+        let entries = self.node_mut(leaf).entries_mut().take_vec();
         let sib_node = self.node_mut(sibling);
         sib_node.entries_mut().extend(entries);
         sib_node.touch_modified();

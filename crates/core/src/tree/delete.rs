@@ -84,7 +84,7 @@ impl<const D: usize> Tree<D> {
         if node.parent.is_none() || node.entries().len() >= min_fill {
             return;
         }
-        let entries = std::mem::take(self.node_mut(leaf).entries_mut());
+        let entries = self.node_mut(leaf).entries_mut().take_vec();
         self.entry_count -= entries.len();
         for e in entries {
             self.queue_reinsert(e.rect, e.record);
@@ -116,14 +116,16 @@ impl<const D: usize> Tree<D> {
             .collect();
         let mut i = 0;
         while i < self.node(parent).spanning().len() {
-            let s = self.node(parent).spanning()[i];
+            let s = self.node(parent).spanning().get(i);
             if s.linked_child != child {
                 i += 1;
                 continue;
             }
             match branch_rects.iter().find(|(_, r)| s.rect.spans_any_dim(r)) {
                 Some((new_child, _)) => {
-                    self.node_mut(parent).spanning_mut()[i].linked_child = *new_child;
+                    self.node_mut(parent)
+                        .spanning_mut()
+                        .set_linked_child(i, *new_child);
                     self.stats.relinks += 1;
                     i += 1;
                 }
@@ -138,7 +140,7 @@ impl<const D: usize> Tree<D> {
 
         if self.node(parent).branches().is_empty() {
             // Queue any stranded spanning records and remove the node.
-            let spanning = std::mem::take(self.node_mut(parent).spanning_mut());
+            let spanning = self.node_mut(parent).spanning_mut().take_vec();
             self.entry_count -= spanning.len();
             for s in spanning {
                 self.queue_reinsert(s.rect, s.record);
@@ -165,12 +167,12 @@ impl<const D: usize> Tree<D> {
             }
             // Spanning records on the root move down with the collapse only
             // if they still make sense; otherwise reinsert them.
-            let spanning = std::mem::take(self.node_mut(root).spanning_mut());
+            let spanning = self.node_mut(root).spanning_mut().take_vec();
             self.entry_count -= spanning.len();
             for s in spanning {
                 self.queue_reinsert(s.rect, s.record);
             }
-            let child = self.node(root).branches()[0].child;
+            let child = self.node(root).branches().child(0);
             self.node_mut(child).parent = None;
             self.arena.dealloc(root);
             self.root = child;

@@ -4,7 +4,7 @@
 use super::Tree;
 use crate::entry::{LeafEntry, SpanningEntry};
 use crate::id::{NodeId, RecordId};
-use segidx_geom::Rect;
+use segidx_geom::{scan_min_enlargement, Rect};
 
 impl<const D: usize> Tree<D> {
     /// Inserts a record.
@@ -72,10 +72,8 @@ impl<const D: usize> Tree<D> {
     /// The first branch of `n` whose region the record spans (intersects
     /// and covers in at least one dimension).
     fn find_spanned_branch(&self, n: NodeId, rect: &Rect<D>) -> Option<usize> {
-        self.node(n)
-            .branches()
-            .iter()
-            .position(|b| rect.spans_any_dim(&b.rect))
+        let branches = self.node(n).branches();
+        (0..branches.len()).find(|&i| rect.spans_any_dim(&branches.rect(i)))
     }
 
     /// Whether node `n` should accept `rect` as a spanning record: it has a
@@ -99,27 +97,20 @@ impl<const D: usize> Tree<D> {
     /// to cover the record, ties broken by smallest area. With
     /// `choose_subtree_overlap` set (R\* mode), the level directly above
     /// the leaves instead minimizes *overlap* enlargement.
+    ///
+    /// Runs [`scan_min_enlargement`] over the branch store's coordinate
+    /// planes — one straight-line arithmetic pass, no per-branch `Rect`
+    /// reconstruction.
     pub(crate) fn choose_branch(&self, n: NodeId, rect: &Rect<D>) -> NodeId {
         if self.config.choose_subtree_overlap && self.node(n).level == 1 {
             return self.choose_branch_min_overlap(n, rect);
         }
         let branches = self.node(n).branches();
         debug_assert!(!branches.is_empty(), "internal node without branches");
-        let mut best = 0;
-        let mut best_enlargement = f64::INFINITY;
-        let mut best_area = f64::INFINITY;
-        for (i, b) in branches.iter().enumerate() {
-            let enlargement = b.rect.enlargement(rect);
-            let area = b.rect.area();
-            if enlargement < best_enlargement
-                || (enlargement == best_enlargement && area < best_area)
-            {
-                best = i;
-                best_enlargement = enlargement;
-                best_area = area;
-            }
-        }
-        branches[best].child
+        let (los, his) = branches.planes();
+        let (best, _, _) =
+            scan_min_enlargement(rect, los, his).expect("internal node without branches");
+        branches.child(best)
     }
 
     /// R\* ChooseSubtree at the leaf level: the branch whose expansion to
@@ -130,28 +121,29 @@ impl<const D: usize> Tree<D> {
         debug_assert!(!branches.is_empty(), "internal node without branches");
         let mut best = 0;
         let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-        for (i, b) in branches.iter().enumerate() {
-            let expanded = b.rect.union(rect);
+        for i in 0..branches.len() {
+            let b_rect = branches.rect(i);
+            let expanded = b_rect.union(rect);
             let mut overlap_delta = 0.0;
-            for (j, other) in branches.iter().enumerate() {
+            for j in 0..branches.len() {
                 if i != j {
-                    overlap_delta +=
-                        expanded.overlap_area(&other.rect) - b.rect.overlap_area(&other.rect);
+                    let other = branches.rect(j);
+                    overlap_delta += expanded.overlap_area(&other) - b_rect.overlap_area(&other);
                 }
             }
-            let key = (overlap_delta, b.rect.enlargement(rect), b.rect.area());
+            let key = (overlap_delta, b_rect.enlargement(rect), b_rect.area());
             if key < best_key {
                 best_key = key;
                 best = i;
             }
         }
-        branches[best].child
+        branches.child(best)
     }
 
     /// Stores a spanning index record on `n`, linked to branch
     /// `branch_idx`, cutting it first if it exceeds `n`'s own region.
     fn insert_spanning(&mut self, n: NodeId, branch_idx: usize, rect: Rect<D>, record: RecordId) {
-        let linked_child = self.node(n).branches()[branch_idx].child;
+        let linked_child = self.node(n).branches().child(branch_idx);
         let stored_rect = match self.region_of(n) {
             Some(region) if !region.contains_rect(&rect) => {
                 // Cut into a spanning portion (clipped to n's region, so the
@@ -176,7 +168,7 @@ impl<const D: usize> Tree<D> {
             _ => rect,
         };
         debug_assert!(
-            stored_rect.spans_any_dim(&self.node(n).branches()[branch_idx].rect),
+            stored_rect.spans_any_dim(&self.node(n).branches().rect(branch_idx)),
             "clipped spanning portion must still span the linked branch"
         );
         let node = self.node_mut(n);
@@ -214,14 +206,14 @@ impl<const D: usize> Tree<D> {
                 .node(parent)
                 .branch_index_of(child)
                 .expect("parent pointer without matching branch");
-            let old = self.node(parent).branches()[bi].rect;
+            let old = self.node(parent).branches().rect(bi);
             if old.contains_rect(rect) {
                 // Stored regions nest upward, so every ancestor already
                 // covers the record.
                 break;
             }
             let expanded = old.union(rect);
-            self.node_mut(parent).branches_mut()[bi].rect = expanded;
+            self.node_mut(parent).branches_mut().set_rect(bi, &expanded);
             if self.config.segment {
                 self.recheck_spanning_links(parent, child);
             }
@@ -249,7 +241,7 @@ impl<const D: usize> Tree<D> {
         let mut i = 0;
         let mut modified = false;
         while i < self.node(parent).spanning().len() {
-            let s = self.node(parent).spanning()[i];
+            let s = self.node(parent).spanning().get(i);
             if s.linked_child != expanded_child || s.rect.spans_any_dim(&expanded_rect) {
                 i += 1;
                 continue;
@@ -260,7 +252,9 @@ impl<const D: usize> Tree<D> {
                 .find(|(c, r)| *c != expanded_child && s.rect.spans_any_dim(r));
             match relink {
                 Some((child, _)) => {
-                    self.node_mut(parent).spanning_mut()[i].linked_child = *child;
+                    self.node_mut(parent)
+                        .spanning_mut()
+                        .set_linked_child(i, *child);
                     self.stats.relinks += 1;
                     i += 1;
                 }

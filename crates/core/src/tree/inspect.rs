@@ -155,7 +155,7 @@ impl<const D: usize> Tree<D> {
             };
             let _ = writeln!(out, "  n{} [label=\"{}\"];", id.raw(), label);
             if let NodeKind::Internal { branches, .. } = &node.kind {
-                for b in branches {
+                for b in branches.iter() {
                     let _ = writeln!(out, "  n{} -> n{};", id.raw(), b.child.raw());
                 }
             }

@@ -9,7 +9,7 @@
 use super::Tree;
 use crate::id::{NodeId, RecordId};
 use crate::node::NodeKind;
-use segidx_geom::Rect;
+use segidx_geom::{scan_intersects, Rect};
 use std::collections::HashSet;
 
 impl<const D: usize> Tree<D> {
@@ -58,7 +58,7 @@ impl<const D: usize> Tree<D> {
             // Records on one side × subtrees on the other.
             if let NodeKind::Internal { branches, .. } = &rn.kind {
                 for (lr, lid) in &l_records {
-                    for b in branches {
+                    for b in branches.iter() {
                         if lr.intersects(&b.rect) {
                             self.join_record_vs_subtree(*lr, *lid, other, b.child, false, &mut out);
                         }
@@ -67,7 +67,7 @@ impl<const D: usize> Tree<D> {
             }
             if let NodeKind::Internal { branches, .. } = &ln.kind {
                 for (rr, rid) in &r_records {
-                    for b in branches {
+                    for b in branches.iter() {
                         if rr.intersects(&b.rect) {
                             self.join_record_vs_subtree(*rr, *rid, self, b.child, true, &mut out);
                         }
@@ -80,8 +80,8 @@ impl<const D: usize> Tree<D> {
                 NodeKind::Internal { branches: rb, .. },
             ) = (&ln.kind, &rn.kind)
             {
-                for a in lb {
-                    for b in rb {
+                for a in lb.iter() {
+                    for b in rb.iter() {
                         if a.rect.intersects(&b.rect) {
                             stack.push((a.child, b.child));
                         }
@@ -98,6 +98,9 @@ impl<const D: usize> Tree<D> {
 
     /// Pairs one record against every matching record in a subtree.
     /// `swap = true` means the fixed record belongs to the *right* tree.
+    ///
+    /// The descent runs [`scan_intersects`] over each node's coordinate
+    /// planes — the same branchless kernel as the search hot loop.
     fn join_record_vs_subtree(
         &self,
         rect: Rect<D>,
@@ -108,21 +111,37 @@ impl<const D: usize> Tree<D> {
         out: &mut Vec<(RecordId, RecordId)>,
     ) {
         let mut stack = vec![root];
+        let mut matches: Vec<u32> = Vec::new();
+        let mut emit = |other_id: RecordId| {
+            if swap {
+                out.push((other_id, id));
+            } else {
+                out.push((id, other_id));
+            }
+        };
         while let Some(n) = stack.pop() {
             let node = tree.node(n);
-            for (r, other_id) in node_records(node) {
-                if rect.intersects(&r) {
-                    if swap {
-                        out.push((other_id, id));
-                    } else {
-                        out.push((id, other_id));
+            match &node.kind {
+                NodeKind::Leaf { entries } => {
+                    matches.clear();
+                    let (los, his) = entries.planes();
+                    scan_intersects(&rect, los, his, &mut matches);
+                    for &i in &matches {
+                        emit(entries.record(i as usize));
                     }
                 }
-            }
-            if let NodeKind::Internal { branches, .. } = &node.kind {
-                for b in branches {
-                    if rect.intersects(&b.rect) {
-                        stack.push(b.child);
+                NodeKind::Internal { branches, spanning } => {
+                    matches.clear();
+                    let (los, his) = spanning.planes();
+                    scan_intersects(&rect, los, his, &mut matches);
+                    for &i in &matches {
+                        emit(spanning.record(i as usize));
+                    }
+                    matches.clear();
+                    let (los, his) = branches.planes();
+                    scan_intersects(&rect, los, his, &mut matches);
+                    for &i in &matches {
+                        stack.push(branches.child(i as usize));
                     }
                 }
             }

@@ -180,7 +180,7 @@ impl<const D: usize> Tree<D> {
         let bi = p
             .branch_index_of(id)
             .expect("parent pointer without matching branch");
-        Some(p.branches()[bi].rect)
+        Some(p.branches().rect(bi))
     }
 
     /// Counts one maintenance node access.

@@ -9,7 +9,7 @@
 use super::Tree;
 use crate::id::RecordId;
 use crate::node::NodeKind;
-use segidx_geom::{Point, Rect};
+use segidx_geom::{scan_min_dist_sqr, Point, Rect};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -88,6 +88,8 @@ impl<const D: usize> Tree<D> {
         // Cut records surface multiple portions; report each id once (its
         // nearest portion pops first, so correctness is preserved).
         let mut reported: Vec<RecordId> = Vec::new();
+        // Scratch for the per-node MINDIST kernel.
+        let mut dists: Vec<f64> = Vec::new();
 
         while let Some(item) = heap.pop() {
             match item {
@@ -112,28 +114,36 @@ impl<const D: usize> Tree<D> {
                 HeapItem::Node { id, .. } => {
                     accesses += 1;
                     let node = self.node(id);
+                    // Score the whole node with one branchless MINDIST pass
+                    // over its coordinate planes, then gather.
                     match &node.kind {
                         NodeKind::Leaf { entries } => {
-                            for e in entries {
+                            let (los, his) = entries.planes();
+                            scan_min_dist_sqr(p, los, his, &mut dists);
+                            for (i, &d) in dists.iter().enumerate() {
                                 heap.push(HeapItem::Record {
-                                    record: e.record,
-                                    rect: e.rect,
-                                    dist_sqr: e.rect.min_dist_sqr(p),
+                                    record: entries.record(i),
+                                    rect: entries.rect(i),
+                                    dist_sqr: d,
                                 });
                             }
                         }
                         NodeKind::Internal { branches, spanning } => {
-                            for s in spanning {
+                            let (los, his) = spanning.planes();
+                            scan_min_dist_sqr(p, los, his, &mut dists);
+                            for (i, &d) in dists.iter().enumerate() {
                                 heap.push(HeapItem::Record {
-                                    record: s.record,
-                                    rect: s.rect,
-                                    dist_sqr: s.rect.min_dist_sqr(p),
+                                    record: spanning.record(i),
+                                    rect: spanning.rect(i),
+                                    dist_sqr: d,
                                 });
                             }
-                            for b in branches {
+                            let (los, his) = branches.planes();
+                            scan_min_dist_sqr(p, los, his, &mut dists);
+                            for (i, &d) in dists.iter().enumerate() {
                                 heap.push(HeapItem::Node {
-                                    id: b.child,
-                                    dist_sqr: b.rect.min_dist_sqr(p),
+                                    id: branches.child(i),
+                                    dist_sqr: d,
                                 });
                             }
                         }

@@ -20,7 +20,7 @@
 use super::Tree;
 use crate::id::{NodeId, RecordId};
 use crate::node::NodeKind;
-use segidx_geom::{Point, Rect};
+use segidx_geom::{scan_intersects, scan_stab, Point, Rect};
 
 /// Reusable scratch state for the search kernels.
 ///
@@ -51,6 +51,8 @@ pub struct SearchCursor<const D: usize> {
     entries: Vec<(Rect<D>, RecordId)>,
     /// Sorted (and, in segment mode, deduplicated) ids of the latest query.
     ids: Vec<RecordId>,
+    /// Per-node scratch: indexes matched by the plane-scan kernels.
+    matches: Vec<u32>,
 }
 
 impl<const D: usize> SearchCursor<D> {
@@ -66,6 +68,7 @@ impl<const D: usize> SearchCursor<D> {
             stack: Vec::with_capacity(16),
             entries: Vec::with_capacity(expected_hits),
             ids: Vec::with_capacity(expected_hits),
+            matches: Vec::with_capacity(expected_hits),
         }
     }
 }
@@ -75,6 +78,10 @@ impl<const D: usize> Tree<D> {
     /// `cursor.entries` with the raw matching index records and returns the
     /// number of nodes accessed. Performs no allocation beyond growing the
     /// cursor's buffers and touches no shared state.
+    ///
+    /// Each node is tested with [`scan_intersects`] over its contiguous
+    /// coordinate planes — one branchless pass per store — and only the
+    /// matching indexes gather rectangles and payloads afterwards.
     pub(crate) fn search_kernel(&self, query: &Rect<D>, cursor: &mut SearchCursor<D>) -> u64 {
         cursor.entries.clear();
         cursor.stack.clear();
@@ -85,22 +92,69 @@ impl<const D: usize> Tree<D> {
             let node = self.node(n);
             match &node.kind {
                 NodeKind::Leaf { entries } => {
-                    for e in entries {
-                        if e.rect.intersects(query) {
-                            cursor.entries.push((e.rect, e.record));
-                        }
+                    cursor.matches.clear();
+                    let (los, his) = entries.planes();
+                    scan_intersects(query, los, his, &mut cursor.matches);
+                    for &i in &cursor.matches {
+                        let i = i as usize;
+                        cursor.entries.push((entries.rect(i), entries.record(i)));
                     }
                 }
                 NodeKind::Internal { branches, spanning } => {
-                    for s in spanning {
-                        if s.rect.intersects(query) {
-                            cursor.entries.push((s.rect, s.record));
-                        }
+                    cursor.matches.clear();
+                    let (los, his) = spanning.planes();
+                    scan_intersects(query, los, his, &mut cursor.matches);
+                    for &i in &cursor.matches {
+                        let i = i as usize;
+                        cursor.entries.push((spanning.rect(i), spanning.record(i)));
                     }
-                    for b in branches {
-                        if b.rect.intersects(query) {
-                            cursor.stack.push(b.child);
-                        }
+                    cursor.matches.clear();
+                    let (los, his) = branches.planes();
+                    scan_intersects(query, los, his, &mut cursor.matches);
+                    for &i in &cursor.matches {
+                        cursor.stack.push(branches.child(i as usize));
+                    }
+                }
+            }
+        }
+        accesses
+    }
+
+    /// Stabbing-query kernel: like [`Tree::search_kernel`] with the
+    /// degenerate rectangle at `p`, but driven by [`scan_stab`] so no
+    /// rectangle is materialized and each plane is tested against a single
+    /// coordinate.
+    pub(crate) fn stab_kernel(&self, p: &Point<D>, cursor: &mut SearchCursor<D>) -> u64 {
+        cursor.entries.clear();
+        cursor.stack.clear();
+        cursor.stack.push(self.root);
+        let mut accesses: u64 = 0;
+        while let Some(n) = cursor.stack.pop() {
+            accesses += 1;
+            let node = self.node(n);
+            match &node.kind {
+                NodeKind::Leaf { entries } => {
+                    cursor.matches.clear();
+                    let (los, his) = entries.planes();
+                    scan_stab(p, los, his, &mut cursor.matches);
+                    for &i in &cursor.matches {
+                        let i = i as usize;
+                        cursor.entries.push((entries.rect(i), entries.record(i)));
+                    }
+                }
+                NodeKind::Internal { branches, spanning } => {
+                    cursor.matches.clear();
+                    let (los, his) = spanning.planes();
+                    scan_stab(p, los, his, &mut cursor.matches);
+                    for &i in &cursor.matches {
+                        let i = i as usize;
+                        cursor.entries.push((spanning.rect(i), spanning.record(i)));
+                    }
+                    cursor.matches.clear();
+                    let (los, his) = branches.planes();
+                    scan_stab(p, los, his, &mut cursor.matches);
+                    for &i in &cursor.matches {
+                        cursor.stack.push(branches.child(i as usize));
                     }
                 }
             }
@@ -182,13 +236,17 @@ impl<const D: usize> Tree<D> {
     /// query" central to interval indexing (e.g. "which salary periods were
     /// in effect at time t?").
     pub fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
-        self.search(&Rect::from_point(*p))
+        let mut cursor = SearchCursor::with_capacity(self.stats.hits_estimate());
+        self.stab_with(&mut cursor, p).to_vec()
     }
 
     /// Like [`Tree::stab`], but reuses `cursor`'s buffers — zero heap
     /// allocation after warm-up.
     pub fn stab_with<'c>(&self, cursor: &'c mut SearchCursor<D>, p: &Point<D>) -> &'c [RecordId] {
-        self.search_with(cursor, &Rect::from_point(*p))
+        let accesses = self.stab_kernel(p, cursor);
+        self.stats
+            .flush_search(accesses, cursor.entries.len() as u64);
+        self.finish_ids(cursor)
     }
 
     /// Number of index nodes a search for `query` accesses, without

@@ -87,7 +87,7 @@ impl<const D: usize> Tree<D> {
             .enumerate()
             .map(|(i, e)| (e.rect.center().distance(&center), i))
             .collect();
-        order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
         let mut victims: Vec<usize> = order.iter().take(count).map(|&(_, i)| i).collect();
         victims.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
         for i in victims {
@@ -120,7 +120,7 @@ impl<const D: usize> Tree<D> {
         // Best (sibling, entry) pair: the move that enlarges the sibling's
         // region least.
         let mut best: Option<(NodeId, usize, usize, f64)> = None;
-        for b in self.node(parent).branches() {
+        for b in self.node(parent).branches().iter() {
             if b.child == n {
                 continue;
             }
@@ -144,7 +144,7 @@ impl<const D: usize> Tree<D> {
         };
         // Refuse moves that would balloon the sibling's region: a split is
         // better than creating heavy overlap.
-        let sib_rect = self.node(parent).branches()[sibling_bi].rect;
+        let sib_rect = self.node(parent).branches().rect(sibling_bi);
         if enlargement > sib_rect.area().max(1.0) {
             return false;
         }
@@ -187,12 +187,7 @@ impl<const D: usize> Tree<D> {
             .spanning()
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.rect
-                    .margin()
-                    .partial_cmp(&b.rect.margin())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|(_, a), (_, b)| a.rect.margin().total_cmp(&b.rect.margin()))
             .expect("non-empty spanning list");
         let s = self.node_mut(n).spanning_mut().swap_remove(idx);
         self.node_mut(n).touch_modified();
@@ -211,9 +206,9 @@ impl<const D: usize> Tree<D> {
         let is_leaf = self.node(n).is_leaf();
 
         let sibling = if is_leaf {
-            let entries = std::mem::take(self.node_mut(n).entries_mut());
+            let entries = self.node_mut(n).entries_mut().take_vec();
             if entries.len() < 2 {
-                *self.node_mut(n).entries_mut() = entries;
+                self.node_mut(n).entries_mut().assign(entries);
                 return None;
             }
             let min_fill = self
@@ -222,15 +217,15 @@ impl<const D: usize> Tree<D> {
                 .min(entries.len() / 2)
                 .max(1);
             let (g1, g2) = split_items(entries, |e| e.rect, min_fill, self.config.split);
-            *self.node_mut(n).entries_mut() = g1;
+            self.node_mut(n).entries_mut().assign(g1);
             let mut sib = Node::leaf();
-            *sib.entries_mut() = g2;
+            sib.entries_mut().assign(g2);
             self.stats.leaf_splits += 1;
             sib
         } else {
-            let branches = std::mem::take(self.node_mut(n).branches_mut());
+            let branches = self.node_mut(n).branches_mut().take_vec();
             if branches.len() < 2 {
-                *self.node_mut(n).branches_mut() = branches;
+                self.node_mut(n).branches_mut().assign(branches);
                 return None;
             }
             let min_fill = self
@@ -242,15 +237,15 @@ impl<const D: usize> Tree<D> {
             // Spanning records are "carried over" with the branch they are
             // linked to (paper §3.1.2, Figure 4).
             let moved: Vec<NodeId> = b2.iter().map(|b| b.child).collect();
-            let spanning = std::mem::take(self.node_mut(n).spanning_mut());
+            let spanning = self.node_mut(n).spanning_mut().take_vec();
             let (s2, s1): (Vec<_>, Vec<_>) = spanning
                 .into_iter()
                 .partition(|s| moved.contains(&s.linked_child));
-            *self.node_mut(n).branches_mut() = b1;
-            *self.node_mut(n).spanning_mut() = s1;
+            self.node_mut(n).branches_mut().assign(b1);
+            self.node_mut(n).spanning_mut().assign(s1);
             let mut sib = Node::internal(level);
-            *sib.branches_mut() = b2;
-            *sib.spanning_mut() = s2;
+            sib.branches_mut().assign(b2);
+            sib.spanning_mut().assign(s2);
             self.stats.internal_splits += 1;
             sib
         };
@@ -259,12 +254,7 @@ impl<const D: usize> Tree<D> {
         self.node_mut(n).touch_modified();
         // Children moved to the sibling need their parent pointers updated.
         if !is_leaf {
-            let children: Vec<NodeId> = self
-                .node(sibling_id)
-                .branches()
-                .iter()
-                .map(|b| b.child)
-                .collect();
+            let children: Vec<NodeId> = self.node(sibling_id).branches().children().to_vec();
             for c in children {
                 self.node_mut(c).parent = Some(sibling_id);
             }
@@ -283,7 +273,7 @@ impl<const D: usize> Tree<D> {
                     .node(p)
                     .branch_index_of(n)
                     .expect("parent pointer without matching branch");
-                self.node_mut(p).branches_mut()[bi].rect = r1;
+                self.node_mut(p).branches_mut().set_rect(bi, &r1);
                 self.node_mut(p).branches_mut().push(Branch {
                     rect: r2,
                     child: sibling_id,
@@ -336,7 +326,7 @@ impl<const D: usize> Tree<D> {
         for host in [n, sibling] {
             let mut i = 0;
             while i < self.node(host).spanning().len() {
-                let s = self.node(host).spanning()[i];
+                let s = self.node(host).spanning().get(i);
                 let target = if s.rect.spans_any_dim(&rn) {
                     Some(n)
                 } else if s.rect.spans_any_dim(&rs) {
@@ -368,7 +358,7 @@ impl<const D: usize> Tree<D> {
         };
         let mut i = 0;
         while i < self.node(node).spanning().len() {
-            let s = self.node(node).spanning()[i];
+            let s = self.node(node).spanning().get(i);
             if region.contains_rect(&s.rect) {
                 i += 1;
                 continue;
@@ -385,10 +375,10 @@ impl<const D: usize> Tree<D> {
             let linked_rect = self
                 .node(node)
                 .branch_index_of(s.linked_child)
-                .map(|bi| self.node(node).branches()[bi].rect);
+                .map(|bi| self.node(node).branches().rect(bi));
             match (cut.spanning, linked_rect) {
                 (Some(clipped), Some(branch_rect)) if clipped.spans_any_dim(&branch_rect) => {
-                    self.node_mut(node).spanning_mut()[i].rect = clipped;
+                    self.node_mut(node).spanning_mut().set_rect(i, &clipped);
                     i += 1;
                 }
                 _ => {
@@ -486,13 +476,13 @@ pub(crate) fn split_items<T, const D: usize>(
         let d1 = mbr1.enlargement(&r);
         let d2 = mbr2.enlargement(&r);
         // Resolve ties by smaller area, then fewer entries (Guttman QS3).
-        let to_first = match d1.partial_cmp(&d2) {
-            Some(std::cmp::Ordering::Less) => true,
-            Some(std::cmp::Ordering::Greater) => false,
-            _ => match mbr1.area().partial_cmp(&mbr2.area()) {
-                Some(std::cmp::Ordering::Less) => true,
-                Some(std::cmp::Ordering::Greater) => false,
-                _ => g1.len() <= g2.len(),
+        let to_first = match d1.total_cmp(&d2) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => match mbr1.area().total_cmp(&mbr2.area()) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => g1.len() <= g2.len(),
             },
         };
         if to_first {
@@ -606,13 +596,13 @@ fn rstar_split<T, const D: usize>(
         let mut orders: Vec<Vec<usize>> = Vec::with_capacity(2);
         for by_hi in [false, true] {
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
+            order.sort_unstable_by(|&a, &b| {
                 let (ka, kb) = if by_hi {
                     (rects[a].hi(axis), rects[b].hi(axis))
                 } else {
                     (rects[a].lo(axis), rects[b].lo(axis))
                 };
-                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+                ka.total_cmp(&kb)
             });
             let (prefix, suffix) = sweep(&order);
             for k in m..=(n - m) {

@@ -67,7 +67,7 @@ impl<const D: usize> Tree<D> {
                     }
                     physical_entries += spanning.len();
                     let region = self.region_of(n);
-                    for b in branches {
+                    for b in branches.iter() {
                         let child = self.node(b.child);
                         if child.parent != Some(n) {
                             issues.push(format!(
@@ -106,7 +106,7 @@ impl<const D: usize> Tree<D> {
                                 s.linked_child
                             )),
                             Some(bi) => {
-                                if !s.rect.spans_any_dim(&branches[bi].rect) {
+                                if !s.rect.spans_any_dim(&branches.rect(bi)) {
                                     issues.push(format!(
                                         "spanning record {si} on {n:?} does not span its branch"
                                     ));

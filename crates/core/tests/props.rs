@@ -182,6 +182,80 @@ proptest! {
     }
 
     #[test]
+    fn bulk_load_matches_model(records in vec(rect_strategy(), 1..250)) {
+        // STR bulk load over every configuration must agree with the
+        // brute-force model on search, stab, and structural invariants —
+        // pins the SoA rewrite of the packing path.
+        let items: Vec<(Rect<2>, RecordId)> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (*r, RecordId(i as u64)))
+            .collect();
+        let queries = [
+            Rect::new([0.0, 0.0], [1400.0, 1400.0]),
+            Rect::new([200.0, 100.0], [450.0, 350.0]),
+            Rect::new([990.0, 990.0], [1000.0, 1000.0]),
+        ];
+        for (name, config) in configs() {
+            let tree = segidx_core::bulk::bulk_load(config, items.clone());
+            prop_assert_eq!(tree.len(), items.len(), "{}: len", name);
+            let issues = tree.check_invariants();
+            prop_assert!(issues.is_empty(), "{name}: {issues:?}");
+            for q in &queries {
+                let mut expected: Vec<RecordId> = items
+                    .iter()
+                    .filter(|(r, _)| r.intersects(q))
+                    .map(|(_, id)| *id)
+                    .collect();
+                expected.sort_unstable();
+                prop_assert_eq!(tree.search(q), expected, "{}: search {:?}", name, q);
+            }
+            let p = Point::new([500.0, 500.0]);
+            let mut expected: Vec<RecordId> = items
+                .iter()
+                .filter(|(r, _)| r.contains_point(&p))
+                .map(|(_, id)| *id)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(tree.stab(&p), expected, "{}: stab", name);
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial(
+        records in vec(rect_strategy(), 1..200),
+        queries in vec(rect_strategy(), 1..24),
+        probes in vec((0.0..1200.0f64, 0.0..1200.0f64), 1..24),
+    ) {
+        // PR 1's guarantee, re-pinned on the SoA layout: batched (and
+        // threaded) execution returns exactly the serial results, in
+        // input order, for every configuration.
+        let points: Vec<Point<2>> = probes.iter().map(|&(x, y)| Point::new([x, y])).collect();
+        for (name, config) in configs() {
+            let mut tree: Tree<2> = Tree::new(config);
+            for (i, r) in records.iter().enumerate() {
+                tree.insert(*r, RecordId(i as u64));
+            }
+            let serial: Vec<Vec<RecordId>> = queries.iter().map(|q| tree.search(q)).collect();
+            prop_assert_eq!(&tree.search_batch(&queries), &serial, "{}: search_batch", name);
+            prop_assert_eq!(
+                &tree.search_batch_threads(&queries, 3),
+                &serial,
+                "{}: search_batch_threads",
+                name
+            );
+            let stab_serial: Vec<Vec<RecordId>> = points.iter().map(|p| tree.stab(p)).collect();
+            prop_assert_eq!(&tree.stab_batch(&points), &stab_serial, "{}: stab_batch", name);
+            prop_assert_eq!(
+                &tree.stab_batch_threads(&points, 3),
+                &stab_serial,
+                "{}: stab_batch_threads",
+                name
+            );
+        }
+    }
+
+    #[test]
     fn join_matches_model(
         left in vec(rect_strategy(), 1..80),
         right in vec(rect_strategy(), 1..80),

@@ -1,0 +1,359 @@
+//! Branchless scan kernels over structure-of-arrays coordinate planes.
+//!
+//! A node that stores its entry rectangles as per-dimension `lo`/`hi`
+//! planes (contiguous `&[f64]` per dimension) can test every entry
+//! against a query with straight-line arithmetic: one comparison pair per
+//! dimension, accumulated into a byte mask, no data-dependent branches
+//! inside the loop. The loops are written over fixed-width chunks so the
+//! compiler auto-vectorizes them (the predicate `lo ≤ q.hi && hi ≥ q.lo`
+//! becomes two SIMD compares and an AND per plane).
+//!
+//! Matching indexes are emitted in ascending order, so callers that need
+//! entry payloads (record ids, child pointers) gather them afterwards
+//! with sequential access into the parallel payload arrays.
+
+use crate::{Coord, Point, Rect};
+
+/// Entries processed per mask accumulation block. 64 keeps the mask
+/// buffer in one or two cache lines while giving the vectorizer long
+/// straight-line runs.
+const CHUNK: usize = 64;
+
+/// Appends to `out` the index of every entry whose rectangle intersects
+/// `query`, scanning per-dimension coordinate planes.
+///
+/// `los[d][i]` / `his[d][i]` are entry `i`'s bounds in dimension `d`; all
+/// planes must have equal lengths. Indexes are appended in ascending
+/// order. `out` is **not** cleared — callers reuse buffers across nodes.
+///
+/// ```
+/// use segidx_geom::{scan_intersects, Rect};
+///
+/// let los_x = [0.0, 10.0, 20.0];
+/// let his_x = [5.0, 15.0, 25.0];
+/// let los_y = [0.0, 0.0, 0.0];
+/// let his_y = [1.0, 1.0, 1.0];
+/// let query = Rect::new([4.0, 0.0], [12.0, 2.0]);
+/// let mut out = Vec::new();
+/// scan_intersects(&query, [&los_x, &los_y], [&his_x, &his_y], &mut out);
+/// assert_eq!(out, vec![0, 1]);
+/// ```
+pub fn scan_intersects<const D: usize>(
+    query: &Rect<D>,
+    los: [&[Coord]; D],
+    his: [&[Coord]; D],
+    out: &mut Vec<u32>,
+) {
+    let n = los[0].len();
+    debug_assert!(
+        los.iter().all(|p| p.len() == n) && his.iter().all(|p| p.len() == n),
+        "coordinate planes must have equal lengths"
+    );
+    let mut mask = [0u64; CHUNK];
+    let mut base = 0;
+    // Full chunks see a compile-time trip count (the `&[Coord; CHUNK]`
+    // windows below), which is what lets LLVM vectorize the compares.
+    while n - base >= CHUNK {
+        for d in 0..D {
+            let (q_lo, q_hi) = (query.lo(d), query.hi(d));
+            let lo_p: &[Coord; CHUNK] = los[d][base..base + CHUNK].try_into().unwrap();
+            let hi_p: &[Coord; CHUNK] = his[d][base..base + CHUNK].try_into().unwrap();
+            if d == 0 {
+                for i in 0..CHUNK {
+                    mask[i] = u64::from(lo_p[i] <= q_hi) & u64::from(hi_p[i] >= q_lo);
+                }
+            } else {
+                for i in 0..CHUNK {
+                    mask[i] &= u64::from(lo_p[i] <= q_hi) & u64::from(hi_p[i] >= q_lo);
+                }
+            }
+        }
+        emit_hits(&mask, CHUNK, base, out);
+        base += CHUNK;
+    }
+    // Variable-length tail.
+    let m = n - base;
+    if m > 0 {
+        for d in 0..D {
+            let (q_lo, q_hi) = (query.lo(d), query.hi(d));
+            let (lo_p, hi_p) = (&los[d][base..], &his[d][base..]);
+            if d == 0 {
+                for i in 0..m {
+                    mask[i] = u64::from(lo_p[i] <= q_hi) & u64::from(hi_p[i] >= q_lo);
+                }
+            } else {
+                for i in 0..m {
+                    mask[i] &= u64::from(lo_p[i] <= q_hi) & u64::from(hi_p[i] >= q_lo);
+                }
+            }
+        }
+        emit_hits(&mask, m, base, out);
+    }
+}
+
+/// Pushes `base + i` for every set lane of `mask[..m]`. The lanes are
+/// first compressed into one `u64` bit set (a vectorizable reduction),
+/// then only the set bits are visited via `trailing_zeros`, so emission
+/// cost scales with the hit count rather than the chunk width.
+#[inline]
+fn emit_hits(mask: &[u64; CHUNK], m: usize, base: usize, out: &mut Vec<u32>) {
+    let mut bits = 0u64;
+    if m == CHUNK {
+        for (i, &hit) in mask.iter().enumerate() {
+            bits |= (hit & 1) << i;
+        }
+    } else {
+        for (i, &hit) in mask[..m].iter().enumerate() {
+            bits |= (hit & 1) << i;
+        }
+    }
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        out.push((base + i) as u32);
+        bits &= bits - 1;
+    }
+}
+
+/// Appends to `out` the index of every entry whose rectangle contains the
+/// point `p` (closed bounds) — the stabbing-query kernel. Equivalent to
+/// [`scan_intersects`] with the degenerate rectangle at `p`, without
+/// constructing it.
+pub fn scan_stab<const D: usize>(
+    p: &Point<D>,
+    los: [&[Coord]; D],
+    his: [&[Coord]; D],
+    out: &mut Vec<u32>,
+) {
+    let n = los[0].len();
+    let mut mask = [0u64; CHUNK];
+    let mut base = 0;
+    while n - base >= CHUNK {
+        for d in 0..D {
+            let c = p.coord(d);
+            let lo_p: &[Coord; CHUNK] = los[d][base..base + CHUNK].try_into().unwrap();
+            let hi_p: &[Coord; CHUNK] = his[d][base..base + CHUNK].try_into().unwrap();
+            if d == 0 {
+                for i in 0..CHUNK {
+                    mask[i] = u64::from(lo_p[i] <= c) & u64::from(hi_p[i] >= c);
+                }
+            } else {
+                for i in 0..CHUNK {
+                    mask[i] &= u64::from(lo_p[i] <= c) & u64::from(hi_p[i] >= c);
+                }
+            }
+        }
+        emit_hits(&mask, CHUNK, base, out);
+        base += CHUNK;
+    }
+    let m = n - base;
+    if m > 0 {
+        for d in 0..D {
+            let c = p.coord(d);
+            let (lo_p, hi_p) = (&los[d][base..], &his[d][base..]);
+            if d == 0 {
+                for i in 0..m {
+                    mask[i] = u64::from(lo_p[i] <= c) & u64::from(hi_p[i] >= c);
+                }
+            } else {
+                for i in 0..m {
+                    mask[i] &= u64::from(lo_p[i] <= c) & u64::from(hi_p[i] >= c);
+                }
+            }
+        }
+        emit_hits(&mask, m, base, out);
+    }
+}
+
+/// Writes into `dists` the squared Euclidean `MINDIST` from `p` to every
+/// entry rectangle (`dists` is resized to the plane length). Used by
+/// best-first nearest-neighbor traversal to score a whole node in one
+/// branchless pass.
+pub fn scan_min_dist_sqr<const D: usize>(
+    p: &Point<D>,
+    los: [&[Coord]; D],
+    his: [&[Coord]; D],
+    dists: &mut Vec<f64>,
+) {
+    let n = los[0].len();
+    dists.clear();
+    dists.resize(n, 0.0);
+    for d in 0..D {
+        let c = p.coord(d);
+        let (lo_p, hi_p) = (los[d], his[d]);
+        for i in 0..n {
+            // Distance to the slab in this dimension: max(lo-c, 0, c-hi),
+            // computed branchlessly with float max.
+            let gap = (lo_p[i] - c).max(c - hi_p[i]).max(0.0);
+            dists[i] += gap * gap;
+        }
+    }
+}
+
+/// Returns `(index, enlargement, area)` of the entry needing the least
+/// area enlargement to cover `query`, ties broken by smaller area — the
+/// Guttman ChooseLeaf criterion — or `None` for empty planes. One
+/// branch-free arithmetic pass over the planes replaces per-entry `Rect`
+/// reconstruction in the insert descent.
+pub fn scan_min_enlargement<const D: usize>(
+    query: &Rect<D>,
+    los: [&[Coord]; D],
+    his: [&[Coord]; D],
+) -> Option<(usize, f64, f64)> {
+    let n = los[0].len();
+    let mut best: Option<(usize, f64, f64)> = None;
+    for i in 0..n {
+        let mut area = 1.0f64;
+        let mut union_area = 1.0f64;
+        for d in 0..D {
+            let (lo, hi) = (los[d][i], his[d][i]);
+            area *= hi - lo;
+            union_area *= hi.max(query.hi(d)) - lo.min(query.lo(d));
+        }
+        let enlargement = union_area - area;
+        let better = match best {
+            None => true,
+            Some((_, be, ba)) => enlargement < be || (enlargement == be && area < ba),
+        };
+        if better {
+            best = Some((i, enlargement, area));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes_of(rects: &[Rect<2>]) -> ([Vec<f64>; 2], [Vec<f64>; 2]) {
+        let mut los = [Vec::new(), Vec::new()];
+        let mut his = [Vec::new(), Vec::new()];
+        for r in rects {
+            for d in 0..2 {
+                los[d].push(r.lo(d));
+                his[d].push(r.hi(d));
+            }
+        }
+        (los, his)
+    }
+
+    fn dataset(n: u64) -> Vec<Rect<2>> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 500) as f64;
+                let y = ((i * 91) % 300) as f64;
+                let len = if i % 7 == 0 { 120.0 } else { 3.0 };
+                Rect::new([x, y], [x + len, y + 2.0])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_rect_intersects_exactly() {
+        let rects = dataset(257); // deliberately not a multiple of CHUNK
+        let (los, his) = planes_of(&rects);
+        let queries = [
+            Rect::new([0.0, 0.0], [60.0, 40.0]),
+            Rect::new([250.0, 100.0], [260.0, 110.0]),
+            Rect::new([-50.0, -50.0], [-1.0, -1.0]),
+            Rect::new([0.0, 0.0], [500.0, 300.0]),
+        ];
+        for q in &queries {
+            let mut out = Vec::new();
+            scan_intersects(q, [&los[0], &los[1]], [&his[0], &his[1]], &mut out);
+            let expected: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(out, expected, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn stab_matches_degenerate_rect() {
+        let rects = dataset(130);
+        let (los, his) = planes_of(&rects);
+        for probe in [[10.0, 20.0], [333.0, 150.0], [499.0, 299.0]] {
+            let p = Point::new(probe);
+            let mut stab = Vec::new();
+            scan_stab(&p, [&los[0], &los[1]], [&his[0], &his[1]], &mut stab);
+            let mut via_rect = Vec::new();
+            scan_intersects(
+                &Rect::from_point(p),
+                [&los[0], &los[1]],
+                [&his[0], &his[1]],
+                &mut via_rect,
+            );
+            assert_eq!(stab, via_rect);
+        }
+    }
+
+    #[test]
+    fn appends_without_clearing() {
+        let rects = dataset(10);
+        let (los, his) = planes_of(&rects);
+        let q = Rect::new([0.0, 0.0], [500.0, 300.0]);
+        let mut out = vec![999];
+        scan_intersects(&q, [&los[0], &los[1]], [&his[0], &his[1]], &mut out);
+        assert_eq!(out[0], 999);
+        assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn min_dist_matches_rect_kernel() {
+        let rects = dataset(97);
+        let (los, his) = planes_of(&rects);
+        let p = Point::new([250.0, -30.0]);
+        let mut dists = Vec::new();
+        scan_min_dist_sqr(&p, [&los[0], &los[1]], [&his[0], &his[1]], &mut dists);
+        for (i, r) in rects.iter().enumerate() {
+            assert!(
+                (dists[i] - r.min_dist_sqr(&p)).abs() < 1e-9,
+                "entry {i}: {} vs {}",
+                dists[i],
+                r.min_dist_sqr(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn min_enlargement_matches_rect_kernel() {
+        let rects = dataset(61);
+        let (los, his) = planes_of(&rects);
+        for q in [
+            Rect::new([100.0, 50.0], [140.0, 70.0]),
+            Rect::new([0.0, 0.0], [1.0, 1.0]),
+        ] {
+            let got = scan_min_enlargement(&q, [&los[0], &los[1]], [&his[0], &his[1]])
+                .expect("non-empty");
+            let want = rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, r.enlargement(&q), r.area()))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.total_cmp(&b.2)))
+                .unwrap();
+            assert_eq!(got.0, want.0);
+            assert!((got.1 - want.1).abs() < 1e-9);
+        }
+        assert!(scan_min_enlargement::<2>(
+            &Rect::new([0.0, 0.0], [1.0, 1.0]),
+            [&[], &[]],
+            [&[], &[]]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn empty_planes() {
+        let mut out = Vec::new();
+        scan_intersects::<2>(
+            &Rect::new([0.0, 0.0], [1.0, 1.0]),
+            [&[], &[]],
+            [&[], &[]],
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

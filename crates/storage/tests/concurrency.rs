@@ -32,14 +32,14 @@ fn concurrent_readers_and_writers_through_the_pool() {
         .collect();
     pool.flush_all().unwrap();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // Four readers hammering random pages; two writers rewriting their
         // own disjoint slices. Readers must always observe a page whose
         // bytes are self-consistent (all equal to one tag value).
         for t in 0..4 {
             let pool = Arc::clone(&pool);
             let ids = ids.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for round in 0..300usize {
                     let id = ids[(round * 7 + t * 13) % ids.len()];
                     let ok = pool
@@ -55,7 +55,7 @@ fn concurrent_readers_and_writers_through_the_pool() {
         for w in 0..2 {
             let pool = Arc::clone(&pool);
             let ids = ids.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for round in 0..150usize {
                     let idx = w * 32 + (round % 32);
                     let tag = (200 + idx % 50) as u8;
@@ -66,8 +66,7 @@ fn concurrent_readers_and_writers_through_the_pool() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     pool.flush_all().unwrap();
     assert!(disk.verify_all().is_empty(), "file clean after churn");

@@ -1,0 +1,177 @@
+//! Offline shim of the `bytes` crate: a growable [`BytesMut`] buffer and
+//! the little-endian [`Buf`]/[`BufMut`] accessors the storage layer uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Clears the buffer without releasing its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Appends `slice` to the buffer.
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.inner.extend_from_slice(slice);
+    }
+
+    /// Resizes the buffer to `len`, filling new bytes with `value`.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.inner.resize(len, value);
+    }
+
+    /// Consumes the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        Self { inner }
+    }
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let (head, rest) = $self.split_at(N);
+        let v = <$ty>::from_le_bytes(head.try_into().expect("exact size"));
+        *$self = rest;
+        v
+    }};
+}
+
+/// Sequential read access to a byte slice; every `get_*` advances the
+/// cursor past the bytes read. Panics if the source is too short, like
+/// the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads a `u8`.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        get_le!(self, u8)
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        get_le!(self, u16)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+}
+
+/// Sequential write access to a growable buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, slice: &[u8]);
+    /// Appends a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.inner.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u8(7);
+        buf.put_u16_le(513);
+        buf.put_u64_le(u64::MAX - 3);
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 513);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn resize_and_clear() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"abc");
+        buf.resize(8, 0);
+        assert_eq!(&buf[..], b"abc\0\0\0\0\0");
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline shim of the `serde` data model: just enough of the trait
+//! surface for this workspace's derives and manual sequence impls to
+//! compile. No runtime serialization happens anywhere in the repo (the
+//! paged persistence layer uses its own byte codec), so data-format
+//! backends are intentionally absent.
+
+pub mod ser {
+    use core::fmt::Display;
+
+    /// Error produced by a serializer.
+    pub trait Error: Sized + core::fmt::Debug + Display {
+        /// Custom error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Sequence serializer returned by [`Serializer::serialize_seq`].
+    pub trait SerializeSeq {
+        /// Output produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A data-format serializer.
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Sequence sub-serializer.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Begins a sequence of `len` elements.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u32`.
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A serializable type.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bool(*self)
+        }
+    }
+    impl Serialize for u32 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_u32(*self)
+        }
+    }
+    impl Serialize for u64 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_u64(*self)
+        }
+    }
+    impl Serialize for f64 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_f64(*self)
+        }
+    }
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+}
+
+pub mod de {
+    use core::fmt::{self, Display};
+
+    /// A description of what a deserializer expected (used in errors).
+    pub trait Expected {
+        /// Writes the expectation, e.g. "a sequence of 4 floats".
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+    }
+
+    impl<'de, T: Visitor<'de>> Expected for T {
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.expecting(formatter)
+        }
+    }
+
+    /// Error produced by a deserializer.
+    pub trait Error: Sized + core::fmt::Debug + Display {
+        /// Custom error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+        /// A sequence ended after `len` elements when more were expected.
+        fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+            struct Adapter<'a>(&'a dyn Expected);
+            impl fmt::Display for Adapter<'_> {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    self.0.fmt(f)
+                }
+            }
+            Error::custom(format_args!(
+                "invalid length {len}, expected {}",
+                Adapter(exp)
+            ))
+        }
+    }
+
+    /// Drives deserialization of one value.
+    pub trait Visitor<'de>: Sized {
+        /// The value produced.
+        type Value;
+        /// Writes what this visitor expects to see.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+        /// Visits a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+            let _ = seq;
+            Err(Error::custom("unexpected sequence"))
+        }
+        /// Visits a `bool`.
+        fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom("unexpected bool"))
+        }
+        /// Visits a `u64`.
+        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom("unexpected u64"))
+        }
+        /// Visits an `f64`.
+        fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::custom("unexpected f64"))
+        }
+    }
+
+    /// Access to the elements of a sequence being deserialized.
+    pub trait SeqAccess<'de> {
+        /// Error type.
+        type Error: Error;
+        /// Returns the next element, or `None` at the end.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+
+    /// A data-format deserializer.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Deserializes a sequence.
+        fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `bool`.
+        fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes a `u64`.
+        fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        /// Deserializes an `f64`.
+        fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    }
+
+    /// A deserializable type.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    macro_rules! impl_primitive_de {
+        ($ty:ty, $deserialize:ident, $visit:ident, $expect:literal) => {
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expect)
+                        }
+                        fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                            Ok(v)
+                        }
+                    }
+                    deserializer.$deserialize(V)
+                }
+            }
+        };
+    }
+    impl_primitive_de!(bool, deserialize_bool, visit_bool, "a bool");
+    impl_primitive_de!(u64, deserialize_u64, visit_u64, "a u64");
+    impl_primitive_de!(f64, deserialize_f64, visit_f64, "an f64");
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

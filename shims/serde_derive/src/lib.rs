@@ -1,0 +1,62 @@
+//! Offline shim of serde's derive macros.
+//!
+//! Emits trait impls whose bodies abort at runtime: nothing in this
+//! workspace serializes through serde (persistence uses its own byte
+//! codec), so the derives only need to satisfy the type system. All
+//! derive targets in-repo are non-generic, which keeps the generated
+//! impl trivial.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first top-level `struct` or
+/// `enum` keyword, skipping attributes (including `#[serde(...)]`) and
+/// visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            // `#` and `[...]` attribute fragments, visibility groups.
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: no struct or enum name found in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize<S: ::serde::Serializer>(&self, _serializer: S)\n\
+                -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                ::core::unimplemented!(\"serde shim: runtime serialization is not wired up\")\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+            fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                -> ::core::result::Result<Self, D::Error> {{\n\
+                ::core::unimplemented!(\"serde shim: runtime deserialization is not wired up\")\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}

@@ -35,12 +35,12 @@ fn parallel_searches_agree_with_serial() {
         .collect();
     let serial: Vec<Vec<RecordId>> = queries.iter().map(|q| tree.search(q)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..6 {
             let tree = Arc::clone(&tree);
             let queries = &queries;
             let serial = &serial;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 // Each thread walks the query list from a different offset.
                 for k in 0..queries.len() {
                     let i = (k + t * 17) % queries.len();
@@ -52,8 +52,7 @@ fn parallel_searches_agree_with_serial() {
                 assert_eq!(knn.len(), 5);
             });
         }
-    })
-    .unwrap();
+    });
 
     // Counters aggregated across threads without tearing: 6 threads × (90
     // searches + 1 kNN) plus the 90 serial searches.
@@ -193,15 +192,14 @@ fn join_runs_against_shared_trees() {
     let tb = build(&b);
     let expected = ta.join(&tb);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..4 {
             let ta = Arc::clone(&ta);
             let tb = Arc::clone(&tb);
             let expected = &expected;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 assert_eq!(&ta.join(&tb), expected);
             });
         }
-    })
-    .unwrap();
+    });
 }
