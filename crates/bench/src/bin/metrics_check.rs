@@ -1,0 +1,129 @@
+//! Validates a `reproduce --metrics-out` JSON file.
+//!
+//! CI runs this after the smoke reproduction to guarantee the exported
+//! metrics are well-formed: the file parses, is non-empty, and every
+//! (graph, variant) pair carries search/insert latency percentiles, the
+//! logical node-access counters, and a buffer-pool hit rate.
+//!
+//! Usage: `metrics_check <path/to/metrics.json>`. Exits non-zero with a
+//! description of the first problem found.
+
+use segidx_obs::json::{self, Value};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: metrics_check <metrics.json>");
+        return ExitCode::from(2);
+    };
+    match check(&path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("metrics_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Metrics every (graph, variant) pair must export. Histograms must carry
+/// non-null p50/p95/p99 when non-empty.
+const REQUIRED_HISTOGRAMS: [&str; 2] =
+    ["segidx_search_latency_nanos", "segidx_insert_latency_nanos"];
+const REQUIRED_COUNTERS: [&str; 3] = [
+    "segidx_search_node_accesses_total",
+    "segidx_searches_total",
+    "segidx_maintenance_node_accesses_total",
+];
+const REQUIRED_GAUGES: [&str; 1] = ["segidx_buffer_pool_hit_rate"];
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let metrics = value
+        .get("metrics")
+        .and_then(Value::as_array)
+        .ok_or("missing top-level \"metrics\" array")?;
+    if metrics.is_empty() {
+        return Err("\"metrics\" array is empty".into());
+    }
+
+    // Group by (graph, variant), remembering which names each pair exported.
+    let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for m in metrics {
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("metric without a \"name\"")?;
+        let labels = m.get("labels").ok_or("metric without \"labels\"")?;
+        let graph = labels.get("graph").and_then(Value::as_str).unwrap_or("");
+        let variant = labels.get("variant").and_then(Value::as_str).unwrap_or("");
+        if graph.is_empty() || variant.is_empty() {
+            return Err(format!("{name}: missing graph/variant labels"));
+        }
+        validate_metric(name, variant, m)?;
+        pairs.insert((graph.to_string(), variant.to_string()));
+        seen.insert((graph.to_string(), variant.to_string(), name.to_string()));
+    }
+
+    for (graph, variant) in &pairs {
+        for name in REQUIRED_HISTOGRAMS
+            .iter()
+            .chain(&REQUIRED_COUNTERS)
+            .chain(&REQUIRED_GAUGES)
+        {
+            if !seen.contains(&(graph.clone(), variant.clone(), name.to_string())) {
+                return Err(format!("graph {graph} / {variant}: missing {name}"));
+            }
+        }
+    }
+
+    Ok(format!(
+        "ok: {} metrics across {} (graph, variant) pairs",
+        metrics.len(),
+        pairs.len()
+    ))
+}
+
+fn validate_metric(name: &str, variant: &str, m: &Value) -> Result<(), String> {
+    let kind = m.get("type").and_then(Value::as_str).unwrap_or("");
+    if REQUIRED_HISTOGRAMS.contains(&name) {
+        if kind != "histogram" {
+            return Err(format!(
+                "{name} ({variant}): expected histogram, got {kind}"
+            ));
+        }
+        let count = m.get("count").and_then(Value::as_i64).unwrap_or(0);
+        if count <= 0 {
+            return Err(format!("{name} ({variant}): empty histogram"));
+        }
+        for q in ["p50", "p95", "p99"] {
+            let v = m
+                .get(q)
+                .and_then(Value::as_i64)
+                .ok_or_else(|| format!("{name} ({variant}): missing {q}"))?;
+            if v < 0 {
+                return Err(format!("{name} ({variant}): negative {q}"));
+            }
+        }
+    } else if REQUIRED_COUNTERS.contains(&name) && kind != "counter" {
+        return Err(format!("{name} ({variant}): expected counter, got {kind}"));
+    } else if REQUIRED_GAUGES.contains(&name) {
+        if kind != "gauge" {
+            return Err(format!("{name} ({variant}): expected gauge, got {kind}"));
+        }
+        let v = m
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{name} ({variant}): non-numeric value"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{name} ({variant}): hit rate {v} outside [0, 1]"));
+        }
+    }
+    Ok(())
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--graph N | --graph all] [--tuples N] [--queries N]
-//!           [--seed N] [--csv DIR] [--quick]
+//!           [--seed N] [--csv DIR] [--metrics-out FILE] [--quick]
 //! ```
 //!
 //! Defaults match the paper: 200,000 tuples, 100 queries per QAR value.
@@ -10,7 +10,7 @@
 
 use segidx_bench::{
     check_exponential_lower, check_paper_shape, render_checks, render_table, run_experiment,
-    write_csv, Experiment, Graph, GraphResult,
+    write_csv, write_metrics_json, Experiment, Graph, GraphResult,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +22,7 @@ struct Args {
     data_seed: u64,
     csv_dir: Option<PathBuf>,
     dump_data: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     inspect: bool,
 }
 
@@ -32,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
     let mut data_seed = Experiment::paper(Graph::G1).data_seed;
     let mut csv_dir = None;
     let mut dump_data = None;
+    let mut metrics_out = None;
     let mut inspect = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
             "--dump-data" => {
                 dump_data = Some(PathBuf::from(next(&mut i)?));
             }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(next(&mut i)?));
+            }
             "--inspect" => {
                 inspect = true;
             }
@@ -94,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
                      --seed N             data-generation seed\n\
                      --csv DIR            also write one CSV per graph into DIR\n\
                      --dump-data DIR      export each graph's generated dataset as CSV\n\
+                     --metrics-out FILE   write telemetry (latency percentiles, node-access\n\
+                                          counters, buffer-pool hit rate) as JSON to FILE\n\
                      --inspect            print per-level structure reports per variant\n\
                      --quick              20K tuples, 25 queries (smoke run)"
                 );
@@ -110,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
         data_seed,
         csv_dir,
         dump_data,
+        metrics_out,
         inspect,
     })
 }
@@ -170,6 +178,16 @@ fn main() -> ExitCode {
             }
         }
         results.push(result);
+    }
+
+    if let Some(path) = &args.metrics_out {
+        match write_metrics_json(&results, path) {
+            Ok(()) => eprintln!("wrote metrics to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     // Cross-graph claim: exponential-Y runs have lower node accesses.

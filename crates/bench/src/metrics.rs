@@ -1,0 +1,183 @@
+//! Maps experiment results onto the `segidx-obs` metrics model.
+//!
+//! Every [`GraphResult`] series contributes one labeled family of metrics
+//! (`graph` and `variant` labels), covering the latency histograms recorded
+//! by the per-variant [`TreeTelemetry`](segidx_core::TreeTelemetry), the
+//! logical node-access counters, the structural maintenance counters, and
+//! the buffer-pool hit rate. The resulting [`MetricsSnapshot`] exports to
+//! JSON (written by `reproduce --metrics-out`) and Prometheus text.
+
+use crate::runner::GraphResult;
+use segidx_obs::{Metric, MetricsRegistry, MetricsSnapshot};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Builds a registry whose single collector re-reads `results` on every
+/// snapshot. The collector holds the results by `Arc`, so snapshots taken
+/// later (or diffed) observe a consistent copy.
+pub fn metrics_registry(results: Arc<Vec<GraphResult>>) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    registry.register(Box::new(move |out| collect(&results, out)));
+    registry
+}
+
+/// One self-contained snapshot of every metric the experiments produced.
+pub fn metrics_snapshot(results: &[GraphResult]) -> MetricsSnapshot {
+    let mut metrics = Vec::new();
+    collect(results, &mut metrics);
+    MetricsSnapshot { metrics }
+}
+
+fn collect(results: &[GraphResult], out: &mut Vec<Metric>) {
+    for result in results {
+        let graph = format!("{}", result.experiment.graph.number());
+        for series in &result.series {
+            let labels: &[(&str, &str)] = &[("graph", &graph), ("variant", series.variant.name())];
+            out.push(Metric::histogram(
+                "segidx_search_latency_nanos",
+                labels,
+                series.search_latency,
+            ));
+            out.push(Metric::histogram(
+                "segidx_insert_latency_nanos",
+                labels,
+                series.insert_latency,
+            ));
+            let s = &series.stats;
+            out.push(Metric::counter(
+                "segidx_search_node_accesses_total",
+                labels,
+                s.search_node_accesses,
+            ));
+            out.push(Metric::counter("segidx_searches_total", labels, s.searches));
+            out.push(Metric::counter(
+                "segidx_maintenance_node_accesses_total",
+                labels,
+                s.maintenance_node_accesses,
+            ));
+            out.push(Metric::counter(
+                "segidx_leaf_splits_total",
+                labels,
+                s.leaf_splits,
+            ));
+            out.push(Metric::counter(
+                "segidx_internal_splits_total",
+                labels,
+                s.internal_splits,
+            ));
+            out.push(Metric::counter("segidx_cuts_total", labels, s.cuts));
+            out.push(Metric::counter(
+                "segidx_coalesces_total",
+                labels,
+                s.coalesces,
+            ));
+            out.push(Metric::gauge(
+                "segidx_buffer_pool_hit_rate",
+                labels,
+                series.buffer_pool_hit_rate(),
+            ));
+            out.push(Metric::gauge(
+                "segidx_avg_nodes_per_search",
+                labels,
+                s.avg_nodes_per_search().unwrap_or(0.0),
+            ));
+            out.push(Metric::counter(
+                "segidx_build_ms",
+                labels,
+                series.build.build_ms,
+            ));
+            out.push(Metric::counter(
+                "segidx_node_count",
+                labels,
+                series.build.node_count as u64,
+            ));
+        }
+    }
+}
+
+/// Writes the metrics for `results` as JSON to `path`, creating parent
+/// directories as needed.
+pub fn write_metrics_json(results: &[GraphResult], path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let snapshot = metrics_snapshot(results);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(snapshot.to_json().as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, Graph};
+    use crate::runner::run_experiment;
+    use segidx_obs::json;
+
+    fn tiny_results() -> Vec<GraphResult> {
+        let e = Experiment {
+            tuples: 3_000,
+            queries_per_qar: 5,
+            ..Experiment::quick(Graph::G3)
+        };
+        vec![run_experiment(&e)]
+    }
+
+    #[test]
+    fn snapshot_covers_every_variant_and_metric() {
+        let results = tiny_results();
+        let snap = metrics_snapshot(&results);
+        for series in &results[0].series {
+            let labels: &[(&str, &str)] = &[("graph", "3"), ("variant", series.variant.name())];
+            let search = snap.get("segidx_search_latency_nanos", labels).unwrap();
+            match &search.value {
+                segidx_obs::MetricValue::Histogram(h) => {
+                    assert!(h.count > 0, "searches were timed");
+                    assert!(h.p99().is_some());
+                }
+                other => panic!("expected histogram, got {other:?}"),
+            }
+            assert!(snap.get("segidx_insert_latency_nanos", labels).is_some());
+            assert!(snap
+                .get("segidx_search_node_accesses_total", labels)
+                .is_some());
+            assert!(snap.get("segidx_buffer_pool_hit_rate", labels).is_some());
+        }
+    }
+
+    #[test]
+    fn registry_collector_rereads_results() {
+        let results = Arc::new(tiny_results());
+        let registry = metrics_registry(Arc::clone(&results));
+        assert_eq!(registry.collector_count(), 1);
+        let a = registry.snapshot();
+        let b = registry.snapshot();
+        assert_eq!(a, b, "same results, same snapshot");
+        assert!(a.diff(&b).metrics.iter().all(|m| match &m.value {
+            segidx_obs::MetricValue::Counter(v) => *v == 0,
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn written_json_parses_and_roundtrips() {
+        let results = tiny_results();
+        let dir = std::env::temp_dir().join("segidx-metrics-test");
+        let path = dir.join("metrics.json");
+        write_metrics_json(&results, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = json::parse(&text).unwrap();
+        let metrics = value.get("metrics").and_then(|v| v.as_array()).unwrap();
+        assert!(!metrics.is_empty());
+        // Round-trip: render → parse → render is a fixpoint.
+        assert_eq!(
+            json::parse(&value.render()).unwrap().render(),
+            value.render()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

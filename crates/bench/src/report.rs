@@ -51,7 +51,40 @@ pub fn render_table(result: &GraphResult) -> String {
             s.build.build_ms
         ));
     }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>18}  {:>24}  {:>24}  {:>8}\n",
+        "variant", "search p50/p95/p99 (us)", "insert p50/p95/p99 (us)", "bp hit"
+    ));
+    for s in &result.series {
+        out.push_str(&format!(
+            "{:>18}  {:>24}  {:>24}  {:>8}\n",
+            s.variant.name(),
+            percentile_cell(&s.search_latency),
+            percentile_cell(&s.insert_latency),
+            hit_rate_cell(s)
+        ));
+    }
     out
+}
+
+/// `p50/p95/p99` in microseconds (one decimal), or `-` when untimed.
+fn percentile_cell(h: &segidx_obs::HistogramSnapshot) -> String {
+    match (h.p50(), h.p95(), h.p99()) {
+        (Some(p50), Some(p95), Some(p99)) => {
+            let us = |n: u64| n as f64 / 1_000.0;
+            format!("{:.1}/{:.1}/{:.1}", us(p50), us(p95), us(p99))
+        }
+        _ => "-".to_string(),
+    }
+}
+
+/// Buffer-pool hit rate as a percentage, or `-` for purely in-memory runs.
+fn hit_rate_cell(s: &crate::runner::Series) -> String {
+    match s.io.hit_rate() {
+        Some(rate) => format!("{:.1}%", rate * 100.0),
+        None => "-".to_string(),
+    }
 }
 
 /// Writes a graph's series as CSV:
@@ -95,10 +128,21 @@ mod tests {
             series: Variant::ALL
                 .iter()
                 .enumerate()
-                .map(|(i, &variant)| Series {
-                    variant,
-                    points: vec![point(i as f64 + 1.5)],
-                    build: BuildInfo::default(),
+                .map(|(i, &variant)| {
+                    let mut search_latency = segidx_obs::HistogramSnapshot::default();
+                    search_latency.counts[11] = 3; // three ~1.3 us searches
+                    search_latency.count = 3;
+                    search_latency.sum = 4_000;
+                    search_latency.max = 1_500;
+                    Series {
+                        variant,
+                        points: vec![point(i as f64 + 1.5)],
+                        build: BuildInfo::default(),
+                        stats: segidx_core::StatsSnapshot::default(),
+                        search_latency,
+                        insert_latency: segidx_obs::HistogramSnapshot::default(),
+                        io: segidx_storage::IoStatsSnapshot::default(),
+                    }
                 })
                 .collect(),
         }
@@ -113,6 +157,11 @@ mod tests {
         assert!(table.contains("1.50"));
         assert!(table.contains("4.50"));
         assert!(table.contains("Graph 1"));
+        assert!(table.contains("search p50/p95/p99"));
+        // The seeded histogram renders percentiles; untimed inserts render
+        // `-`, as does the in-memory buffer-pool column.
+        assert!(table.contains("/"));
+        assert!(table.contains("-"));
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! collect the paper's metric.
 
 use crate::experiment::{Experiment, Graph, Variant};
-use segidx_core::IntervalIndex;
+use segidx_core::{IntervalIndex, StatsSnapshot, TreeTelemetry};
+use segidx_obs::HistogramSnapshot;
+use segidx_storage::IoStatsSnapshot;
 use segidx_workloads::{paper_query_sweep, queries_for_qar};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One point of a series: the average nodes accessed per search at one QAR.
@@ -47,6 +50,23 @@ pub struct Series {
     pub points: Vec<SweepPoint>,
     /// Construction statistics.
     pub build: BuildInfo,
+    /// Cumulative logical statistics after build + sweep.
+    pub stats: StatsSnapshot,
+    /// Per-search wall-time distribution over the whole sweep (nanoseconds).
+    pub search_latency: HistogramSnapshot,
+    /// Per-insert wall-time distribution over the build (nanoseconds).
+    pub insert_latency: HistogramSnapshot,
+    /// Physical I/O counters (zero for these in-memory experiment runs;
+    /// populated when a variant runs over the paged storage substrate).
+    pub io: IoStatsSnapshot,
+}
+
+impl Series {
+    /// Buffer-pool hit rate in `[0, 1]`; 0.0 when the run performed no
+    /// buffered I/O (purely in-memory experiments).
+    pub fn buffer_pool_hit_rate(&self) -> f64 {
+        self.io.hit_rate().unwrap_or(0.0)
+    }
 }
 
 impl Series {
@@ -121,12 +141,15 @@ pub fn run_variant(
     records: &[(segidx_geom::Rect<2>, segidx_core::RecordId)],
     experiment: &Experiment,
 ) -> Series {
+    let telemetry = Arc::new(TreeTelemetry::new());
     let start = Instant::now();
     let mut index = variant.build_index(experiment.tuples);
+    index.set_telemetry(Some(Arc::clone(&telemetry)));
     for (rect, id) in records {
         index.insert(*rect, *id);
     }
     let build_ms = start.elapsed().as_millis() as u64;
+    let insert_latency = telemetry.snapshot().insert;
     let points = sweep(index.as_ref(), experiment);
     let snap = index.stats();
     Series {
@@ -142,6 +165,10 @@ pub fn run_variant(
             splits: snap.leaf_splits + snap.internal_splits,
             build_ms,
         },
+        stats: snap,
+        search_latency: telemetry.snapshot().search,
+        insert_latency,
+        io: IoStatsSnapshot::default(),
     }
 }
 
@@ -157,15 +184,18 @@ pub fn sweep(index: &dyn IntervalIndex<2>, experiment: &Experiment) -> Vec<Sweep
     };
     sets.iter()
         .map(|qs| {
-            index.reset_search_stats();
+            // Snapshot-diff instead of resetting: the per-QAR window is
+            // isolated by subtraction, so the index's cumulative history
+            // (and any concurrent observer of it) survives the sweep.
+            let before = index.stats();
             for q in &qs.queries {
                 let _ = index.search(q);
             }
-            let snap = index.stats();
+            let window = index.stats().diff(&before);
             SweepPoint {
                 qar: qs.qar,
                 log10_qar: qs.log10_qar,
-                avg_nodes: snap.avg_nodes_per_search().unwrap_or(0.0),
+                avg_nodes: window.avg_nodes_per_search().unwrap_or(0.0),
             }
         })
         .collect()
@@ -240,6 +270,14 @@ mod tests {
                 s.variant.name()
             );
             assert!(s.build.node_count > 0);
+            assert_eq!(
+                s.stats.searches,
+                13 * 10,
+                "cumulative history survives the sweep (no resets)"
+            );
+            assert_eq!(s.search_latency.count, 13 * 10, "every search timed");
+            assert!(s.insert_latency.count > 0, "build inserts timed");
+            assert!(s.search_latency.p99().is_some());
         }
         // Deterministic: same experiment, same numbers.
         let again = run_experiment(&exp);
@@ -268,6 +306,10 @@ mod tests {
                 },
             ],
             build: BuildInfo::default(),
+            stats: StatsSnapshot::default(),
+            search_latency: HistogramSnapshot::default(),
+            insert_latency: HistogramSnapshot::default(),
+            io: IoStatsSnapshot::default(),
         };
         assert_eq!(s.mean_where(|p| p.log10_qar < 0.0), 10.0);
         assert_eq!(s.mean_where(|p| p.log10_qar > 0.0), 30.0);

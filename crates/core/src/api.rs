@@ -11,8 +11,10 @@ use crate::config::{CoalesceConfig, IndexConfig};
 use crate::id::RecordId;
 use crate::skeleton::{build_skeleton, DistributionPredictor, SkeletonSpec};
 use crate::stats::StatsSnapshot;
+use crate::telemetry::TreeTelemetry;
 use crate::tree::Tree;
 use segidx_geom::Rect;
+use std::sync::Arc;
 
 /// The common interface of the four paper variants, object-safe so the
 /// experiment harness can sweep over `Box<dyn IntervalIndex<2>>`.
@@ -53,6 +55,16 @@ pub trait IntervalIndex<const D: usize> {
     fn check_invariants(&self) -> Vec<String>;
     /// Human-readable variant name, matching the paper.
     fn variant_name(&self) -> &'static str;
+    /// Installs (or clears) wall-clock telemetry (see
+    /// [`crate::telemetry`]). The default is a no-op for index types
+    /// without latency instrumentation.
+    fn set_telemetry(&mut self, telemetry: Option<Arc<TreeTelemetry>>) {
+        let _ = telemetry;
+    }
+    /// The installed telemetry, if any.
+    fn telemetry(&self) -> Option<Arc<TreeTelemetry>> {
+        None
+    }
 }
 
 macro_rules! delegate_tree_methods {
@@ -92,6 +104,12 @@ macro_rules! delegate_tree_methods {
         }
         fn check_invariants(&self) -> Vec<String> {
             self.tree().check_invariants()
+        }
+        fn set_telemetry(&mut self, telemetry: Option<Arc<TreeTelemetry>>) {
+            self.tree_mut().set_telemetry(telemetry);
+        }
+        fn telemetry(&self) -> Option<Arc<TreeTelemetry>> {
+            self.tree().telemetry().cloned()
         }
     };
 }
@@ -188,6 +206,9 @@ enum SkeletonCore<const D: usize> {
         config: IndexConfig,
         predictor: DistributionPredictor<D>,
         buffered: Vec<(Rect<D>, RecordId)>,
+        /// Telemetry installed before construction; attached at build time
+        /// (buffer scans are not index operations and are not timed).
+        telemetry: Option<Arc<TreeTelemetry>>,
     },
     Built(Tree<D>),
 }
@@ -207,6 +228,7 @@ impl<const D: usize> SkeletonCore<D> {
             config,
             predictor: DistributionPredictor::new(domain, expected, buffer),
             buffered: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -233,16 +255,32 @@ impl<const D: usize> SkeletonCore<D> {
             config,
             predictor,
             buffered,
+            telemetry,
         } = std::mem::replace(self, SkeletonCore::Built(Tree::new(IndexConfig::default())))
         else {
             return;
         };
         let (spec, _samples) = predictor.finish();
         let mut tree = build_skeleton(config, &spec);
+        tree.set_telemetry(telemetry);
         for (rect, record) in buffered {
             tree.insert(rect, record);
         }
         *self = SkeletonCore::Built(tree);
+    }
+
+    fn set_telemetry(&mut self, t: Option<Arc<TreeTelemetry>>) {
+        match self {
+            SkeletonCore::Built(tree) => tree.set_telemetry(t),
+            SkeletonCore::Buffering { telemetry, .. } => *telemetry = t,
+        }
+    }
+
+    fn telemetry(&self) -> Option<Arc<TreeTelemetry>> {
+        match self {
+            SkeletonCore::Built(tree) => tree.telemetry().cloned(),
+            SkeletonCore::Buffering { telemetry, .. } => telemetry.clone(),
+        }
     }
 
     fn tree(&self) -> Option<&Tree<D>> {
@@ -415,6 +453,12 @@ macro_rules! skeleton_variant {
             }
             fn variant_name(&self) -> &'static str {
                 $display
+            }
+            fn set_telemetry(&mut self, telemetry: Option<Arc<TreeTelemetry>>) {
+                self.0.set_telemetry(telemetry);
+            }
+            fn telemetry(&self) -> Option<Arc<TreeTelemetry>> {
+                self.0.telemetry()
             }
         }
     };

@@ -52,6 +52,7 @@ pub mod paged;
 pub mod persist;
 pub mod skeleton;
 pub mod stats;
+pub mod telemetry;
 pub mod tree;
 
 pub use api::{IntervalIndex, RTree, SRTree, SkeletonRTree, SkeletonSRTree};
@@ -60,4 +61,5 @@ pub use id::{NodeId, RecordId};
 pub use paged::PagedSearcher;
 pub use skeleton::{build_skeleton, DistributionPredictor, Histogram, SkeletonSpec};
 pub use stats::StatsSnapshot;
+pub use telemetry::{TreeTelemetry, TreeTelemetrySnapshot};
 pub use tree::{SearchCursor, Tree};

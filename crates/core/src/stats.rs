@@ -169,6 +169,44 @@ impl StatsSnapshot {
     pub fn avg_nodes_per_search(&self) -> Option<f64> {
         (self.searches > 0).then(|| self.search_node_accesses as f64 / self.searches as f64)
     }
+
+    /// The activity since `earlier` was taken (saturating per-counter
+    /// subtraction). Lets the experiment harness measure one QAR sweep
+    /// without destroying the tree's cumulative history the way
+    /// [`TreeStats::reset_search_counters`] does.
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            search_node_accesses: self
+                .search_node_accesses
+                .saturating_sub(earlier.search_node_accesses),
+            searches: self.searches.saturating_sub(earlier.searches),
+            search_results: self.search_results.saturating_sub(earlier.search_results),
+            maintenance_node_accesses: self
+                .maintenance_node_accesses
+                .saturating_sub(earlier.maintenance_node_accesses),
+            leaf_splits: self.leaf_splits.saturating_sub(earlier.leaf_splits),
+            internal_splits: self.internal_splits.saturating_sub(earlier.internal_splits),
+            promotions: self.promotions.saturating_sub(earlier.promotions),
+            demotions: self.demotions.saturating_sub(earlier.demotions),
+            relinks: self.relinks.saturating_sub(earlier.relinks),
+            cuts: self.cuts.saturating_sub(earlier.cuts),
+            remnants_inserted: self
+                .remnants_inserted
+                .saturating_sub(earlier.remnants_inserted),
+            spanning_stores: self.spanning_stores.saturating_sub(earlier.spanning_stores),
+            elastic_overflows: self
+                .elastic_overflows
+                .saturating_sub(earlier.elastic_overflows),
+            coalesces: self.coalesces.saturating_sub(earlier.coalesces),
+            spanning_evictions: self
+                .spanning_evictions
+                .saturating_sub(earlier.spanning_evictions),
+            redistributions: self.redistributions.saturating_sub(earlier.redistributions),
+            forced_reinserts: self
+                .forced_reinserts
+                .saturating_sub(earlier.forced_reinserts),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +232,24 @@ mod tests {
         s.flush_search(1, 10);
         s.flush_search(1, 5);
         assert_eq!(s.hits_estimate(), 8, "ceil(15 / 2)");
+    }
+
+    #[test]
+    fn diff_measures_a_window_without_reset() {
+        let mut s = TreeStats::default();
+        s.flush_search(4, 1);
+        s.leaf_splits = 2;
+        let earlier = s.snapshot();
+        s.flush_search(6, 2);
+        s.flush_search(2, 0);
+        s.leaf_splits += 1;
+        let d = s.snapshot().diff(&earlier);
+        assert_eq!(d.searches, 2);
+        assert_eq!(d.search_node_accesses, 8);
+        assert_eq!(d.leaf_splits, 1);
+        assert_eq!(d.avg_nodes_per_search(), Some(4.0));
+        // The cumulative history is untouched.
+        assert_eq!(s.snapshot().searches, 3);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Opt-in wall-clock telemetry for the index engine.
+//!
+//! The paper's metric — logical node accesses — is always counted by
+//! [`TreeStats`](crate::stats::TreeStats). Wall-clock latency and structural
+//! event tracing cost `Instant` reads and (for events) dynamic dispatch, so
+//! they are **opt-in**: a [`Tree`](crate::Tree) holds
+//! `Option<Arc<TreeTelemetry>>` defaulting to `None`, and a disabled tree
+//! pays exactly one null check per operation — no clock reads, no virtual
+//! calls.
+//!
+//! Enable with [`Tree::set_telemetry`](crate::Tree::set_telemetry) (or the
+//! [`IntervalIndex`](crate::api::IntervalIndex) method of the same name):
+//!
+//! ```
+//! use segidx_core::{IndexConfig, RecordId, Tree, TreeTelemetry};
+//! use segidx_geom::Rect;
+//! use segidx_obs::{EventKind, RingBufferSink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(RingBufferSink::new(1024));
+//! let telemetry = Arc::new(TreeTelemetry::with_sink(sink.clone()));
+//! let mut tree: Tree<1> = Tree::new(IndexConfig::rtree());
+//! tree.set_telemetry(Some(Arc::clone(&telemetry)));
+//!
+//! for i in 0..200u64 {
+//!     let lo = i as f64;
+//!     tree.insert(Rect::new([lo], [lo + 3.0]), RecordId(i));
+//! }
+//! tree.search(&Rect::new([50.0], [60.0]));
+//!
+//! let snap = telemetry.snapshot();
+//! assert_eq!(snap.insert.count, 200);
+//! assert_eq!(snap.search.count, 1);
+//! assert!(!sink.events_of(EventKind::LeafSplit).is_empty());
+//! ```
+
+use segidx_obs::{Event, EventKind, HistogramSnapshot, LatencyHistogram, ObsSink};
+use std::sync::Arc;
+
+/// Per-operation latency histograms plus an optional structural event sink.
+///
+/// One `TreeTelemetry` may be shared by any number of trees (the bench
+/// harness gives each variant its own so latencies stay attributable).
+/// Histograms record **nanoseconds** of wall time per public operation.
+#[derive(Debug, Default)]
+pub struct TreeTelemetry {
+    /// Range-search latency (`search*` family, including batch queries).
+    pub search: LatencyHistogram,
+    /// Stabbing-query latency.
+    pub stab: LatencyHistogram,
+    /// Nearest-neighbor query latency.
+    pub nearest: LatencyHistogram,
+    /// Insert latency (including any cut/split/reinsertion cascade).
+    pub insert: LatencyHistogram,
+    /// Delete latency (including condensation and reinsertion).
+    pub delete: LatencyHistogram,
+    /// Bulk-load latency (one observation per `bulk_load` call).
+    pub bulk_load: LatencyHistogram,
+    /// Structural event sink; `None` skips event construction entirely.
+    sink: Option<Arc<dyn ObsSink>>,
+}
+
+impl TreeTelemetry {
+    /// Latency histograms only; structural events are dropped.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latency histograms plus a structural event sink.
+    pub fn with_sink(sink: Arc<dyn ObsSink>) -> Self {
+        Self {
+            sink: Some(sink),
+            ..Self::default()
+        }
+    }
+
+    /// The installed event sink, if any.
+    pub fn sink(&self) -> Option<&Arc<dyn ObsSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Forwards a structural event to the sink, if one is installed.
+    #[inline]
+    pub(crate) fn emit(&self, kind: EventKind, node: u64, level: u32, detail: u64) {
+        if let Some(sink) = &self.sink {
+            sink.event(Event::new(kind).node(node).level(level).detail(detail));
+        }
+    }
+
+    /// A point-in-time copy of every histogram.
+    pub fn snapshot(&self) -> TreeTelemetrySnapshot {
+        TreeTelemetrySnapshot {
+            search: self.search.snapshot(),
+            stab: self.stab.snapshot(),
+            nearest: self.nearest.snapshot(),
+            insert: self.insert.snapshot(),
+            delete: self.delete.snapshot(),
+            bulk_load: self.bulk_load.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`TreeTelemetry`]'s histograms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeTelemetrySnapshot {
+    /// Range-search latency.
+    pub search: HistogramSnapshot,
+    /// Stabbing-query latency.
+    pub stab: HistogramSnapshot,
+    /// Nearest-neighbor query latency.
+    pub nearest: HistogramSnapshot,
+    /// Insert latency.
+    pub insert: HistogramSnapshot,
+    /// Delete latency.
+    pub delete: HistogramSnapshot,
+    /// Bulk-load latency.
+    pub bulk_load: HistogramSnapshot,
+}
+
+impl TreeTelemetrySnapshot {
+    /// The activity since `earlier` (saturating per-histogram subtraction).
+    pub fn diff(&self, earlier: &TreeTelemetrySnapshot) -> TreeTelemetrySnapshot {
+        TreeTelemetrySnapshot {
+            search: self.search.diff(&earlier.search),
+            stab: self.stab.diff(&earlier.stab),
+            nearest: self.nearest.diff(&earlier.nearest),
+            insert: self.insert.diff(&earlier.insert),
+            delete: self.delete.diff(&earlier.delete),
+            bulk_load: self.bulk_load.diff(&earlier.bulk_load),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segidx_obs::RingBufferSink;
+
+    #[test]
+    fn snapshot_and_diff_cover_every_operation() {
+        let t = TreeTelemetry::new();
+        t.search.record(100);
+        t.stab.record(200);
+        t.nearest.record(300);
+        t.insert.record(400);
+        t.delete.record(500);
+        t.bulk_load.record(600);
+        let earlier = t.snapshot();
+        t.search.record(1_000);
+        let d = t.snapshot().diff(&earlier);
+        assert_eq!(d.search.count, 1);
+        assert_eq!(d.search.sum, 1_000);
+        assert_eq!(d.insert.count, 0);
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_no_op() {
+        let t = TreeTelemetry::new();
+        t.emit(EventKind::LeafSplit, 1, 0, 0);
+        assert!(t.sink().is_none());
+    }
+
+    #[test]
+    fn emit_reaches_the_sink() {
+        let sink = Arc::new(RingBufferSink::new(8));
+        let t = TreeTelemetry::with_sink(sink.clone());
+        t.emit(EventKind::Promotion, 42, 3, 7);
+        let events = sink.events_of(EventKind::Promotion);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].node, 42);
+        assert_eq!(events[0].level, 3);
+        assert_eq!(events[0].detail, 7);
+    }
+}

@@ -24,6 +24,7 @@ impl<const D: usize> Tree<D> {
     /// Returns `true` if any portion of the record was found and removed.
     /// All physical portions (spanning and remnant) are removed in one call.
     pub fn delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
+        let t0 = self.obs_start();
         self.reinsert_armed = self.config.forced_reinsert.is_some();
         let mut removed = 0usize;
         let mut touched_leaves: Vec<NodeId> = Vec::new();
@@ -63,6 +64,7 @@ impl<const D: usize> Tree<D> {
             }
         }
         if removed == 0 {
+            self.obs_record(|o| &o.delete, t0);
             return false;
         }
         self.entry_count -= removed;
@@ -73,6 +75,7 @@ impl<const D: usize> Tree<D> {
         }
         self.collapse_root();
         self.drain_pending();
+        self.obs_record(|o| &o.delete, t0);
         true
     }
 
@@ -127,12 +130,14 @@ impl<const D: usize> Tree<D> {
                         .spanning_mut()
                         .set_linked_child(i, *new_child);
                     self.stats.relinks += 1;
+                    self.emit(segidx_obs::EventKind::Relink, parent);
                     i += 1;
                 }
                 None => {
                     self.node_mut(parent).spanning_mut().swap_remove(i);
                     self.entry_count -= 1;
                     self.stats.demotions += 1;
+                    self.emit(segidx_obs::EventKind::Demotion, parent);
                     self.queue_reinsert(s.rect, s.record);
                 }
             }

@@ -15,6 +15,7 @@ impl<const D: usize> Tree<D> {
     /// portion and remnant portions (paper §3.1.1, Figures 2–3). Otherwise
     /// it descends to a leaf by Guttman's least-enlargement rule.
     pub fn insert(&mut self, rect: Rect<D>, record: RecordId) {
+        let t0 = self.obs_start();
         self.len += 1;
         self.reinsert_armed = self.config.forced_reinsert.is_some();
         self.insert_portion(rect, record);
@@ -26,6 +27,7 @@ impl<const D: usize> Tree<D> {
                 self.coalesce_pass(cfg);
             }
         }
+        self.obs_record(|o| &o.insert, t0);
     }
 
     /// Inserts one physical record portion (no pending drain, no coalesce
@@ -151,6 +153,7 @@ impl<const D: usize> Tree<D> {
                 // reinserted from the root (paper Figure 3).
                 let cut = rect.cut(&region);
                 self.stats.cuts += 1;
+                self.emit(segidx_obs::EventKind::Cut, n);
                 // Remnants are reinserted at the leaf level, as in the
                 // paper's Figure 3 (the remnant portion "is stored in leaf
                 // node E"). Letting remnants re-enter spanning placement
@@ -256,12 +259,14 @@ impl<const D: usize> Tree<D> {
                         .spanning_mut()
                         .set_linked_child(i, *child);
                     self.stats.relinks += 1;
+                    self.emit(segidx_obs::EventKind::Relink, parent);
                     i += 1;
                 }
                 None => {
                     self.node_mut(parent).spanning_mut().swap_remove(i);
                     self.entry_count -= 1;
                     self.stats.demotions += 1;
+                    self.emit(segidx_obs::EventKind::Demotion, parent);
                     self.queue_reinsert(s.rect, s.record);
                     modified = true;
                 }

@@ -36,7 +36,11 @@ use crate::config::IndexConfig;
 use crate::id::{NodeId, RecordId};
 use crate::node::{Arena, Node};
 use crate::stats::{StatsSnapshot, TreeStats};
+use crate::telemetry::TreeTelemetry;
 use segidx_geom::Rect;
+use segidx_obs::{EventKind, LatencyHistogram};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A record portion queued for reinsertion.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +76,9 @@ pub struct Tree<const D: usize> {
     /// current mutating operation (re-armed by each public mutation).
     pub(crate) reinsert_armed: bool,
     pub(crate) stats: TreeStats,
+    /// Opt-in wall-clock telemetry; `None` (the default) costs one null
+    /// check per operation and skips all clock reads and event dispatch.
+    pub(crate) obs: Option<Arc<TreeTelemetry>>,
 }
 
 impl<const D: usize> Tree<D> {
@@ -95,6 +102,7 @@ impl<const D: usize> Tree<D> {
             inserts_since_coalesce: 0,
             reinsert_armed: false,
             stats: TreeStats::default(),
+            obs: None,
         }
     }
 
@@ -111,6 +119,7 @@ impl<const D: usize> Tree<D> {
             inserts_since_coalesce: 0,
             reinsert_armed: false,
             stats: TreeStats::default(),
+            obs: None,
         }
     }
 
@@ -160,6 +169,48 @@ impl<const D: usize> Tree<D> {
     /// [`TreeStats::reset_search_counters`]).
     pub fn reset_search_stats(&self) {
         self.stats.reset_search_counters();
+    }
+
+    /// Installs (or clears) wall-clock telemetry. See [`crate::telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<TreeTelemetry>>) {
+        self.obs = telemetry;
+    }
+
+    /// The installed telemetry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<TreeTelemetry>> {
+        self.obs.as_ref()
+    }
+
+    /// Starts a latency measurement iff telemetry is installed: the disabled
+    /// path is a single null check with no clock read.
+    #[inline]
+    pub(crate) fn obs_start(&self) -> Option<Instant> {
+        self.obs.as_ref().map(|_| Instant::now())
+    }
+
+    /// Completes a latency measurement started by [`Tree::obs_start`],
+    /// recording into the histogram `pick` selects.
+    #[inline]
+    pub(crate) fn obs_record(
+        &self,
+        pick: fn(&TreeTelemetry) -> &LatencyHistogram,
+        start: Option<Instant>,
+    ) {
+        if let (Some(obs), Some(t0)) = (&self.obs, start) {
+            pick(obs).record_duration(t0.elapsed());
+        }
+    }
+
+    /// Fires a structural event for `node` iff telemetry with a sink is
+    /// installed. Call *after* bumping the matching [`TreeStats`] counter.
+    #[inline]
+    pub(crate) fn emit(&self, kind: EventKind, node: NodeId) {
+        if let Some(obs) = &self.obs {
+            if obs.sink().is_some() {
+                let level = self.arena.get(node).level;
+                obs.emit(kind, u64::from(node.raw()), level, 0);
+            }
+        }
     }
 
     #[inline]

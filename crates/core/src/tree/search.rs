@@ -205,10 +205,13 @@ impl<const D: usize> Tree<D> {
         cursor: &'c mut SearchCursor<D>,
         query: &Rect<D>,
     ) -> &'c [RecordId] {
+        let t0 = self.obs_start();
         let accesses = self.search_kernel(query, cursor);
         self.stats
             .flush_search(accesses, cursor.entries.len() as u64);
-        self.finish_ids(cursor)
+        let ids = self.finish_ids(cursor);
+        self.obs_record(|o| &o.search, t0);
+        ids
     }
 
     /// Like [`Tree::search`], but returns the raw matching index records
@@ -226,9 +229,11 @@ impl<const D: usize> Tree<D> {
         cursor: &'c mut SearchCursor<D>,
         query: &Rect<D>,
     ) -> &'c [(Rect<D>, RecordId)] {
+        let t0 = self.obs_start();
         let accesses = self.search_kernel(query, cursor);
         self.stats
             .flush_search(accesses, cursor.entries.len() as u64);
+        self.obs_record(|o| &o.search, t0);
         &cursor.entries
     }
 
@@ -243,10 +248,13 @@ impl<const D: usize> Tree<D> {
     /// Like [`Tree::stab`], but reuses `cursor`'s buffers — zero heap
     /// allocation after warm-up.
     pub fn stab_with<'c>(&self, cursor: &'c mut SearchCursor<D>, p: &Point<D>) -> &'c [RecordId] {
+        let t0 = self.obs_start();
         let accesses = self.stab_kernel(p, cursor);
         self.stats
             .flush_search(accesses, cursor.entries.len() as u64);
-        self.finish_ids(cursor)
+        let ids = self.finish_ids(cursor);
+        self.obs_record(|o| &o.stab, t0);
+        ids
     }
 
     /// Number of index nodes a search for `query` accesses, without
@@ -257,9 +265,11 @@ impl<const D: usize> Tree<D> {
     /// it (it is *not* derived by diffing the shared counter).
     pub fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
         let mut cursor = SearchCursor::with_capacity(self.stats.hits_estimate());
+        let t0 = self.obs_start();
         let accesses = self.search_kernel(query, &mut cursor);
         self.stats
             .flush_search(accesses, cursor.entries.len() as u64);
+        self.obs_record(|o| &o.search, t0);
         accesses
     }
 }

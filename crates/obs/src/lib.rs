@@ -1,0 +1,37 @@
+//! # segidx-obs — unified telemetry for the segment-index workspace
+//!
+//! The paper's sole performance metric is *average nodes accessed per
+//! search*; a production index also needs wall-clock tail latency and a
+//! record of *why* the tree changed shape. This crate provides the three
+//! zero-dependency building blocks the other crates thread through their
+//! layers:
+//!
+//! 1. [`LatencyHistogram`] — wait-free, log₂-bucketed atomic histograms
+//!    with `p50`/`p95`/`p99`/`max` extraction, recorded per operation
+//!    (`search`, `stab`, `nearest`, `insert`, `delete`, `bulk_load`) and
+//!    per physical page read/write.
+//! 2. [`ObsSink`] — a structural event trait fired on splits, promotions,
+//!    demotions, cuts, coalesces, and buffer-pool evictions, with a bounded
+//!    [`RingBufferSink`] recorder for tests/debugging and a [`NullSink`].
+//!    Layers hold `Option<Arc<dyn ObsSink>>`; `None` (the default) costs one
+//!    null check and no dynamic dispatch.
+//! 3. [`MetricsRegistry`] — collector-based aggregation of every counter
+//!    and histogram behind one [`MetricsRegistry::snapshot`] /
+//!    [`MetricsSnapshot::diff`] API, exporting pretty text, JSON, and
+//!    Prometheus text exposition format.
+//!
+//! Because the workspace builds offline against compile-only serde shims,
+//! the [`json`] module carries its own small JSON renderer/parser used by
+//! the exporters and by CI artifact validation.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod hist;
+pub mod json;
+mod registry;
+mod sink;
+
+pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use registry::{Collector, Metric, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use sink::{Event, EventKind, NullSink, ObsSink, RingBufferSink, Span};

@@ -3,8 +3,9 @@
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, SizeClass};
-use crate::stats::IoStats;
+use crate::stats::{IoLatency, IoStats};
 use parking_lot::Mutex;
+use segidx_obs::{Event, EventKind, ObsSink};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -51,6 +52,7 @@ pub struct BufferPool {
     config: BufferPoolConfig,
     inner: Mutex<PoolInner>,
     stats: Arc<IoStats>,
+    sink: Mutex<Option<Arc<dyn ObsSink>>>,
 }
 
 impl BufferPool {
@@ -71,6 +73,7 @@ impl BufferPool {
                 clock: 0,
             }),
             stats,
+            sink: Mutex::new(None),
         }
     }
 
@@ -82,6 +85,19 @@ impl BufferPool {
     /// Shared I/O statistics (same counters as the disk manager's).
     pub fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// Shared page read/write latency histograms (same as the disk
+    /// manager's).
+    pub fn latency(&self) -> Arc<IoLatency> {
+        self.disk.latency()
+    }
+
+    /// Installs (or clears) an observability sink; each eviction then fires
+    /// an [`EventKind::BufferEviction`] event carrying the page id, size
+    /// class, and evicted byte count.
+    pub fn set_sink(&self, sink: Option<Arc<dyn ObsSink>>) {
+        *self.sink.lock() = sink;
     }
 
     /// Bytes currently cached.
@@ -268,13 +284,29 @@ impl BufferPool {
                 };
                 self.disk.write_page(&page)?;
             }
-            let mut inner = self.inner.lock();
-            if let Some(fr) = inner.frames.get(&id) {
-                if fr.pins == 0 {
-                    let size = fr.page.size_class().page_size();
-                    inner.frames.remove(&id);
-                    inner.cached_bytes -= size;
-                    self.stats.record_eviction();
+            let evicted = {
+                let mut inner = self.inner.lock();
+                match inner.frames.get(&id) {
+                    Some(fr) if fr.pins == 0 => {
+                        let class = fr.page.size_class();
+                        let size = class.page_size();
+                        inner.frames.remove(&id);
+                        inner.cached_bytes -= size;
+                        self.stats.record_eviction();
+                        Some((class, size))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some((class, size)) = evicted {
+                let sink = self.sink.lock().clone();
+                if let Some(sink) = sink {
+                    sink.event(
+                        Event::new(EventKind::BufferEviction)
+                            .node(id.raw())
+                            .level(class.raw() as u32)
+                            .detail(size as u64),
+                    );
                 }
             }
         }
@@ -397,6 +429,47 @@ mod tests {
         pool.free(id).unwrap();
         assert_eq!(pool.cached_pages(), 0);
         assert!(pool.with_page(id, |_| ()).is_err());
+    }
+
+    #[test]
+    fn evictions_fire_sink_events() {
+        use segidx_obs::RingBufferSink;
+        let pool = pool("evsink.db", 2 * 1024);
+        let sink = Arc::new(RingBufferSink::new(16));
+        pool.set_sink(Some(sink.clone()));
+        for i in 0..3 {
+            let id = pool.allocate(SizeClass::new(0)).unwrap();
+            pool.with_page_mut(id, |p| p.set_payload(&[i as u8; 64]).unwrap())
+                .unwrap();
+        }
+        let events = sink.events_of(EventKind::BufferEviction);
+        assert!(
+            !events.is_empty(),
+            "third 1 KB page overflows a 2 KB budget"
+        );
+        for e in &events {
+            assert_eq!(e.level, 0, "leaf size class");
+            assert_eq!(e.detail, 1024, "evicted bytes");
+        }
+        // Clearing the sink stops event delivery.
+        pool.set_sink(None);
+        let before = sink.len();
+        let id = pool.allocate(SizeClass::new(0)).unwrap();
+        pool.with_page_mut(id, |p| p.set_payload(b"q").unwrap())
+            .unwrap();
+        assert_eq!(sink.len(), before);
+    }
+
+    #[test]
+    fn page_io_latency_recorded() {
+        let pool = pool("iolat.db", 1 << 20);
+        let id = pool.allocate(SizeClass::new(0)).unwrap();
+        pool.with_page_mut(id, |p| p.set_payload(b"timed").unwrap())
+            .unwrap();
+        pool.flush_all().unwrap();
+        let lat = pool.latency().snapshot();
+        assert!(lat.write.count >= 1, "flush recorded a write latency");
+        assert!(lat.write.p50().is_some());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, SizeClass, BASE_PAGE_SIZE, MAX_SIZE_CLASS};
-use crate::stats::IoStats;
+use crate::stats::{IoLatency, IoStats};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -58,6 +58,7 @@ pub struct DiskManager {
     config: DiskManagerConfig,
     inner: Mutex<DiskInner>,
     stats: Arc<IoStats>,
+    latency: Arc<IoLatency>,
 }
 
 impl DiskManager {
@@ -87,6 +88,7 @@ impl DiskManager {
                 dirty_meta: true,
             }),
             stats: Arc::new(IoStats::new()),
+            latency: Arc::new(IoLatency::new()),
         };
         mgr.sync()?;
         Ok(mgr)
@@ -114,12 +116,18 @@ impl DiskManager {
                 dirty_meta: false,
             }),
             stats: Arc::new(IoStats::new()),
+            latency: Arc::new(IoLatency::new()),
         })
     }
 
     /// Shared physical I/O counters.
     pub fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// Shared page read/write latency histograms.
+    pub fn latency(&self) -> Arc<IoLatency> {
+        Arc::clone(&self.latency)
     }
 
     /// The data-file path.
@@ -208,10 +216,12 @@ impl DiskManager {
             });
         }
         let bytes = page.to_disk_bytes();
+        let t0 = std::time::Instant::now();
         inner
             .file
             .seek(SeekFrom::Start(loc.slot * BASE_PAGE_SIZE as u64))?;
         inner.file.write_all(&bytes)?;
+        self.latency.write.record_duration(t0.elapsed());
         self.stats.record_write(bytes.len());
         Ok(())
     }
@@ -225,10 +235,12 @@ impl DiskManager {
             .ok_or(StorageError::PageNotFound(id))?;
         let size = loc.size_class.page_size();
         let mut buf = vec![0u8; size];
+        let t0 = std::time::Instant::now();
         inner
             .file
             .seek(SeekFrom::Start(loc.slot * BASE_PAGE_SIZE as u64))?;
         inner.file.read_exact(&mut buf)?;
+        self.latency.read.record_duration(t0.elapsed());
         self.stats.record_read(size);
         Page::from_disk_bytes(id, loc.size_class, &buf)
     }

@@ -61,4 +61,4 @@ pub use disk::{DiskManager, DiskManagerConfig};
 pub use error::{Result, StorageError};
 pub use page::{Page, PageId, SizeClass, BASE_PAGE_SIZE, MAX_SIZE_CLASS, PAGE_HEADER_LEN};
 pub use serialize::{ByteReader, ByteWriter};
-pub use stats::IoStats;
+pub use stats::{IoLatency, IoLatencySnapshot, IoStats, IoStatsSnapshot};

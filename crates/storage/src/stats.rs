@@ -1,5 +1,7 @@
-//! Physical I/O statistics.
+//! Physical I/O statistics and page-latency telemetry.
 
+use segidx_obs::{HistogramSnapshot, LatencyHistogram};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for physical page traffic.
@@ -21,7 +23,7 @@ pub struct IoStats {
 }
 
 /// A point-in-time copy of [`IoStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct IoStatsSnapshot {
     /// Physical page reads.
     pub reads: u64,
@@ -102,6 +104,61 @@ impl IoStatsSnapshot {
         let total = self.pool_hits + self.pool_misses;
         (total > 0).then(|| self.pool_hits as f64 / total as f64)
     }
+
+    /// The I/O performed since `earlier` was taken (saturating per-counter
+    /// subtraction), so windows can be measured without resetting the
+    /// cumulative counters.
+    pub fn diff(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            frees: self.frees.saturating_sub(earlier.frees),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+}
+
+/// Wall-clock latency of physical page I/O, recorded by
+/// [`DiskManager`](crate::DiskManager) around every page read and write.
+///
+/// Timing is always on: the two `Instant` reads are noise next to the
+/// seek + syscall they bracket, unlike the in-memory index hot paths (which
+/// gate their timing behind opt-in telemetry).
+#[derive(Debug, Default)]
+pub struct IoLatency {
+    /// Per-page-read wall time, in nanoseconds.
+    pub read: LatencyHistogram,
+    /// Per-page-write wall time, in nanoseconds.
+    pub write: LatencyHistogram,
+}
+
+impl IoLatency {
+    /// Empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time copy of both histograms.
+    pub fn snapshot(&self) -> IoLatencySnapshot {
+        IoLatencySnapshot {
+            read: self.read.snapshot(),
+            write: self.write.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoLatency`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoLatencySnapshot {
+    /// Page-read latency distribution.
+    pub read: HistogramSnapshot,
+    /// Page-write latency distribution.
+    pub write: HistogramSnapshot,
 }
 
 #[cfg(test)]
@@ -133,5 +190,35 @@ mod tests {
     #[test]
     fn hit_rate_none_when_untouched() {
         assert_eq!(IoStats::new().snapshot().hit_rate(), None);
+    }
+
+    #[test]
+    fn diff_isolates_a_window() {
+        let s = IoStats::new();
+        s.record_read(1024);
+        s.record_hit();
+        let earlier = s.snapshot();
+        s.record_read(2048);
+        s.record_write(512);
+        s.record_miss();
+        let d = s.snapshot().diff(&earlier);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.bytes_read, 2048);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.pool_hits, 0);
+        assert_eq!(d.pool_misses, 1);
+        assert_eq!(d.hit_rate(), Some(0.0), "window saw only the miss");
+    }
+
+    #[test]
+    fn latency_snapshot_carries_both_sides() {
+        let lat = IoLatency::new();
+        lat.read.record(1_000);
+        lat.read.record(3_000);
+        lat.write.record(20_000);
+        let snap = lat.snapshot();
+        assert_eq!(snap.read.count, 2);
+        assert_eq!(snap.write.count, 1);
+        assert!(snap.read.p50().unwrap() >= 1_000);
     }
 }
