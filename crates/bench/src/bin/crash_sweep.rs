@@ -1,0 +1,131 @@
+//! Crash-sweep driver: power-cut a deterministic build/insert/delete trace
+//! at every write boundary for many seeds, plus bit-rot corruption trials,
+//! and fail loudly on any differential mismatch.
+//!
+//! CI runs `crash_sweep --seeds 64`; a failing seed writes a replayable
+//! report (seed, cut index, detail) under `--out` so the artifact upload
+//! carries everything needed to reproduce with `--seed <n>`.
+//!
+//! Usage:
+//!   crash_sweep [--seeds N] [--seed S] [--ops N] [--checkpoint-every N]
+//!               [--corruption-trials N] [--out DIR]
+
+use segidx_bench::crash::{corruption_trials, crash_sweep, SweepFailure, TraceConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    single_seed: Option<u64>,
+    trace: TraceConfig,
+    corruption_trials: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 8,
+        single_seed: None,
+        trace: TraceConfig::default(),
+        corruption_trials: 4,
+        out: PathBuf::from("results/crash_sweep"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => {
+                args.single_seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--ops" => args.trace.ops = value("--ops")?.parse().map_err(|e| format!("{e}"))?,
+            "--checkpoint-every" => {
+                args.trace.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--corruption-trials" => {
+                args.corruption_trials = value("--corruption-trials")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                return Err("usage: crash_sweep [--seeds N] [--seed S] [--ops N] \
+                     [--checkpoint-every N] [--corruption-trials N] [--out DIR]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn report_failures(out: &PathBuf, seed: u64, kind: &str, failures: &[SweepFailure]) {
+    std::fs::create_dir_all(out).expect("create output dir");
+    let path = out.join(format!("seed-{seed}-{kind}.txt"));
+    let mut body = String::new();
+    for f in failures {
+        body.push_str(&format!(
+            "seed={} cut_at={} kind={kind}\n{}\n\nreplay: cargo run --release -p segidx-bench \
+             --bin crash_sweep -- --seed {}\n",
+            f.seed, f.cut_at, f.detail, f.seed
+        ));
+    }
+    std::fs::write(&path, body).expect("write failure report");
+    eprintln!("crash_sweep: wrote {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let scratch = std::env::temp_dir().join(format!("segidx-crash-sweep-{}", std::process::id()));
+    let seeds: Vec<u64> = match args.single_seed {
+        Some(s) => vec![s],
+        None => (0..args.seeds).collect(),
+    };
+    let mut total_cuts = 0u64;
+    let mut failed_seeds = 0u64;
+    for &seed in &seeds {
+        let outcome = crash_sweep(seed, &scratch, &args.trace);
+        total_cuts += outcome.writes + 1;
+        let rot = corruption_trials(seed, &scratch, args.corruption_trials);
+        if !outcome.failures.is_empty() {
+            report_failures(&args.out, seed, "powercut", &outcome.failures);
+        }
+        if !rot.is_empty() {
+            report_failures(&args.out, seed, "bitrot", &rot);
+        }
+        if outcome.failures.is_empty() && rot.is_empty() {
+            println!(
+                "seed {seed:>3}: ok ({} cuts, {} corruption trials)",
+                outcome.writes + 1,
+                args.corruption_trials
+            );
+        } else {
+            failed_seeds += 1;
+            println!(
+                "seed {seed:>3}: FAILED ({} power-cut, {} bit-rot mismatches)",
+                outcome.failures.len(),
+                rot.len()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "crash_sweep: {} seeds, {} cut points, {} failing seeds",
+        seeds.len(),
+        total_cuts,
+        failed_seeds
+    );
+    if failed_seeds > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,530 @@
+//! Crash-sweep differential harness: power-cut a build/insert/delete trace
+//! at every write boundary and prove the recovered index answers exactly
+//! like a model rebuilt from the durable prefix.
+//!
+//! The sweep exploits determinism end to end. A *dry run* executes the
+//! trace with an observing [`ScriptedFault`] to learn the total number of
+//! physical writes `W` and the disk epoch reached after each checkpoint.
+//! Because page allocation and serialization are deterministic, a faulted
+//! run is byte-for-byte a prefix of the dry run up to its cut, so the epoch
+//! found on reopen identifies precisely which checkpoint survived — and
+//! therefore which operation prefix the recovered tree must answer for.
+//!
+//! Per cut `c in 0..=W` the harness asserts:
+//!
+//! 1. [`DiskManager::open_repair`] succeeds (or, for cuts before the very
+//!    first meta commit, fails with a *typed* error — never a panic or a
+//!    silent half-state);
+//! 2. the repair report is clean — a pure power cut must never surface as
+//!    page corruption, because extents freed since the last durable commit
+//!    are not recycled;
+//! 3. [`persist::recover`] reloads the committed tree without a rebuild;
+//! 4. every probe query returns exactly the records the model (the op
+//!    prefix up to the surviving checkpoint, replayed on a sorted list)
+//!    says intersect it.
+//!
+//! [`corruption_trials`] covers the non-power-cut half: flip bytes in the
+//! page file, then require either a typed corruption error or a truthful
+//! rebuild whose answers are a subset of the uncorrupted model's.
+
+use segidx_core::persist;
+use segidx_core::{IndexConfig, RecordId, Tree};
+use segidx_geom::Rect;
+use segidx_storage::{DiskManager, DiskManagerConfig, FaultInjector, ScriptedFault, StorageError};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Deterministic 64-bit generator (SplitMix64) so the harness needs no RNG
+/// dependency and every trace is replayable from its seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One step of a crash-sweep trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Insert an interval for a record.
+    Insert(Rect<2>, RecordId),
+    /// Delete a previously inserted interval.
+    Delete(Rect<2>, RecordId),
+    /// Commit the in-memory tree to disk ([`persist::commit`]).
+    Checkpoint,
+}
+
+/// Shape of a generated trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Total insert/delete operations.
+    pub ops: usize,
+    /// A checkpoint is emitted every this many operations (and once at the
+    /// end).
+    pub checkpoint_every: usize,
+    /// Probability that an op deletes an existing record instead of
+    /// inserting a new one.
+    pub delete_fraction: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            ops: 48,
+            checkpoint_every: 12,
+            delete_fraction: 0.25,
+        }
+    }
+}
+
+/// The deterministic trace for `seed`: interval inserts and deletes with
+/// periodic checkpoints, ending on a checkpoint.
+pub fn trace(seed: u64, cfg: &TraceConfig) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed ^ 0xC4A5_1D00);
+    let mut ops = Vec::with_capacity(cfg.ops + cfg.ops / cfg.checkpoint_every.max(1) + 1);
+    let mut alive: Vec<(Rect<2>, RecordId)> = Vec::new();
+    let mut next_record = 0u64;
+    for i in 0..cfg.ops {
+        let delete = !alive.is_empty() && rng.next_f64() < cfg.delete_fraction;
+        if delete {
+            let victim = alive.swap_remove((rng.next_u64() as usize) % alive.len());
+            ops.push(Op::Delete(victim.0, victim.1));
+        } else {
+            let x = rng.next_f64() * 5_000.0;
+            let y = rng.next_f64() * 5_000.0;
+            // Mostly short intervals with an occasional long spanner, the
+            // paper's I-series mix, so checkpoints exercise spanning
+            // records too.
+            let len = if rng.next_u64() & 7 == 0 {
+                1_500.0
+            } else {
+                40.0
+            };
+            let rect = Rect::new([x, y], [x + len, y + rng.next_f64() * 40.0]);
+            let record = RecordId(next_record);
+            next_record += 1;
+            alive.push((rect, record));
+            ops.push(Op::Insert(rect, record));
+        }
+        if (i + 1) % cfg.checkpoint_every.max(1) == 0 {
+            ops.push(Op::Checkpoint);
+        }
+    }
+    if ops.last() != Some(&Op::Checkpoint) {
+        ops.push(Op::Checkpoint);
+    }
+    ops
+}
+
+/// Probe rectangles used for differential comparison.
+pub fn probes(seed: u64, count: usize) -> Vec<Rect<2>> {
+    let mut rng = SplitMix64::new(seed ^ 0x9B0E_5EED);
+    (0..count)
+        .map(|_| {
+            let x = rng.next_f64() * 5_000.0;
+            let y = rng.next_f64() * 5_000.0;
+            let w = 50.0 + rng.next_f64() * 1_000.0;
+            let h = 50.0 + rng.next_f64() * 1_000.0;
+            Rect::new([x, y], [x + w, y + h])
+        })
+        .collect()
+}
+
+/// The records intersecting `query` after replaying `ops_prefix` on a flat
+/// list — the harness's model of truth.
+pub fn model_answer(ops_prefix: &[Op], query: &Rect<2>) -> Vec<RecordId> {
+    let mut alive: Vec<(Rect<2>, RecordId)> = Vec::new();
+    for op in ops_prefix {
+        match op {
+            Op::Insert(rect, record) => alive.push((*rect, *record)),
+            Op::Delete(_, record) => alive.retain(|(_, r)| r != record),
+            Op::Checkpoint => {}
+        }
+    }
+    let mut out: Vec<RecordId> = alive
+        .iter()
+        .filter(|(rect, _)| rect.intersects(query))
+        .map(|(_, r)| *r)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// How a trace run against a (possibly fault-injected) disk ended.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Checkpoints that completed their commit without error.
+    pub checkpoints_done: usize,
+    /// The first error hit, if any (the simulated crash point).
+    pub error: Option<StorageError>,
+}
+
+/// Replays `ops` against a fresh disk at `path`, committing on every
+/// [`Op::Checkpoint`]. Stops at the first storage error (the simulated
+/// power cut).
+pub fn run_trace(path: &Path, injector: Option<Arc<dyn FaultInjector>>, ops: &[Op]) -> RunOutcome {
+    let config = DiskManagerConfig {
+        fault_injector: injector,
+        ..DiskManagerConfig::default()
+    };
+    let disk = match DiskManager::create_with(path, config) {
+        Ok(d) => d,
+        Err(e) => {
+            return RunOutcome {
+                checkpoints_done: 0,
+                error: Some(e),
+            }
+        }
+    };
+    let mut tree: Tree<2> = Tree::new(IndexConfig::srtree());
+    let mut checkpoints_done = 0;
+    for op in ops {
+        match op {
+            Op::Insert(rect, record) => {
+                tree.insert(*rect, *record);
+            }
+            Op::Delete(rect, record) => {
+                tree.delete(rect, *record);
+            }
+            Op::Checkpoint => match persist::commit(&tree, &disk) {
+                Ok(_) => checkpoints_done += 1,
+                Err(e) => {
+                    return RunOutcome {
+                        checkpoints_done,
+                        error: Some(e),
+                    }
+                }
+            },
+        }
+    }
+    RunOutcome {
+        checkpoints_done,
+        error: None,
+    }
+}
+
+/// One differential failure found by the sweep — a cut (or corruption
+/// trial) after which recovery answered wrongly or failed untypedly.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// The trace seed.
+    pub seed: u64,
+    /// The write index the power was cut at (or the corrupted byte offset
+    /// for corruption trials).
+    pub cut_at: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// Result of sweeping one seed.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Total physical writes in the uncut run (the sweep tested cuts
+    /// `0..=writes`).
+    pub writes: u64,
+    /// Differential failures; empty means the seed passed.
+    pub failures: Vec<SweepFailure>,
+}
+
+/// Power-cuts the trace for `seed` at every write boundary and checks
+/// recovery against the model. `scratch` is a directory the sweep may
+/// fill with (and delete) page files.
+pub fn crash_sweep(seed: u64, scratch: &Path, cfg: &TraceConfig) -> SweepOutcome {
+    let ops = trace(seed, cfg);
+    let probe_set = probes(seed, 16);
+    std::fs::create_dir_all(scratch).expect("scratch dir");
+
+    // Dry run: learn the write count, the epoch before any checkpoint, and
+    // the epoch after each checkpoint.
+    let observer = Arc::new(ScriptedFault::observer());
+    let dry_path = scratch.join(format!("dry-{seed:016x}.db"));
+    let outcome = run_trace(&dry_path, Some(observer.clone() as Arc<_>), &ops);
+    assert!(
+        outcome.error.is_none(),
+        "dry run must not fail: {:?}",
+        outcome.error
+    );
+    let writes = observer.writes_seen();
+    let (base_epoch, checkpoint_epochs) = {
+        let disk = DiskManager::open(&dry_path).expect("reopen dry run");
+        let final_epoch = disk.epoch();
+        let total_checkpoints = ops.iter().filter(|o| matches!(o, Op::Checkpoint)).count();
+        // commit() syncs exactly once per checkpoint, so epochs count back
+        // deterministically from the final one.
+        let base = final_epoch - total_checkpoints as u64;
+        let epochs: Vec<u64> = (1..=total_checkpoints as u64).map(|k| base + k).collect();
+        (base, epochs)
+    };
+    // Op index (exclusive) covered by the k-th checkpoint (1-based).
+    let checkpoint_prefix: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| matches!(o, Op::Checkpoint))
+        .map(|(i, _)| i + 1)
+        .collect();
+    remove_db(&dry_path);
+
+    let mut failures = Vec::new();
+    let mut cut_rng = SplitMix64::new(seed ^ 0x00C0_FFEE);
+    for cut in 0..=writes {
+        // Alternate torn and clean-fail cuts, with a pseudorandom tear
+        // length, so both partial-write shapes are exercised at every
+        // boundary over the seed population.
+        let torn = if cut_rng.next_u64() & 1 == 0 {
+            Some((cut_rng.next_u64() % 4096) as usize)
+        } else {
+            None
+        };
+        let path = scratch.join(format!("cut-{seed:016x}-{cut}.db"));
+        if let Err(detail) = check_one_cut(
+            &path,
+            &ops,
+            &probe_set,
+            cut,
+            torn,
+            base_epoch,
+            &checkpoint_epochs,
+            &checkpoint_prefix,
+        ) {
+            failures.push(SweepFailure {
+                seed,
+                cut_at: cut,
+                detail,
+            });
+        }
+        remove_db(&path);
+    }
+    SweepOutcome { writes, failures }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_one_cut(
+    path: &Path,
+    ops: &[Op],
+    probe_set: &[Rect<2>],
+    cut: u64,
+    torn: Option<usize>,
+    base_epoch: u64,
+    checkpoint_epochs: &[u64],
+    checkpoint_prefix: &[usize],
+) -> Result<(), String> {
+    let fault = Arc::new(ScriptedFault::power_cut(cut, torn));
+    let outcome = run_trace(path, Some(fault.clone() as Arc<_>), ops);
+    match &outcome.error {
+        None => {
+            // The cut landed past the last write; nothing to check beyond a
+            // clean reopen below.
+        }
+        Some(e) if e.is_injected() => {}
+        Some(e) => return Err(format!("non-injected error during faulted run: {e}")),
+    }
+
+    let (disk, report) = match DiskManager::open_repair(path, DiskManagerConfig::default(), None) {
+        Ok(v) => v,
+        Err(e) => {
+            // Only acceptable when the very first meta commit never
+            // became durable — there is no database yet.
+            return if outcome.checkpoints_done == 0 && e.is_corruption()
+                || matches!(e, StorageError::Io(_))
+            {
+                Ok(())
+            } else {
+                Err(format!("reopen failed after {cut}: {e}"))
+            };
+        }
+    };
+    if !report.is_clean() {
+        return Err(format!(
+            "pure power cut surfaced as corruption: {:?}",
+            report.quarantined
+        ));
+    }
+
+    // The durable epoch pins which checkpoint survived.
+    let epoch = disk.epoch();
+    let k = match checkpoint_epochs.iter().position(|&e| e == epoch) {
+        Some(i) => i + 1,
+        None if epoch == base_epoch => 0,
+        None => return Err(format!("epoch {epoch} matches no checkpoint")),
+    };
+    if k < outcome.checkpoints_done {
+        return Err(format!(
+            "commit {} reported success but reopened at checkpoint {k}",
+            outcome.checkpoints_done
+        ));
+    }
+    if k == 0 {
+        return match disk.root() {
+            None => Ok(()),
+            Some(r) => Err(format!("no checkpoint durable yet root = {r:?}")),
+        };
+    }
+    let (tree, rr) = persist::recover::<2>(&disk, &report, None)
+        .map_err(|e| format!("recover failed at checkpoint {k}: {e}"))?;
+    if rr.rebuilt {
+        return Err("power cut forced a rebuild (should reload committed tree)".into());
+    }
+    let prefix = &ops[..checkpoint_prefix[k - 1]];
+    for probe in probe_set {
+        let expected = model_answer(prefix, probe);
+        let mut got = tree.search(probe);
+        got.sort_unstable();
+        got.dedup();
+        if got != expected {
+            return Err(format!(
+                "probe {probe:?} after checkpoint {k}: expected {expected:?}, got {got:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Flips bytes in a committed page file and checks recovery stays truthful:
+/// every trial must end in a typed corruption error or a rebuilt tree whose
+/// answers are a subset of the uncorrupted model's. Returns failures.
+pub fn corruption_trials(seed: u64, scratch: &Path, trials: usize) -> Vec<SweepFailure> {
+    let cfg = TraceConfig::default();
+    let ops = trace(seed, &cfg);
+    let probe_set = probes(seed, 16);
+    std::fs::create_dir_all(scratch).expect("scratch dir");
+    let mut rng = SplitMix64::new(seed ^ 0xBAD5_EED5);
+    let mut failures = Vec::new();
+    for trial in 0..trials {
+        let path = scratch.join(format!("rot-{seed:016x}-{trial}.db"));
+        let outcome = run_trace(&path, None, &ops);
+        assert!(outcome.error.is_none(), "clean run failed: {outcome:?}");
+        let len = std::fs::metadata(&path).expect("page file").len();
+        let offset = rng.next_u64() % len.max(1);
+        {
+            use std::io::{Read, Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .expect("open page file");
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            let mut b = [0u8];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            f.write_all(&[b[0] ^ (1 << (rng.next_u64() % 8))]).unwrap();
+        }
+        if let Err(detail) = check_one_corruption(&path, &ops, &probe_set) {
+            failures.push(SweepFailure {
+                seed,
+                cut_at: offset,
+                detail,
+            });
+        }
+        remove_db(&path);
+    }
+    failures
+}
+
+fn check_one_corruption(path: &Path, ops: &[Op], probe_set: &[Rect<2>]) -> Result<(), String> {
+    let (disk, report) = match DiskManager::open_repair(path, DiskManagerConfig::default(), None) {
+        Ok(v) => v,
+        Err(e) if e.is_corruption() => return Ok(()), // typed, truthful
+        Err(e) => return Err(format!("untyped open failure: {e}")),
+    };
+    let (tree, _rr) = match persist::recover::<2>(&disk, &report, None) {
+        Ok(v) => v,
+        Err(e) if e.is_corruption() => return Ok(()),
+        Err(e) => return Err(format!("untyped recover failure: {e}")),
+    };
+    for probe in probe_set {
+        let expected = model_answer(ops, probe);
+        let mut got = tree.search(probe);
+        got.sort_unstable();
+        got.dedup();
+        // Subset: recovery may lose quarantined entries but must never
+        // fabricate a result.
+        if !got.iter().all(|r| expected.contains(r)) {
+            return Err(format!(
+                "probe {probe:?}: fabricated results; expected ⊆ {expected:?}, got {got:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn remove_db(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let mut meta = path.clone().into_os_string();
+    meta.push(".meta");
+    let _ = std::fs::remove_file(PathBuf::from(meta));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("segidx-crash-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_ends_on_checkpoint() {
+        let cfg = TraceConfig::default();
+        let a = trace(7, &cfg);
+        let b = trace(7, &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, trace(8, &cfg));
+        assert_eq!(a.last(), Some(&Op::Checkpoint));
+        assert!(a.iter().any(|o| matches!(o, Op::Delete(..))));
+    }
+
+    #[test]
+    fn model_replays_deletes() {
+        let r = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        let ops = vec![
+            Op::Insert(r, RecordId(1)),
+            Op::Insert(r, RecordId(2)),
+            Op::Delete(r, RecordId(1)),
+            Op::Checkpoint,
+        ];
+        assert_eq!(model_answer(&ops, &r), vec![RecordId(2)]);
+    }
+
+    #[test]
+    fn sweep_one_seed_clean() {
+        let dir = scratch("sweep");
+        let cfg = TraceConfig {
+            ops: 24,
+            checkpoint_every: 8,
+            delete_fraction: 0.25,
+        };
+        let outcome = crash_sweep(3, &dir, &cfg);
+        assert!(outcome.writes > 0);
+        assert!(
+            outcome.failures.is_empty(),
+            "differential failures: {:#?}",
+            outcome.failures
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_trials_stay_truthful() {
+        let dir = scratch("rot");
+        let failures = corruption_trials(11, &dir, 6);
+        assert!(failures.is_empty(), "{failures:#?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

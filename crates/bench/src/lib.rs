@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod crash;
 mod experiment;
 mod metrics;
 mod report;

@@ -3,7 +3,9 @@
 
 use segidx_core::{persist, IndexConfig, PagedSearcher, RecordId, Tree};
 use segidx_geom::Rect;
-use segidx_storage::{BufferPool, DiskManager, PageId};
+use segidx_storage::{
+    BufferPool, DiskManager, DiskManagerConfig, PageId, ScriptedFault, SizeClass,
+};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -123,6 +125,69 @@ fn paged_searcher_surfaces_corruption_at_query_time() {
         }
     }
     let _ = victim;
+}
+
+#[test]
+fn failed_sync_surfaces_and_commit_does_not_advance() {
+    let path = temp("syncfail.db");
+    // Barriers: #0/#1 are create's data+meta-commit pair; #2 is the first
+    // explicit sync's data barrier — fail it.
+    let fault = Arc::new(ScriptedFault::fail_nth_sync(2));
+    let cfg = DiskManagerConfig {
+        fault_injector: Some(fault as Arc<_>),
+        ..DiskManagerConfig::default()
+    };
+    let disk = DiskManager::create_with(&path, cfg).unwrap();
+    let epoch_before = disk.epoch();
+    let tree = sample_tree(300);
+    let err = persist::commit(&tree, &disk).unwrap_err();
+    assert!(err.is_injected(), "{err}");
+    assert_eq!(
+        disk.epoch(),
+        epoch_before,
+        "a failed sync must not claim durability"
+    );
+    // The fault was one-shot: the retry commits and a clean reopen loads.
+    let meta = persist::commit(&tree, &disk).unwrap();
+    assert_eq!(disk.epoch(), epoch_before + 1);
+    drop(disk);
+    let disk = DiskManager::open(&path).unwrap();
+    assert_eq!(disk.root(), Some(meta));
+    let back: Tree<2> = persist::load(&disk, meta).unwrap();
+    assert_eq!(back.entry_count(), tree.entry_count());
+}
+
+#[test]
+fn buffer_pool_flush_on_drop_reports_write_errors() {
+    use segidx_obs::{EventKind, RingBufferSink};
+
+    let path = temp("dropflush.db");
+    // Writes: #0 = create's meta image, #1 = the page write-back attempted
+    // by the pool's Drop — fail it.
+    let fault = Arc::new(ScriptedFault::fail_nth_write(1));
+    let cfg = DiskManagerConfig {
+        fault_injector: Some(fault as Arc<_>),
+        ..DiskManagerConfig::default()
+    };
+    let disk = Arc::new(DiskManager::create_with(&path, cfg).unwrap());
+    let sink = Arc::new(RingBufferSink::new(8));
+    {
+        let pool = BufferPool::new(Arc::clone(&disk));
+        pool.set_sink(Some(sink.clone()));
+        let id = pool.allocate(SizeClass::new(0)).unwrap();
+        pool.with_page_mut(id, |p| p.set_payload(b"dirty at drop"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(disk.stats().snapshot().write_errors, 0);
+        // No flush_all: the pool's Drop must attempt the write-back.
+    }
+    let after = disk.stats().snapshot();
+    assert_eq!(
+        after.write_errors, 1,
+        "flush-on-drop must count the failed write-back"
+    );
+    let events = sink.events_of(EventKind::WriteBackError);
+    assert_eq!(events.len(), 1, "flush-on-drop must fire an event");
 }
 
 #[test]

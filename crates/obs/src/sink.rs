@@ -45,6 +45,18 @@ pub enum EventKind {
     ForcedReinsert,
     /// A buffer-pool frame evicted to stay within the byte budget.
     BufferEviction,
+    /// A page that failed validation was quarantined during repair-mode
+    /// open (dropped from the page directory so it can never be read).
+    PageQuarantined,
+    /// A subtree was unreachable during recovery (its page corrupt or
+    /// missing); its entries are lost.
+    SubtreeLost,
+    /// An index was rebuilt from surviving pages after corruption; `detail`
+    /// carries the number of entries recovered.
+    RecoveryRebuild,
+    /// A dirty page write-back failed in a context that could not return
+    /// the error (e.g. buffer-pool flush-on-drop).
+    WriteBackError,
 }
 
 impl EventKind {
@@ -63,6 +75,10 @@ impl EventKind {
             EventKind::Redistribution => "redistribution",
             EventKind::ForcedReinsert => "forced_reinsert",
             EventKind::BufferEviction => "buffer_eviction",
+            EventKind::PageQuarantined => "page_quarantined",
+            EventKind::SubtreeLost => "subtree_lost",
+            EventKind::RecoveryRebuild => "recovery_rebuild",
+            EventKind::WriteBackError => "write_back_error",
         }
     }
 }
@@ -319,6 +335,10 @@ mod tests {
             EventKind::Redistribution,
             EventKind::ForcedReinsert,
             EventKind::BufferEviction,
+            EventKind::PageQuarantined,
+            EventKind::SubtreeLost,
+            EventKind::RecoveryRebuild,
+            EventKind::WriteBackError,
         ] {
             let name = kind.name();
             assert!(name.chars().all(|c| c.is_ascii_lowercase() || c == '_'));

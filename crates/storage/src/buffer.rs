@@ -195,13 +195,29 @@ impl BufferPool {
                     _ => continue,
                 }
             };
-            self.disk.write_page(&page)?;
+            if let Err(e) = self.disk.write_page(&page) {
+                self.report_write_error(id, &e);
+                return Err(e);
+            }
             let mut inner = self.inner.lock();
             if let Some(fr) = inner.frames.get_mut(&id) {
                 fr.dirty = false;
             }
         }
         self.disk.sync()
+    }
+
+    /// Records a failed write-back in the shared counters, fires an
+    /// [`EventKind::WriteBackError`] event, and logs to stderr — the error
+    /// is *reported* through every channel even when (as in `Drop`) it
+    /// cannot be returned.
+    fn report_write_error(&self, id: PageId, e: &StorageError) {
+        self.stats.record_write_error();
+        let sink = self.sink.lock().clone();
+        if let Some(sink) = sink {
+            sink.event(Event::new(EventKind::WriteBackError).node(id.raw()));
+        }
+        eprintln!("segidx-storage: write-back of page {id:?} failed: {e}");
     }
 
     fn pin(&self, id: PageId) -> Result<()> {
@@ -309,6 +325,40 @@ impl BufferPool {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Dropping the pool writes dirty pages back and syncs, so an index that
+/// goes out of scope without an explicit [`BufferPool::flush_all`] is not
+/// silently lost. Failures cannot be returned from `Drop`; they are
+/// *reported* instead — counted in [`IoStats`] `write_errors`, fired as
+/// [`EventKind::WriteBackError`] events, and logged to stderr. Callers that
+/// need failures as errors must call [`BufferPool::flush_all`] themselves.
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        let dirty: Vec<(PageId, Page)> = {
+            let inner = self.inner.lock();
+            inner
+                .frames
+                .iter()
+                .filter(|(_, fr)| fr.dirty)
+                .map(|(&id, fr)| (id, fr.page.clone()))
+                .collect()
+        };
+        let mut failed = false;
+        for (id, page) in dirty {
+            if let Err(e) = self.disk.write_page(&page) {
+                self.report_write_error(id, &e);
+                failed = true;
+            }
+        }
+        if let Err(e) = self.disk.sync() {
+            if !failed {
+                // Count the sync failure once if no write already did.
+                self.stats.record_write_error();
+            }
+            eprintln!("segidx-storage: sync on buffer-pool drop failed: {e}");
         }
     }
 }

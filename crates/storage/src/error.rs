@@ -38,6 +38,27 @@ pub enum StorageError {
     Decode(String),
 }
 
+impl StorageError {
+    /// Whether this error originates from a corrupted on-disk image (torn
+    /// write, bit rot, partial meta) rather than from misuse or transient
+    /// I/O. Corruption errors are the ones recovery
+    /// ([`DiskManager::open_repair`](crate::DiskManager::open_repair)) can
+    /// act on.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Corrupt { .. } | StorageError::BadMeta(_) | StorageError::Decode(_)
+        )
+    }
+
+    /// Whether this error was produced by a [`crate::FaultInjector`] rather
+    /// than by the real I/O stack. Crash harnesses use this to tell a
+    /// simulated power cut from a genuine storage bug.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, StorageError::Io(e) if e.to_string().contains(crate::fault::INJECTED_MARKER))
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -96,5 +117,21 @@ mod tests {
     fn io_error_source_preserved() {
         let e: StorageError = io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn corruption_and_injection_classifiers() {
+        let corrupt = StorageError::Corrupt {
+            page: PageId(1),
+            reason: "checksum".into(),
+        };
+        assert!(corrupt.is_corruption());
+        assert!(!corrupt.is_injected());
+        assert!(StorageError::BadMeta("torn".into()).is_corruption());
+        let real_io: StorageError = io::Error::other("boom").into();
+        assert!(!real_io.is_corruption());
+        assert!(!real_io.is_injected());
+        let injected: StorageError = crate::fault::injected_error("torn write").into();
+        assert!(injected.is_injected());
     }
 }

@@ -50,15 +50,21 @@
 #![warn(clippy::all)]
 
 mod buffer;
+mod checksum;
 mod disk;
 mod error;
+mod fault;
 mod page;
 mod serialize;
 mod stats;
 
 pub use buffer::{BufferPool, BufferPoolConfig};
-pub use disk::{DiskManager, DiskManagerConfig};
+pub use checksum::xxh64;
+pub use disk::{DiskManager, DiskManagerConfig, RepairReport};
 pub use error::{Result, StorageError};
+pub use fault::{
+    FaultInjector, ScriptedFault, SyncFault, SyncKind, WriteFault, WriteKind, INJECTED_MARKER,
+};
 pub use page::{Page, PageId, SizeClass, BASE_PAGE_SIZE, MAX_SIZE_CLASS, PAGE_HEADER_LEN};
 pub use serialize::{ByteReader, ByteWriter};
 pub use stats::{IoLatency, IoLatencySnapshot, IoStats, IoStatsSnapshot};

@@ -1,5 +1,6 @@
 //! Pages with variable size classes.
 
+use crate::checksum::xxh64;
 use crate::error::{Result, StorageError};
 use bytes::{Buf, BufMut, BytesMut};
 
@@ -153,7 +154,7 @@ impl Page {
         buf.put_u8(0); // flags
         buf.put_u16_le(0); // reserved
         buf.put_u32_le(self.payload.len() as u32);
-        buf.put_u64_le(checksum(&self.payload));
+        buf.put_u64_le(page_checksum(&buf[..CHECKSUM_OFFSET], &self.payload));
         buf.extend_from_slice(&self.payload);
         buf.resize(size, 0);
         buf
@@ -190,7 +191,7 @@ impl Page {
         }
         let stored_checksum = cur.get_u64_le();
         let payload = &cur[..len];
-        let actual = checksum(payload);
+        let actual = page_checksum(&raw[..CHECKSUM_OFFSET], payload);
         if actual != stored_checksum {
             return Err(corrupt(format!(
                 "checksum mismatch: stored {stored_checksum:#x}, computed {actual:#x}"
@@ -202,16 +203,20 @@ impl Page {
     }
 }
 
-/// FNV-1a 64-bit checksum over the payload.
-pub(crate) fn checksum(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+/// Byte offset of the checksum field within the page header; everything
+/// before it (magic, size class, flags, reserved, payload length) is covered
+/// by the checksum.
+const CHECKSUM_OFFSET: usize = 12;
+
+/// XXH64 checksum over the header prefix *and* the payload, chained by
+/// seeding the header digest with the payload digest. Covering the header
+/// means a single corrupted byte anywhere in the integrity-relevant region
+/// (magic through payload) fails validation as [`StorageError::Corrupt`] —
+/// it can never be misread as a shorter/longer payload or a different size
+/// class. Only the zero padding beyond the payload is uncovered, and a flip
+/// there cannot change what a read returns.
+pub(crate) fn page_checksum(header_prefix: &[u8], payload: &[u8]) -> u64 {
+    xxh64(header_prefix, xxh64(payload, 0))
 }
 
 #[cfg(test)]
@@ -291,7 +296,34 @@ mod tests {
 
     #[test]
     fn checksum_is_stable_and_sensitive() {
-        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
-        assert_ne!(checksum(b"a"), checksum(b"b"));
+        let header = b"SGIX\x00\x00\x00\x00\x04\x00\x00\x00";
+        assert_eq!(
+            page_checksum(header, b"data"),
+            page_checksum(header, b"data")
+        );
+        assert_ne!(page_checksum(header, b"a"), page_checksum(header, b"b"));
+        let other = b"SGIX\x01\x00\x00\x00\x04\x00\x00\x00";
+        assert_ne!(
+            page_checksum(header, b"data"),
+            page_checksum(other, b"data"),
+            "header bytes are covered"
+        );
+    }
+
+    #[test]
+    fn header_corruption_detected() {
+        let mut p = Page::new(PageId(5), SizeClass::new(0));
+        p.set_payload(b"some payload bytes").unwrap();
+        let clean = p.to_disk_bytes();
+        // Every byte of the integrity-relevant region (header + payload):
+        // flipping it must produce a typed error, never a wrong-answer read.
+        for idx in 0..PAGE_HEADER_LEN + p.payload().len() {
+            let mut bytes = clean.clone();
+            bytes[idx] ^= 0x10;
+            assert!(
+                Page::from_disk_bytes(PageId(5), SizeClass::new(0), &bytes).is_err(),
+                "corruption at byte {idx} went undetected"
+            );
+        }
     }
 }

@@ -2,7 +2,18 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use segidx_storage::{ByteReader, ByteWriter, Page, PageId, SizeClass};
+use segidx_storage::{ByteReader, ByteWriter, DiskManager, Page, PageId, SizeClass};
+use std::path::PathBuf;
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "segidx-storage-props-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
 
 proptest! {
     #[test]
@@ -33,12 +44,93 @@ proptest! {
         // Flip one bit somewhere in header-or-payload region.
         let idx = (seed as usize) % (20 + payload.len());
         bytes[idx] ^= 1 << flip_bit;
-        let parsed = Page::from_disk_bytes(PageId(3), class, &bytes);
-        if let Ok(p) = parsed {
-            // Flips inside flags/reserved header bytes (offsets 5..8) are not
-            // integrity-relevant and may parse.
-            prop_assert!((5..8).contains(&idx) || p.payload() == payload.as_slice());
+        // The checksum chains over the header prefix and the payload, so a
+        // flip of *any* bit in the header or stored payload is detected.
+        prop_assert!(Page::from_disk_bytes(PageId(3), class, &bytes).is_err());
+    }
+
+    #[test]
+    fn on_disk_byte_corruption_is_typed_never_a_wrong_read(
+        payload in vec(any::<u8>(), 1..900),
+        corrupt_at in any::<u64>(),
+        xor in 1u8..=255,
+        case in any::<u64>(),
+    ) {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let path = temp(&format!("rot-{case:016x}.db"));
+        let id;
+        {
+            let dm = DiskManager::create(&path).unwrap();
+            id = dm.allocate(SizeClass::new(0)).unwrap();
+            let mut page = Page::new(id, SizeClass::new(0));
+            page.set_payload(&payload).unwrap();
+            dm.write_page(&page).unwrap();
+            dm.sync().unwrap();
         }
+        // Corrupt one byte of the page's integrity-covered region (header
+        // plus stored payload; the zero tail of the extent is dead space).
+        let covered = 20 + payload.len() as u64;
+        let offset = corrupt_at % covered;
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            let mut b = [0u8];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            f.write_all(&[b[0] ^ xor]).unwrap();
+        }
+        let dm = DiskManager::open(&path).unwrap();
+        match dm.read_page(id) {
+            Err(e) => prop_assert!(e.is_corruption(), "untyped error: {e}"),
+            Ok(_) => prop_assert!(false, "corrupted page read back successfully"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn meta_epoch_is_monotonic_across_commits_and_reopens(
+        // Each step: 0 = allocate+write+sync, 1 = sync with nothing dirty,
+        // 2 = reopen.
+        steps in vec(0u8..3, 1..12),
+        case in any::<u64>(),
+    ) {
+        let path = temp(&format!("epoch-{case:016x}.db"));
+        let mut dm = DiskManager::create(&path).unwrap();
+        let mut last_epoch = dm.epoch();
+        let mut payload_no = 0u64;
+        for step in steps {
+            match step {
+                0 => {
+                    let id = dm.allocate(SizeClass::new(0)).unwrap();
+                    let mut page = Page::new(id, SizeClass::new(0));
+                    page.set_payload(&payload_no.to_le_bytes()).unwrap();
+                    payload_no += 1;
+                    dm.write_page(&page).unwrap();
+                    dm.sync().unwrap();
+                    prop_assert_eq!(dm.epoch(), last_epoch + 1, "dirty sync bumps the epoch");
+                }
+                1 => {
+                    dm.sync().unwrap();
+                    prop_assert_eq!(dm.epoch(), last_epoch, "clean sync is a no-op");
+                }
+                _ => {
+                    drop(dm);
+                    dm = DiskManager::open(&path).unwrap();
+                    prop_assert_eq!(dm.epoch(), last_epoch, "reopen preserves the epoch");
+                }
+            }
+            prop_assert!(dm.epoch() >= last_epoch, "epoch never moves backwards");
+            last_epoch = dm.epoch();
+        }
+        drop(dm);
+        let _ = std::fs::remove_file(&path);
+        let mut meta = temp(&format!("epoch-{case:016x}.db")).into_os_string();
+        meta.push(".meta");
+        let _ = std::fs::remove_file(PathBuf::from(meta));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Differential crash-sweep smoke: power-cut a deterministic trace at every
+//! write boundary, reopen in repair mode, and require the recovered index
+//! to answer exactly like a model rebuilt from the durable prefix.
+//!
+//! CI additionally runs the `crash_sweep` binary over 64 seeds in release
+//! mode; this test keeps a smaller always-on version inside `cargo test`.
+
+use segidx_bench::crash::{corruption_trials, crash_sweep, TraceConfig};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("segidx-crash-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn power_cut_at_every_write_boundary_recovers_the_committed_prefix() {
+    let dir = scratch("sweep");
+    let cfg = TraceConfig {
+        ops: 36,
+        checkpoint_every: 9,
+        delete_fraction: 0.25,
+    };
+    for seed in [0, 1, 42] {
+        let outcome = crash_sweep(seed, &dir, &cfg);
+        assert!(outcome.writes > 0, "seed {seed} produced no writes");
+        assert!(
+            outcome.failures.is_empty(),
+            "seed {seed} failed:\n{:#?}",
+            outcome.failures
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_rot_is_reported_never_answered_wrongly() {
+    let dir = scratch("rot");
+    for seed in [5, 17] {
+        let failures = corruption_trials(seed, &dir, 8);
+        assert!(failures.is_empty(), "seed {seed} failed:\n{failures:#?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
