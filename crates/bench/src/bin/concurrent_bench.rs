@@ -1,0 +1,277 @@
+//! Concurrent read/write throughput sweep for the index service: snapshot
+//! readers and submitter threads hammer one `ConcurrentIndex` (single
+//! group-commit writer) across a readers × submitters × max-batch grid,
+//! and the sweep emits a hand-rolled `results/concurrent.json` in the same
+//! style as `results/throughput.json`, plus a summary table.
+//!
+//! Usage:
+//!   concurrent_bench [--millis N] [--records N] [--out FILE]
+
+use segidx_concurrent::{ConcurrentIndex, IndexOp, SubmitError};
+use segidx_core::{IntervalIndex, RecordId, SRTree};
+use segidx_geom::Rect;
+use segidx_workloads::{queries_for_qar, DataDistribution};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+struct Args {
+    millis: u64,
+    records: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        millis: 400,
+        records: 10_000,
+        out: PathBuf::from("results/concurrent.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--millis" => args.millis = value("--millis")?.parse().map_err(|e| format!("{e}"))?,
+            "--records" => {
+                args.records = value("--records")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: concurrent_bench [--millis N] [--records N] [--out FILE]".into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+struct Cell {
+    readers: usize,
+    submitters: usize,
+    max_batch: usize,
+    read_qps: u64,
+    write_ops_per_sec: u64,
+    commits_per_sec: u64,
+    mean_commit_batch: f64,
+    overloads: u64,
+}
+
+/// One grid cell: `readers` snapshot-read threads and `submitters`
+/// mutation threads against a fresh index for `duration`.
+fn run_cell(
+    records: &[(Rect<2>, RecordId)],
+    probes: &[Rect<2>],
+    readers: usize,
+    submitters: usize,
+    max_batch: usize,
+    duration: Duration,
+) -> Cell {
+    let mut seed = SRTree::<2>::new();
+    for (r, id) in records {
+        seed.insert(*r, *id);
+    }
+    let index = ConcurrentIndex::builder(seed.into_tree())
+        .queue_capacity(4 * max_batch.max(256))
+        .max_batch(max_batch)
+        .start()
+        .expect("memory-only start cannot fail");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for reader_id in 0..readers {
+            let handle = index.handle();
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            scope.spawn(move || {
+                let mut local = 0u64;
+                let mut it = reader_id;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = handle.snapshot();
+                    std::hint::black_box(snap.search(&probes[it % probes.len()]));
+                    it += 1;
+                    local += 1;
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        for sub_id in 0..submitters {
+            let handle = index.handle();
+            let stop = Arc::clone(&stop);
+            let writes = Arc::clone(&writes);
+            let base = records.len() as u64 * (sub_id as u64 + 2);
+            scope.spawn(move || {
+                let mut local = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Insert a fresh record, then delete it two steps later,
+                    // so the live set stays near the initial size.
+                    let id = base + i;
+                    let x = ((id * 37) % 5_000) as f64;
+                    let rect = Rect::new([x, x * 0.5], [x + 30.0, x * 0.5 + 2.0]);
+                    let op = if i % 3 == 2 {
+                        IndexOp::Delete {
+                            rect,
+                            record: RecordId(id),
+                        }
+                    } else {
+                        IndexOp::Insert {
+                            rect,
+                            record: RecordId(id),
+                        }
+                    };
+                    match handle.submit(op) {
+                        Ok(_) => {
+                            local += 1;
+                            i += 1;
+                        }
+                        Err(SubmitError::Overloaded { .. }) => std::thread::yield_now(),
+                        Err(SubmitError::Closed) => break,
+                    }
+                }
+                writes.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    index.flush().expect("memory-only flush cannot fail");
+
+    let telemetry = index.telemetry();
+    let commits = telemetry.commits();
+    let applied = telemetry.ops_applied();
+    let secs = duration.as_secs_f64();
+    let cell = Cell {
+        readers,
+        submitters,
+        max_batch,
+        read_qps: (reads.load(Ordering::Relaxed) as f64 / secs) as u64,
+        write_ops_per_sec: (writes.load(Ordering::Relaxed) as f64 / secs) as u64,
+        commits_per_sec: (commits as f64 / secs) as u64,
+        mean_commit_batch: if commits == 0 {
+            0.0
+        } else {
+            applied as f64 / commits as f64
+        },
+        overloads: telemetry.overloads(),
+    };
+    index.shutdown();
+    cell
+}
+
+/// Days-since-epoch → (year, month, day), proleptic Gregorian.
+fn civil_from_days(mut z: i64) -> (i64, u32, u32) {
+    z += 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64 / 86_400)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let dataset = DataDistribution::I3.generate(args.records, 7);
+    let probes: Vec<Rect<2>> = [0.01, 1.0, 500.0]
+        .iter()
+        .flat_map(|&q| queries_for_qar(q, 20, 3).queries)
+        .collect();
+    let duration = Duration::from_millis(args.millis);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("readers  submitters  max_batch  read_qps  write_ops/s  commits/s  mean_batch");
+    let mut cells = Vec::new();
+    for readers in [1usize, 2, 4] {
+        for submitters in [1usize, 2] {
+            for max_batch in [32usize, 256] {
+                let cell = run_cell(
+                    &dataset.records,
+                    &probes,
+                    readers,
+                    submitters,
+                    max_batch,
+                    duration,
+                );
+                println!(
+                    "{:>7}  {:>10}  {:>9}  {:>8}  {:>11}  {:>9}  {:>10.1}",
+                    cell.readers,
+                    cell.submitters,
+                    cell.max_batch,
+                    cell.read_qps,
+                    cell.write_ops_per_sec,
+                    cell.commits_per_sec,
+                    cell.mean_commit_batch,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"benchmark\": \"concurrent snapshot reads vs single-writer group commit\",\n",
+    );
+    json.push_str(&format!("  \"date\": \"{}\",\n", today()));
+    json.push_str(
+        "  \"method\": \"crates/bench/src/bin/concurrent_bench.rs; SRTree-backed \
+         ConcurrentIndex over a 10k-record I3 dataset, 60 mixed-QAR probes; each cell runs \
+         snapshot-read threads and submitter threads for a fixed wall-clock window\",\n",
+    );
+    json.push_str(&format!(
+        "  \"hardware_note\": \"container run (available_parallelism = {cores}); with a single \
+         core, reader/submitter scaling interleaves on one CPU - absolute numbers need \
+         multi-core hardware\",\n"
+    ));
+    json.push_str(&format!("  \"n_records\": {},\n", args.records));
+    json.push_str(&format!("  \"window_millis\": {},\n", args.millis));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"readers\": {}, \"submitters\": {}, \"max_batch\": {}, \
+             \"read_qps\": {}, \"write_ops_per_sec\": {}, \"commits_per_sec\": {}, \
+             \"mean_commit_batch\": {:.1}, \"overloads\": {} }}{}\n",
+            c.readers,
+            c.submitters,
+            c.max_batch,
+            c.read_qps,
+            c.write_ops_per_sec,
+            c.commits_per_sec,
+            c.mean_commit_batch,
+            c.overloads,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&args.out, json).expect("write results");
+    println!("concurrent_bench: wrote {}", args.out.display());
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,12 @@
 //! CI runs this after the smoke reproduction to guarantee the exported
 //! metrics are well-formed: the file parses, is non-empty, and every
 //! (graph, variant) pair carries search/insert latency percentiles, the
-//! logical node-access counters, and a buffer-pool hit rate.
+//! logical node-access counters, and a buffer-pool hit rate. Metrics
+//! carrying a `component` label instead (the concurrent index service)
+//! are validated separately: epoch/queue-depth/retired-snapshot gauges,
+//! commit counters and latency histograms, and the event-ring health pair
+//! (`segidx_events_dropped_total` / `segidx_events_buffered`) must all be
+//! present for `component="concurrent"`.
 //!
 //! Usage: `metrics_check <path/to/metrics.json>`. Exits non-zero with a
 //! description of the first problem found.
@@ -41,6 +46,26 @@ const REQUIRED_COUNTERS: [&str; 3] = [
 ];
 const REQUIRED_GAUGES: [&str; 1] = ["segidx_buffer_pool_hit_rate"];
 
+/// Metrics the `component="concurrent"` family must export.
+const CONCURRENT_GAUGES: [&str; 5] = [
+    "segidx_concurrent_epoch",
+    "segidx_concurrent_queue_depth",
+    "segidx_concurrent_retired_snapshots",
+    "segidx_concurrent_active_readers",
+    "segidx_events_buffered",
+];
+const CONCURRENT_COUNTERS: [&str; 5] = [
+    "segidx_concurrent_commits_total",
+    "segidx_concurrent_ops_applied_total",
+    "segidx_concurrent_overloads_total",
+    "segidx_concurrent_reclaimed_total",
+    "segidx_events_dropped_total",
+];
+const CONCURRENT_HISTOGRAMS: [&str; 2] = [
+    "segidx_concurrent_queue_wait_nanos",
+    "segidx_concurrent_commit_latency_nanos",
+];
+
 fn check(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -53,14 +78,24 @@ fn check(path: &str) -> Result<String, String> {
     }
 
     // Group by (graph, variant), remembering which names each pair exported.
+    // Metrics labeled with `component` instead belong to a service family
+    // (the concurrent index) and are collected separately.
     let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
     let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    let mut components: BTreeSet<String> = BTreeSet::new();
+    let mut component_seen: BTreeSet<(String, String)> = BTreeSet::new();
     for m in metrics {
         let name = m
             .get("name")
             .and_then(Value::as_str)
             .ok_or("metric without a \"name\"")?;
         let labels = m.get("labels").ok_or("metric without \"labels\"")?;
+        if let Some(component) = labels.get("component").and_then(Value::as_str) {
+            validate_component_metric(name, component, m)?;
+            components.insert(component.to_string());
+            component_seen.insert((component.to_string(), name.to_string()));
+            continue;
+        }
         let graph = labels.get("graph").and_then(Value::as_str).unwrap_or("");
         let variant = labels.get("variant").and_then(Value::as_str).unwrap_or("");
         if graph.is_empty() || variant.is_empty() {
@@ -83,11 +118,56 @@ fn check(path: &str) -> Result<String, String> {
         }
     }
 
+    if !components.contains("concurrent") {
+        return Err("missing component=\"concurrent\" service metrics".into());
+    }
+    for name in CONCURRENT_GAUGES
+        .iter()
+        .chain(&CONCURRENT_COUNTERS)
+        .chain(&CONCURRENT_HISTOGRAMS)
+    {
+        if !component_seen.contains(&("concurrent".to_string(), name.to_string())) {
+            return Err(format!("component concurrent: missing {name}"));
+        }
+    }
+
     Ok(format!(
-        "ok: {} metrics across {} (graph, variant) pairs",
+        "ok: {} metrics across {} (graph, variant) pairs + {} service component(s)",
         metrics.len(),
-        pairs.len()
+        pairs.len(),
+        components.len()
     ))
+}
+
+fn validate_component_metric(name: &str, component: &str, m: &Value) -> Result<(), String> {
+    let kind = m.get("type").and_then(Value::as_str).unwrap_or("");
+    if CONCURRENT_HISTOGRAMS.contains(&name) {
+        if kind != "histogram" {
+            return Err(format!(
+                "{name} ({component}): expected histogram, got {kind}"
+            ));
+        }
+        let count = m.get("count").and_then(Value::as_i64).unwrap_or(0);
+        if count <= 0 {
+            return Err(format!("{name} ({component}): empty histogram"));
+        }
+    } else if CONCURRENT_COUNTERS.contains(&name) && kind != "counter" {
+        return Err(format!(
+            "{name} ({component}): expected counter, got {kind}"
+        ));
+    } else if CONCURRENT_GAUGES.contains(&name) {
+        if kind != "gauge" {
+            return Err(format!("{name} ({component}): expected gauge, got {kind}"));
+        }
+        let v = m
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{name} ({component}): non-numeric value"))?;
+        if v < 0.0 {
+            return Err(format!("{name} ({component}): negative gauge {v}"));
+        }
+    }
+    Ok(())
 }
 
 fn validate_metric(name: &str, variant: &str, m: &Value) -> Result<(), String> {

@@ -23,13 +23,16 @@
 
 pub mod crash;
 mod experiment;
+pub mod interleave;
 mod metrics;
 mod report;
 mod runner;
 mod shape;
 
 pub use experiment::{Experiment, Graph, Variant, PAPER_PREDICTION_BUFFER};
-pub use metrics::{metrics_registry, metrics_snapshot, write_metrics_json};
+pub use metrics::{
+    concurrent_service_metrics, metrics_registry, metrics_snapshot, write_metrics_json,
+};
 pub use report::{render_table, write_csv};
 pub use runner::{inspect_variants, run_experiment, BuildInfo, GraphResult, Series, SweepPoint};
 pub use shape::{check_exponential_lower, check_paper_shape, render_checks, ShapeCheck};

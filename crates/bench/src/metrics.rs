@@ -8,7 +8,10 @@
 //! JSON (written by `reproduce --metrics-out`) and Prometheus text.
 
 use crate::runner::GraphResult;
-use segidx_obs::{Metric, MetricsRegistry, MetricsSnapshot};
+use segidx_concurrent::{ConcurrentIndex, IndexOp, SubmitError};
+use segidx_core::{IndexConfig, RecordId, Tree};
+use segidx_geom::Rect;
+use segidx_obs::{Metric, MetricsRegistry, MetricsSnapshot, RingBufferSink};
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
@@ -96,15 +99,63 @@ fn collect(results: &[GraphResult], out: &mut Vec<Metric>) {
     }
 }
 
+/// Exercises the concurrent index service briefly and returns its metric
+/// families — the epoch/queue-depth/retired-snapshot gauges, commit
+/// counters and latency histograms from
+/// [`IndexHandle::register_metrics`](segidx_concurrent::IndexHandle::register_metrics),
+/// plus the event-sink health metrics (`segidx_events_dropped_total`,
+/// `segidx_events_buffered`) from a deliberately tiny ring buffer so
+/// overflow accounting is visible in the export. All carry a
+/// `component="concurrent"` label instead of `graph`/`variant`.
+pub fn concurrent_service_metrics() -> Vec<Metric> {
+    let sink = Arc::new(RingBufferSink::new(4));
+    let registry = MetricsRegistry::new();
+    registry.register_ring_sink(&sink, &[("component", "concurrent")]);
+
+    let index = ConcurrentIndex::builder(Tree::<2>::new(IndexConfig::srtree()))
+        .max_batch(8)
+        .sink(Arc::clone(&sink) as Arc<_>)
+        .start()
+        .expect("memory-only start cannot fail");
+    index
+        .handle()
+        .register_metrics(&registry, &[("component", "concurrent")]);
+
+    // A few hundred commits with a pinned reader: enough traffic to fill
+    // every histogram, retire snapshots, and overflow the 4-slot ring.
+    let pinned = index.snapshot();
+    for i in 0..400u64 {
+        let x = (i % 100) as f64 * 10.0;
+        let op = IndexOp::Insert {
+            rect: Rect::new([x, x], [x + 5.0, x + 5.0]),
+            record: RecordId(i),
+        };
+        loop {
+            match index.submit(op) {
+                Ok(_) => break,
+                Err(SubmitError::Overloaded { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    index.flush().expect("memory-only flush cannot fail");
+    let metrics = registry.snapshot().metrics;
+    drop(pinned);
+    index.shutdown();
+    metrics
+}
+
 /// Writes the metrics for `results` as JSON to `path`, creating parent
-/// directories as needed.
+/// directories as needed. The export also carries the concurrent index
+/// service's metric families (see [`concurrent_service_metrics`]).
 pub fn write_metrics_json(results: &[GraphResult], path: &Path) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    let snapshot = metrics_snapshot(results);
+    let mut snapshot = metrics_snapshot(results);
+    snapshot.metrics.extend(concurrent_service_metrics());
     let mut f = std::fs::File::create(path)?;
     f.write_all(snapshot.to_json().as_bytes())?;
     f.write_all(b"\n")?;
@@ -161,6 +212,45 @@ mod tests {
             segidx_obs::MetricValue::Counter(v) => *v == 0,
             _ => true,
         }));
+    }
+
+    #[test]
+    fn concurrent_service_metrics_cover_gauges_counters_and_drops() {
+        let metrics = concurrent_service_metrics();
+        let snap = MetricsSnapshot { metrics };
+        let labels: &[(&str, &str)] = &[("component", "concurrent")];
+        for name in [
+            "segidx_concurrent_epoch",
+            "segidx_concurrent_queue_depth",
+            "segidx_concurrent_retired_snapshots",
+            "segidx_concurrent_active_readers",
+            "segidx_events_buffered",
+        ] {
+            assert!(snap.get(name, labels).is_some(), "missing gauge {name}");
+        }
+        let commits = snap.get("segidx_concurrent_commits_total", labels).unwrap();
+        match &commits.value {
+            segidx_obs::MetricValue::Counter(v) => assert!(*v > 0, "service committed"),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        let dropped = snap.get("segidx_events_dropped_total", labels).unwrap();
+        match &dropped.value {
+            segidx_obs::MetricValue::Counter(v) => {
+                assert!(
+                    *v > 0,
+                    "4-slot ring must overflow under hundreds of commits"
+                )
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &snap
+            .get("segidx_concurrent_commit_latency_nanos", labels)
+            .unwrap()
+            .value
+        {
+            segidx_obs::MetricValue::Histogram(h) => assert!(h.count > 0),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

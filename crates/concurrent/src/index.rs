@@ -1,0 +1,736 @@
+//! The concurrent index service: epoch-published snapshots over a
+//! copy-on-write [`Tree`], fed by a single writer thread running group
+//! commits.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  readers                    writer thread
+//!  ───────                    ─────────────
+//!  snapshot() ──pin epoch──►  drain ≤ max_batch ops from the queue
+//!  search / stab on an        apply them to the private tree
+//!  immutable Tree             (durable: persist::commit + sync)
+//!  drop guard ──unpin──►      publish: swap root ptr, bump epoch
+//!                             retire old snapshot, reclaim safe ones
+//!                             complete tickets with the commit epoch
+//! ```
+//!
+//! Readers never block and never observe a half-applied batch: they pin the
+//! published [`SnapshotGuard`] and run any read — including
+//! `search_batch`/`stab_batch` — against a tree no one will ever mutate.
+//! The writer's private tree shares all untouched nodes with the published
+//! snapshots (see `Arena` in `segidx-core`), so publishing epoch *n+1*
+//! costs one `Arc` bump per node plus copies of only the nodes the batch
+//! touched.
+//!
+//! # Durability = visibility
+//!
+//! When built over a [`DiskManager`], every group commit runs
+//! [`persist::commit`] **before** the snapshot is published. A snapshot can
+//! therefore never be observed that is not already durable: the chain of
+//! published epochs maps 1:1 onto the chain of durable checkpoints, and a
+//! crash at any point recovers exactly the tree of the last epoch any
+//! reader could have seen.
+
+use crate::epoch::EpochRegistry;
+use crate::queue::{
+    CommitError, CommitReceipt, CommitTicket, IndexOp, QueueItem, SubmissionQueue, SubmitError,
+    TicketState,
+};
+use segidx_core::persist;
+use segidx_core::tree::Tree;
+use segidx_core::RecordId;
+use segidx_geom::Rect;
+use segidx_obs::{Event, EventKind, LatencyHistogram, Metric, MetricsRegistry, ObsSink};
+use segidx_storage::{DiskManager, StorageError};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Writer-side counters and latency distributions, shared with every
+/// [`IndexHandle`].
+#[derive(Debug, Default)]
+pub struct ConcurrentTelemetry {
+    /// Time each operation spent queued before its batch was drained.
+    pub queue_wait: LatencyHistogram,
+    /// Wall-clock duration of each group commit (apply + checkpoint +
+    /// publish).
+    pub commit_latency: LatencyHistogram,
+    commits: AtomicU64,
+    ops_applied: AtomicU64,
+    overloads: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
+impl ConcurrentTelemetry {
+    /// Group commits published.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(SeqCst)
+    }
+
+    /// Operations applied across all group commits.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied.load(SeqCst)
+    }
+
+    /// Submissions rejected by admission control.
+    pub fn overloads(&self) -> u64 {
+        self.overloads.load(SeqCst)
+    }
+
+    /// Retired snapshots whose memory has been reclaimed.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(SeqCst)
+    }
+}
+
+/// One published, immutable snapshot: the tree plus its epoch identity.
+struct SnapshotInner<const D: usize> {
+    epoch: u64,
+    durable_epoch: Option<u64>,
+    tree: Tree<D>,
+}
+
+/// A retired snapshot pointer tagged with the epoch at which it was
+/// replaced; freeable once every pinned reader is at that epoch or later.
+struct Retired<const D: usize>(*mut SnapshotInner<D>, u64);
+
+// SAFETY: the pointee is a heap allocation whose ownership moves with the
+// `Retired` value; `Tree<D>` itself is `Send`.
+unsafe impl<const D: usize> Send for Retired<D> {}
+
+/// State shared by the writer thread, the owner, and every handle.
+struct Shared<const D: usize> {
+    published: AtomicPtr<SnapshotInner<D>>,
+    epochs: EpochRegistry,
+    queue: SubmissionQueue<D>,
+    retired: Mutex<Vec<Retired<D>>>,
+    retired_count: AtomicUsize,
+    telemetry: Arc<ConcurrentTelemetry>,
+    sink: Option<Arc<dyn ObsSink>>,
+}
+
+impl<const D: usize> Shared<D> {
+    fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.event(event);
+        }
+    }
+
+    fn snapshot(self: &Arc<Self>) -> SnapshotGuard<D> {
+        let slot = self.epochs.pin();
+        let ptr = self.published.load(SeqCst);
+        SnapshotGuard {
+            shared: Arc::clone(self),
+            ptr,
+            slot,
+        }
+    }
+
+    fn submit(&self, op: IndexOp<D>) -> Result<CommitTicket, SubmitError> {
+        let state = Arc::new(TicketState::default());
+        match self.queue.push_op(op, Arc::clone(&state)) {
+            Ok(()) => Ok(CommitTicket { state }),
+            Err(err) => {
+                if let SubmitError::Overloaded { depth } = err {
+                    self.telemetry.overloads.fetch_add(1, SeqCst);
+                    self.emit(Event::new(EventKind::WriterStalled).detail(depth as u64));
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn flush(&self) -> Result<CommitReceipt, CommitError> {
+        let state = Arc::new(TicketState::default());
+        match self.queue.push_barrier(Arc::clone(&state)) {
+            Ok(()) => CommitTicket { state }.wait(),
+            Err(_) => Err(CommitError::WriterExited),
+        }
+    }
+
+    /// Frees every retired snapshot no pinned reader can still reference.
+    fn reclaim(&self) {
+        let min = self.epochs.min_pinned();
+        let mut retired = self.retired.lock().unwrap();
+        let mut i = 0;
+        while i < retired.len() {
+            if min.map_or(true, |m| m >= retired[i].1) {
+                let Retired(ptr, _) = retired.swap_remove(i);
+                // SAFETY: retired pointers are owned by this list, and the
+                // epoch condition above proves no reader holds `ptr`.
+                let snap = unsafe { Box::from_raw(ptr) };
+                self.telemetry.reclaimed.fetch_add(1, SeqCst);
+                self.emit(Event::new(EventKind::EpochReclaimed).node(snap.epoch));
+            } else {
+                i += 1;
+            }
+        }
+        self.retired_count.store(retired.len(), SeqCst);
+    }
+
+    /// The published snapshot's durable epoch. Writer-thread / owner use;
+    /// safe because the published snapshot is only freed after it has been
+    /// retired *and* replaced.
+    fn published_durable_epoch(&self) -> Option<u64> {
+        // SAFETY: `published` always points at a live snapshot.
+        unsafe { (*self.published.load(SeqCst)).durable_epoch }
+    }
+}
+
+impl<const D: usize> Drop for Shared<D> {
+    fn drop(&mut self) {
+        // No readers or writer can exist anymore: every guard and handle
+        // holds an `Arc<Shared>`.
+        let published = self.published.load(SeqCst);
+        // SAFETY: sole owner at drop time; the pointer came from Box::into_raw.
+        unsafe { drop(Box::from_raw(published)) };
+        for Retired(ptr, _) in self.retired.lock().unwrap().drain(..) {
+            // SAFETY: retired pointers are uniquely owned by the list.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// A pinned, immutable view of one published snapshot.
+///
+/// Dereferences to the snapshot's [`Tree`], so every read-side method —
+/// `search`, `stab`, `search_batch`, `nearest`, `validate` — works
+/// unchanged. Holding a guard keeps its snapshot's memory alive; drop it
+/// promptly so retired epochs can be reclaimed.
+pub struct SnapshotGuard<const D: usize> {
+    shared: Arc<Shared<D>>,
+    ptr: *mut SnapshotInner<D>,
+    slot: usize,
+}
+
+impl<const D: usize> SnapshotGuard<D> {
+    /// The epoch this snapshot was published at. Monotone across
+    /// re-pins: a later `snapshot()` call never observes a smaller epoch.
+    pub fn epoch(&self) -> u64 {
+        // SAFETY: the pin taken in `Shared::snapshot` keeps `ptr` alive.
+        unsafe { (*self.ptr).epoch }
+    }
+
+    /// The storage meta-commit epoch this snapshot was checkpointed under
+    /// (`None` for a memory-only index).
+    pub fn durable_epoch(&self) -> Option<u64> {
+        // SAFETY: as in `epoch`.
+        unsafe { (*self.ptr).durable_epoch }
+    }
+}
+
+impl<const D: usize> Deref for SnapshotGuard<D> {
+    type Target = Tree<D>;
+
+    fn deref(&self) -> &Tree<D> {
+        // SAFETY: the pin taken in `Shared::snapshot` keeps `ptr` alive,
+        // and published trees are never mutated.
+        unsafe { &(*self.ptr).tree }
+    }
+}
+
+impl<const D: usize> Drop for SnapshotGuard<D> {
+    fn drop(&mut self) {
+        self.shared.epochs.unpin(self.slot);
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for SnapshotGuard<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotGuard")
+            .field("epoch", &self.epoch())
+            .field("durable_epoch", &self.durable_epoch())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Called on the writer thread with the epoch about to be published, after
+/// the batch is applied but before it is checkpointed/published. Test
+/// seam: lets a test hold a commit "in flight" deterministically.
+pub type CommitHook = Box<dyn FnMut(u64) + Send>;
+
+/// Configures and starts a [`ConcurrentIndex`].
+pub struct Builder<const D: usize> {
+    tree: Tree<D>,
+    disk: Option<Arc<DiskManager>>,
+    queue_capacity: usize,
+    max_batch: usize,
+    sink: Option<Arc<dyn ObsSink>>,
+    commit_hook: Option<CommitHook>,
+}
+
+impl<const D: usize> Builder<D> {
+    /// Backs the index with `disk`: every group commit is checkpointed via
+    /// [`persist::commit`] before its snapshot is published.
+    pub fn durable(mut self, disk: Arc<DiskManager>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// Maximum queued (unapplied) operations before submissions are
+    /// rejected with [`SubmitError::Overloaded`]. Default 1024.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Maximum operations folded into one group commit. Default 128.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Receives [`EventKind::SnapshotPublished`], [`EventKind::EpochReclaimed`],
+    /// and [`EventKind::WriterStalled`] events.
+    pub fn sink(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Installs a [`CommitHook`] (test seam for in-flight commits).
+    pub fn commit_hook(mut self, hook: CommitHook) -> Self {
+        self.commit_hook = Some(hook);
+        self
+    }
+
+    /// Starts the writer thread and publishes the initial snapshot (epoch
+    /// 0). For a durable index the initial tree is checkpointed first, so
+    /// even epoch 0 is recoverable; that checkpoint is the only way this
+    /// returns an error.
+    pub fn start(self) -> Result<ConcurrentIndex<D>, StorageError> {
+        let Builder {
+            tree,
+            disk,
+            queue_capacity,
+            max_batch,
+            sink,
+            commit_hook,
+        } = self;
+        let durable_epoch = match &disk {
+            Some(disk) => {
+                persist::commit(&tree, disk)?;
+                Some(disk.epoch())
+            }
+            None => None,
+        };
+        let initial = Box::into_raw(Box::new(SnapshotInner {
+            epoch: 0,
+            durable_epoch,
+            tree: tree.clone(),
+        }));
+        let shared = Arc::new(Shared {
+            published: AtomicPtr::new(initial),
+            epochs: EpochRegistry::new(),
+            queue: SubmissionQueue::new(queue_capacity),
+            retired: Mutex::new(Vec::new()),
+            retired_count: AtomicUsize::new(0),
+            telemetry: Arc::new(ConcurrentTelemetry::default()),
+            sink,
+        });
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("segidx-writer".into())
+            .spawn(move || writer_loop(writer_shared, tree, disk, max_batch, commit_hook))
+            .expect("spawn writer thread");
+        Ok(ConcurrentIndex {
+            shared,
+            writer: Some(writer),
+        })
+    }
+}
+
+/// An index served concurrently: any number of snapshot readers, one
+/// writer thread applying submitted mutations in group commits.
+///
+/// Construct with [`ConcurrentIndex::builder`] from any [`Tree`] — use
+/// `into_tree()` on the four paper-variant wrappers. Cheap cloneable
+/// [`IndexHandle`]s (from [`handle`](Self::handle)) give other threads the
+/// same read/submit API.
+///
+/// ```
+/// use segidx_concurrent::{ConcurrentIndex, IndexOp};
+/// use segidx_core::{IndexConfig, RecordId};
+/// use segidx_core::tree::Tree;
+/// use segidx_geom::Rect;
+///
+/// let index = ConcurrentIndex::builder(Tree::<2>::new(IndexConfig::srtree()))
+///     .start()
+///     .unwrap();
+/// let ticket = index
+///     .submit(IndexOp::Insert {
+///         rect: Rect::new([0.0, 0.0], [10.0, 1.0]),
+///         record: RecordId(1),
+///     })
+///     .unwrap();
+/// let receipt = ticket.wait().unwrap();
+///
+/// let snap = index.snapshot();
+/// assert!(snap.epoch() >= receipt.epoch);
+/// assert_eq!(snap.search(&Rect::new([5.0, 0.0], [6.0, 2.0])), vec![RecordId(1)]);
+/// ```
+pub struct ConcurrentIndex<const D: usize> {
+    shared: Arc<Shared<D>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl<const D: usize> ConcurrentIndex<D> {
+    /// A builder over `tree`'s current contents.
+    pub fn builder(tree: Tree<D>) -> Builder<D> {
+        Builder {
+            tree,
+            disk: None,
+            queue_capacity: 1024,
+            max_batch: 128,
+            sink: None,
+            commit_hook: None,
+        }
+    }
+
+    /// A cloneable handle sharing this index's read/submit API.
+    pub fn handle(&self) -> IndexHandle<D> {
+        IndexHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Pins and returns the current published snapshot. Never blocks.
+    pub fn snapshot(&self) -> SnapshotGuard<D> {
+        self.shared.snapshot()
+    }
+
+    /// Submits one mutation; see [`IndexHandle::submit`].
+    pub fn submit(&self, op: IndexOp<D>) -> Result<CommitTicket, SubmitError> {
+        self.shared.submit(op)
+    }
+
+    /// Blocks until everything submitted before this call is committed and
+    /// published, returning that commit's receipt.
+    pub fn flush(&self) -> Result<CommitReceipt, CommitError> {
+        self.shared.flush()
+    }
+
+    /// Writer-side telemetry.
+    pub fn telemetry(&self) -> Arc<ConcurrentTelemetry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epochs.global()
+    }
+
+    /// Operations currently queued for the writer.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Retired snapshots not yet reclaimed (readers still pin them).
+    pub fn retired_snapshots(&self) -> usize {
+        self.shared.retired_count.load(SeqCst)
+    }
+
+    /// Currently pinned snapshot guards.
+    pub fn active_readers(&self) -> usize {
+        self.shared.epochs.active_readers()
+    }
+
+    /// Shuts down gracefully: already-queued operations still commit, then
+    /// the writer exits. Equivalent to `drop`, but explicit.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl<const D: usize> Drop for ConcurrentIndex<D> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for ConcurrentIndex<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentIndex")
+            .field("epoch", &self.epoch())
+            .field("queue_depth", &self.queue_depth())
+            .field("retired_snapshots", &self.retired_snapshots())
+            .finish()
+    }
+}
+
+/// A cloneable, `Send + Sync` handle to a [`ConcurrentIndex`].
+///
+/// Handles share the index's snapshot/submit API; they do not keep the
+/// writer alive — once the owning `ConcurrentIndex` shuts down, submissions
+/// fail with [`SubmitError::Closed`] while snapshots continue to serve the
+/// last published state.
+#[derive(Clone)]
+pub struct IndexHandle<const D: usize> {
+    shared: Arc<Shared<D>>,
+}
+
+impl<const D: usize> IndexHandle<D> {
+    /// Pins and returns the current published snapshot. Never blocks.
+    pub fn snapshot(&self) -> SnapshotGuard<D> {
+        self.shared.snapshot()
+    }
+
+    /// Submits one mutation. Returns immediately with a [`CommitTicket`],
+    /// or rejects with [`SubmitError::Overloaded`] (queue full — the op was
+    /// *not* enqueued) or [`SubmitError::Closed`].
+    pub fn submit(&self, op: IndexOp<D>) -> Result<CommitTicket, SubmitError> {
+        self.shared.submit(op)
+    }
+
+    /// Convenience: submit an insert.
+    pub fn insert(&self, rect: Rect<D>, record: RecordId) -> Result<CommitTicket, SubmitError> {
+        self.submit(IndexOp::Insert { rect, record })
+    }
+
+    /// Convenience: submit a delete.
+    pub fn delete(&self, rect: Rect<D>, record: RecordId) -> Result<CommitTicket, SubmitError> {
+        self.submit(IndexOp::Delete { rect, record })
+    }
+
+    /// Blocks until everything submitted before this call is committed.
+    pub fn flush(&self) -> Result<CommitReceipt, CommitError> {
+        self.shared.flush()
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epochs.global()
+    }
+
+    /// Operations currently queued for the writer.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// The admission-control limit on queued operations.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Retired snapshots not yet reclaimed.
+    pub fn retired_snapshots(&self) -> usize {
+        self.shared.retired_count.load(SeqCst)
+    }
+
+    /// Writer-side telemetry.
+    pub fn telemetry(&self) -> Arc<ConcurrentTelemetry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// Registers gauges, counters, and latency histograms for this index
+    /// under the given labels (add e.g. `("component", "concurrent")`):
+    ///
+    /// * `segidx_concurrent_epoch`, `segidx_concurrent_queue_depth`,
+    ///   `segidx_concurrent_retired_snapshots`,
+    ///   `segidx_concurrent_active_readers` — gauges;
+    /// * `segidx_concurrent_commits_total`,
+    ///   `segidx_concurrent_ops_applied_total`,
+    ///   `segidx_concurrent_overloads_total`,
+    ///   `segidx_concurrent_reclaimed_total` — counters;
+    /// * `segidx_concurrent_queue_wait_nanos`,
+    ///   `segidx_concurrent_commit_latency_nanos` — histograms.
+    pub fn register_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        let shared = Arc::clone(&self.shared);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        registry.register(Box::new(move |out| {
+            let l: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let t = &shared.telemetry;
+            out.push(Metric::gauge(
+                "segidx_concurrent_epoch",
+                &l,
+                shared.epochs.global() as f64,
+            ));
+            out.push(Metric::gauge(
+                "segidx_concurrent_queue_depth",
+                &l,
+                shared.queue.depth() as f64,
+            ));
+            out.push(Metric::gauge(
+                "segidx_concurrent_retired_snapshots",
+                &l,
+                shared.retired_count.load(SeqCst) as f64,
+            ));
+            out.push(Metric::gauge(
+                "segidx_concurrent_active_readers",
+                &l,
+                shared.epochs.active_readers() as f64,
+            ));
+            out.push(Metric::counter(
+                "segidx_concurrent_commits_total",
+                &l,
+                t.commits(),
+            ));
+            out.push(Metric::counter(
+                "segidx_concurrent_ops_applied_total",
+                &l,
+                t.ops_applied(),
+            ));
+            out.push(Metric::counter(
+                "segidx_concurrent_overloads_total",
+                &l,
+                t.overloads(),
+            ));
+            out.push(Metric::counter(
+                "segidx_concurrent_reclaimed_total",
+                &l,
+                t.reclaimed(),
+            ));
+            out.push(Metric::histogram(
+                "segidx_concurrent_queue_wait_nanos",
+                &l,
+                t.queue_wait.snapshot(),
+            ));
+            out.push(Metric::histogram(
+                "segidx_concurrent_commit_latency_nanos",
+                &l,
+                t.commit_latency.snapshot(),
+            ));
+        }));
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for IndexHandle<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexHandle")
+            .field("epoch", &self.epoch())
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+/// The single writer: drain → apply → checkpoint → publish → reclaim.
+fn writer_loop<const D: usize>(
+    shared: Arc<Shared<D>>,
+    mut tree: Tree<D>,
+    disk: Option<Arc<DiskManager>>,
+    max_batch: usize,
+    mut hook: Option<CommitHook>,
+) {
+    loop {
+        let (batch, closed) = shared.queue.drain(max_batch);
+        if batch.is_empty() {
+            if closed {
+                return;
+            }
+            continue;
+        }
+        let commit_start = Instant::now();
+        let mut tickets: Vec<Arc<TicketState>> = Vec::new();
+        let mut applied = 0usize;
+        for item in batch {
+            match item {
+                QueueItem::Op {
+                    op,
+                    ticket,
+                    enqueued,
+                } => {
+                    shared
+                        .telemetry
+                        .queue_wait
+                        .record_duration(enqueued.elapsed());
+                    match op {
+                        IndexOp::Insert { rect, record } => tree.insert(rect, record),
+                        IndexOp::Delete { rect, record } => {
+                            tree.delete(&rect, record);
+                        }
+                    }
+                    applied += 1;
+                    tickets.push(ticket);
+                }
+                QueueItem::Barrier(ticket) => tickets.push(ticket),
+            }
+        }
+        if applied == 0 {
+            // Barrier-only batch: the published snapshot already covers
+            // everything submitted before it.
+            let receipt = Ok(CommitReceipt {
+                epoch: shared.epochs.global(),
+                durable_epoch: shared.published_durable_epoch(),
+                ops_in_commit: 0,
+            });
+            for t in tickets {
+                t.complete(receipt.clone());
+            }
+            continue;
+        }
+        let next_epoch = shared.epochs.global() + 1;
+        if let Some(hook) = hook.as_mut() {
+            hook(next_epoch);
+        }
+        let durable_epoch = match &disk {
+            Some(disk) => match persist::commit(&tree, disk) {
+                Ok(_) => Some(disk.epoch()),
+                Err(err) => {
+                    // Cannot make this batch durable; publishing it would
+                    // break the durability == visibility invariant. Fail
+                    // everything and stop: the published snapshot stays at
+                    // the last durable epoch.
+                    let failure = CommitError::Storage(err.to_string());
+                    shared.queue.close();
+                    for t in tickets {
+                        t.complete(Err(failure.clone()));
+                    }
+                    shared.queue.fail_remaining(&failure);
+                    return;
+                }
+            },
+            None => None,
+        };
+        let fresh = Box::into_raw(Box::new(SnapshotInner {
+            epoch: next_epoch,
+            durable_epoch,
+            tree: tree.clone(),
+        }));
+        let old = shared.published.swap(fresh, SeqCst);
+        shared.epochs.advance(next_epoch);
+        {
+            let mut retired = shared.retired.lock().unwrap();
+            retired.push(Retired(old, next_epoch));
+            shared.retired_count.store(retired.len(), SeqCst);
+        }
+        shared.reclaim();
+        shared
+            .telemetry
+            .commit_latency
+            .record_duration(commit_start.elapsed());
+        shared.telemetry.commits.fetch_add(1, SeqCst);
+        shared
+            .telemetry
+            .ops_applied
+            .fetch_add(applied as u64, SeqCst);
+        shared.emit(
+            Event::new(EventKind::SnapshotPublished)
+                .node(next_epoch)
+                .detail(applied as u64),
+        );
+        let receipt = Ok(CommitReceipt {
+            epoch: next_epoch,
+            durable_epoch,
+            ops_in_commit: applied,
+        });
+        for t in tickets {
+            t.complete(receipt.clone());
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Concurrent index service for segment indexes.
+//!
+//! The paper's index variants (`segidx-core`) are single-threaded data
+//! structures: mutation requires `&mut Tree`. This crate turns any of them
+//! into a shared service with two properties the single-threaded API cannot
+//! offer:
+//!
+//! * **Readers never block and never see partial mutations.** Reads run
+//!   against an immutable published *snapshot*, pinned through hand-rolled
+//!   epoch-based reclamation ([`MAX_READERS`] concurrent pins, zero
+//!   dependencies). Pinning is a couple of `SeqCst` atomics; the snapshot
+//!   itself is a copy-on-write [`Tree`](segidx_core::tree::Tree) clone that
+//!   shares all untouched nodes with its predecessor.
+//! * **Writes are batched into group commits with admission control.**
+//!   A single writer thread drains a bounded submission queue; a full
+//!   queue rejects new work immediately with the typed
+//!   [`SubmitError::Overloaded`] instead of blocking the submitter. When
+//!   the index is backed by a `DiskManager`, every group commit is
+//!   checkpointed through `persist::commit` *before* its snapshot is
+//!   published, so the published epoch chain maps 1:1 onto the durable
+//!   checkpoint chain — a crash recovers exactly the last epoch any reader
+//!   could have observed.
+//!
+//! Start from any built tree (use `into_tree()` on the `segidx-core` API
+//! wrappers), then talk to the service through [`ConcurrentIndex`] or its
+//! cloneable [`IndexHandle`]s:
+//!
+//! ```
+//! use segidx_concurrent::{ConcurrentIndex, IndexOp};
+//! use segidx_core::tree::Tree;
+//! use segidx_core::{IndexConfig, RecordId};
+//! use segidx_geom::Rect;
+//!
+//! let index = ConcurrentIndex::builder(Tree::<2>::new(IndexConfig::srtree()))
+//!     .queue_capacity(256)
+//!     .max_batch(32)
+//!     .start()
+//!     .unwrap();
+//!
+//! let handle = index.handle();
+//! let reader = std::thread::spawn(move || {
+//!     let snap = handle.snapshot(); // never blocks
+//!     snap.search(&Rect::new([0.0, 0.0], [100.0, 100.0])).len()
+//! });
+//!
+//! index
+//!     .submit(IndexOp::Insert {
+//!         rect: Rect::new([1.0, 1.0], [50.0, 2.0]),
+//!         record: RecordId(42),
+//!     })
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! reader.join().unwrap();
+//! assert_eq!(index.snapshot().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod epoch;
+mod index;
+mod queue;
+
+pub use epoch::MAX_READERS;
+pub use index::{
+    Builder, CommitHook, ConcurrentIndex, ConcurrentTelemetry, IndexHandle, SnapshotGuard,
+};
+pub use queue::{CommitError, CommitReceipt, CommitTicket, IndexOp, SubmitError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segidx_core::tree::Tree;
+    use segidx_core::{IndexConfig, RecordId};
+    use segidx_geom::Rect;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn rect(i: u64) -> Rect<2> {
+        let x = ((i * 37) % 2_000) as f64;
+        let y = ((i * 113) % 2_000) as f64;
+        let len = if i % 7 == 0 { 600.0 } else { 20.0 };
+        Rect::new([x, y], [x + len, y + 1.0])
+    }
+
+    fn start_empty() -> ConcurrentIndex<2> {
+        ConcurrentIndex::builder(Tree::new(IndexConfig::srtree()))
+            .start()
+            .unwrap()
+    }
+
+    #[test]
+    fn inserts_become_visible_at_ticket_epoch() {
+        let index = start_empty();
+        for i in 0..500u64 {
+            index
+                .submit(IndexOp::Insert {
+                    rect: rect(i),
+                    record: RecordId(i),
+                })
+                .unwrap();
+        }
+        let receipt = index.flush().unwrap();
+        assert!(receipt.epoch >= 1);
+        let snap = index.snapshot();
+        assert!(snap.epoch() >= receipt.epoch);
+        assert_eq!(snap.len(), 500);
+        snap.assert_invariants();
+    }
+
+    #[test]
+    fn ticket_wait_returns_commit_epoch() {
+        let index = start_empty();
+        let t = index
+            .submit(IndexOp::Insert {
+                rect: rect(1),
+                record: RecordId(1),
+            })
+            .unwrap();
+        let receipt = t.wait().unwrap();
+        assert!(receipt.epoch >= 1);
+        assert!(receipt.ops_in_commit >= 1);
+        assert_eq!(receipt.durable_epoch, None, "memory-only index");
+        // The snapshot at (or after) the receipt's epoch sees the insert.
+        let snap = index.snapshot();
+        assert!(snap.epoch() >= receipt.epoch);
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn deletes_apply_in_submission_order() {
+        let index = start_empty();
+        for i in 0..100u64 {
+            index
+                .submit(IndexOp::Insert {
+                    rect: rect(i),
+                    record: RecordId(i),
+                })
+                .unwrap();
+        }
+        for i in 0..50u64 {
+            index
+                .submit(IndexOp::Delete {
+                    rect: rect(i),
+                    record: RecordId(i),
+                })
+                .unwrap();
+        }
+        index.flush().unwrap();
+        let snap = index.snapshot();
+        assert_eq!(snap.len(), 50);
+        snap.assert_invariants();
+    }
+
+    #[test]
+    fn overload_rejection_is_typed_and_counted() {
+        // A hook that blocks the writer keeps the queue full deterministically.
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = Arc::clone(&release);
+        let index = ConcurrentIndex::builder(Tree::<2>::new(IndexConfig::rtree()))
+            .queue_capacity(4)
+            .max_batch(1)
+            .commit_hook(Box::new(move |_| {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            }))
+            .start()
+            .unwrap();
+        // One op occupies the writer (blocked in the hook); fill the queue.
+        let mut overloaded = false;
+        for i in 0..64u64 {
+            match index.submit(IndexOp::Insert {
+                rect: rect(i),
+                record: RecordId(i),
+            }) {
+                Ok(_) => {}
+                Err(SubmitError::Overloaded { depth }) => {
+                    assert!(depth >= 4);
+                    overloaded = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(
+            overloaded,
+            "bounded queue must reject under a stalled writer"
+        );
+        assert!(index.telemetry().overloads() >= 1);
+        release.store(true, Ordering::SeqCst);
+        index.flush().unwrap();
+    }
+
+    #[test]
+    fn snapshots_are_reclaimed_once_unpinned() {
+        let index = start_empty();
+        let pinned = index.snapshot(); // pins epoch 0
+        for round in 0..10u64 {
+            index
+                .submit(IndexOp::Insert {
+                    rect: rect(round),
+                    record: RecordId(round),
+                })
+                .unwrap();
+            index.flush().unwrap();
+        }
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.len(), 0, "pinned snapshot is frozen");
+        assert!(
+            index.retired_snapshots() > 0,
+            "old snapshots are held for the pinned reader"
+        );
+        drop(pinned);
+        // The next commit reclaims everything the dropped pin was holding.
+        index
+            .submit(IndexOp::Insert {
+                rect: rect(99),
+                record: RecordId(99),
+            })
+            .unwrap();
+        index.flush().unwrap();
+        assert_eq!(index.retired_snapshots(), 0);
+        assert!(index.telemetry().reclaimed() >= 10);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_closed() {
+        let index = start_empty();
+        let handle = index.handle();
+        index
+            .submit(IndexOp::Insert {
+                rect: rect(1),
+                record: RecordId(1),
+            })
+            .unwrap();
+        index.shutdown();
+        assert!(matches!(
+            handle.submit(IndexOp::Insert {
+                rect: rect(2),
+                record: RecordId(2),
+            }),
+            Err(SubmitError::Closed)
+        ));
+        // Graceful shutdown flushed the queued insert; reads still serve.
+        assert_eq!(handle.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_smoke() {
+        let index = Arc::new(start_empty());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let handle = index.handle();
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last_epoch = 0;
+                let mut max_len = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = handle.snapshot();
+                    assert!(snap.epoch() >= last_epoch, "epochs are monotone per reader");
+                    last_epoch = snap.epoch();
+                    let n = snap.len();
+                    assert!(n >= max_len, "insert-only stream: len never shrinks");
+                    max_len = n;
+                    let _ = snap.search(&Rect::new([0.0, 0.0], [500.0, 500.0]));
+                }
+            }));
+        }
+        for i in 0..2_000u64 {
+            loop {
+                match index.submit(IndexOp::Insert {
+                    rect: rect(i),
+                    record: RecordId(i),
+                }) {
+                    Ok(_) => break,
+                    Err(SubmitError::Overloaded { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+        }
+        index.flush().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        let snap = index.snapshot();
+        assert_eq!(snap.len(), 2_000);
+        snap.assert_invariants();
+    }
+}

@@ -1,0 +1,388 @@
+//! The bounded submission queue between front-end threads and the single
+//! writer, plus the ticket machinery that reports each operation's group
+//! commit back to its submitter.
+//!
+//! Admission control happens here: the queue holds at most `capacity`
+//! operations, and a submit against a full queue is rejected *immediately*
+//! with the typed [`SubmitError::Overloaded`] — callers never block on a
+//! slow writer, they get backpressure they can act on (shed load, retry
+//! with jitter, fail the request upstream). Flush barriers bypass the
+//! capacity check because they carry no work, only a rendezvous.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use segidx_core::RecordId;
+use segidx_geom::Rect;
+
+/// One mutation submitted to a concurrent index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IndexOp<const D: usize> {
+    /// Insert `record` with bounding rectangle `rect`.
+    Insert {
+        /// The record's bounding rectangle.
+        rect: Rect<D>,
+        /// The record id to insert.
+        record: RecordId,
+    },
+    /// Delete the record matching `rect`/`record` exactly.
+    Delete {
+        /// The rectangle the record was inserted with.
+        rect: Rect<D>,
+        /// The record id to delete.
+        record: RecordId,
+    },
+}
+
+/// Why a submission was rejected without being enqueued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The submission queue is full: the writer is behind. The operation
+    /// was **not** enqueued; `depth` is the queue depth at rejection.
+    Overloaded {
+        /// Operations queued when the rejection happened.
+        depth: usize,
+    },
+    /// The index has shut down (or its writer died on a storage error);
+    /// no further submissions are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { depth } => {
+                write!(f, "submission queue full ({depth} operations pending)")
+            }
+            SubmitError::Closed => write!(f, "index is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a submitted operation's group commit failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitError {
+    /// The durable checkpoint of the group commit failed; the message is
+    /// the underlying storage error. The operation is **not** durable and
+    /// **not** published, and the writer has stopped.
+    Storage(String),
+    /// The writer exited before this operation's group commit ran.
+    WriterExited,
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::Storage(msg) => write!(f, "group commit failed: {msg}"),
+            CommitError::WriterExited => write!(f, "writer exited before commit"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// Proof of a completed group commit, returned through a [`CommitTicket`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The snapshot epoch this operation became visible in. Every read
+    /// pinned at this epoch or later observes the operation.
+    pub epoch: u64,
+    /// The storage meta-commit epoch the group commit was checkpointed
+    /// under, `None` for a memory-only index. After a crash, the recovered
+    /// disk reports exactly the epoch of the last durable group commit.
+    pub durable_epoch: Option<u64>,
+    /// Total operations in the group commit (≥ 1 unless this receipt
+    /// answered a flush barrier on an idle index).
+    pub ops_in_commit: usize,
+}
+
+/// Shared completion state behind a [`CommitTicket`].
+#[derive(Debug, Default)]
+pub(crate) struct TicketState {
+    result: Mutex<Option<Result<CommitReceipt, CommitError>>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    pub(crate) fn complete(&self, result: Result<CommitReceipt, CommitError>) {
+        let mut slot = self.result.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<CommitReceipt, CommitError> {
+        let mut slot = self.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.done.wait(slot).unwrap();
+        }
+        slot.clone().unwrap()
+    }
+
+    fn peek(&self) -> Option<Result<CommitReceipt, CommitError>> {
+        self.result.lock().unwrap().clone()
+    }
+}
+
+/// A handle to one submitted operation's (future) group commit.
+///
+/// Submission is asynchronous: `submit` returns as soon as the operation is
+/// enqueued. The ticket tells the caller *when* and *at which epoch* the
+/// operation committed — or why it never will.
+#[derive(Clone, Debug)]
+pub struct CommitTicket {
+    pub(crate) state: Arc<TicketState>,
+}
+
+impl CommitTicket {
+    /// Blocks until the operation's group commit completes (or fails).
+    pub fn wait(&self) -> Result<CommitReceipt, CommitError> {
+        self.state.wait()
+    }
+
+    /// The commit outcome if it is already known, without blocking.
+    pub fn try_result(&self) -> Option<Result<CommitReceipt, CommitError>> {
+        self.state.peek()
+    }
+}
+
+/// One queued entry: an operation or a flush barrier.
+pub(crate) enum QueueItem<const D: usize> {
+    Op {
+        op: IndexOp<D>,
+        ticket: Arc<TicketState>,
+        enqueued: Instant,
+    },
+    Barrier(Arc<TicketState>),
+}
+
+struct QueueInner<const D: usize> {
+    items: VecDeque<QueueItem<D>>,
+    /// Queued operations (barriers excluded) — the number admission control
+    /// compares against capacity.
+    ops: usize,
+    closed: bool,
+}
+
+/// The bounded MPSC channel feeding the writer thread.
+pub(crate) struct SubmissionQueue<const D: usize> {
+    inner: Mutex<QueueInner<D>>,
+    nonempty: Condvar,
+    capacity: usize,
+    /// Mirror of `inner.ops` readable without the lock (metrics gauge).
+    depth: AtomicUsize,
+}
+
+impl<const D: usize> SubmissionQueue<D> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                ops: 0,
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Queued operations right now (lock-free; may lag by a moment).
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(SeqCst)
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues an operation, or rejects it under admission control.
+    pub(crate) fn push_op(
+        &self,
+        op: IndexOp<D>,
+        ticket: Arc<TicketState>,
+    ) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        if inner.ops >= self.capacity {
+            return Err(SubmitError::Overloaded { depth: inner.ops });
+        }
+        inner.items.push_back(QueueItem::Op {
+            op,
+            ticket,
+            enqueued: Instant::now(),
+        });
+        inner.ops += 1;
+        self.depth.store(inner.ops, SeqCst);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a flush barrier (not subject to the capacity limit).
+    pub(crate) fn push_barrier(&self, ticket: Arc<TicketState>) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        inner.items.push_back(QueueItem::Barrier(ticket));
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Writer side: blocks until work is available, then takes up to
+    /// `max_batch` items. Returns `(batch, closed)`; an empty batch with
+    /// `closed == true` means the queue drained after shutdown — exit.
+    pub(crate) fn drain(&self, max_batch: usize) -> (Vec<QueueItem<D>>, bool) {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.items.is_empty() {
+                let take = inner.items.len().min(max_batch.max(1));
+                let mut batch = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let item = inner.items.pop_front().unwrap();
+                    if matches!(item, QueueItem::Op { .. }) {
+                        inner.ops -= 1;
+                    }
+                    batch.push(item);
+                }
+                self.depth.store(inner.ops, SeqCst);
+                return (batch, false);
+            }
+            if inner.closed {
+                return (Vec::new(), true);
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future submissions fail with [`SubmitError::Closed`];
+    /// already-queued items still drain (graceful shutdown flushes).
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.nonempty.notify_all();
+    }
+
+    /// Empties the queue, failing every pending ticket with `err`. Used on
+    /// the writer's storage-error exit path, where queued work can never
+    /// commit.
+    pub(crate) fn fail_remaining(&self, err: &CommitError) {
+        let drained: Vec<QueueItem<D>> = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.ops = 0;
+            self.depth.store(0, SeqCst);
+            inner.items.drain(..).collect()
+        };
+        for item in drained {
+            match item {
+                QueueItem::Op { ticket, .. } | QueueItem::Barrier(ticket) => {
+                    ticket.complete(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(i: u64) -> IndexOp<2> {
+        IndexOp::Insert {
+            rect: Rect::new([i as f64, 0.0], [i as f64 + 1.0, 1.0]),
+            record: RecordId(i),
+        }
+    }
+
+    #[test]
+    fn overload_is_typed_and_nondestructive() {
+        let q: SubmissionQueue<2> = SubmissionQueue::new(2);
+        q.push_op(op(0), Arc::new(TicketState::default())).unwrap();
+        q.push_op(op(1), Arc::new(TicketState::default())).unwrap();
+        let err = q
+            .push_op(op(2), Arc::new(TicketState::default()))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Overloaded { depth: 2 });
+        assert_eq!(q.depth(), 2, "rejected op was not enqueued");
+        // Barriers are exempt from capacity.
+        q.push_barrier(Arc::new(TicketState::default())).unwrap();
+        let (batch, closed) = q.drain(16);
+        assert_eq!(batch.len(), 3);
+        assert!(!closed);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn drain_respects_batch_limit() {
+        let q: SubmissionQueue<2> = SubmissionQueue::new(64);
+        for i in 0..10 {
+            q.push_op(op(i), Arc::new(TicketState::default())).unwrap();
+        }
+        let (batch, _) = q.drain(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(q.depth(), 6);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q: SubmissionQueue<2> = SubmissionQueue::new(8);
+        q.push_op(op(0), Arc::new(TicketState::default())).unwrap();
+        q.close();
+        assert_eq!(
+            q.push_op(op(1), Arc::new(TicketState::default())),
+            Err(SubmitError::Closed)
+        );
+        let (batch, closed) = q.drain(16);
+        assert_eq!(
+            (batch.len(), closed),
+            (1, false),
+            "queued work survives close"
+        );
+        let (batch, closed) = q.drain(16);
+        assert_eq!((batch.len(), closed), (0, true));
+    }
+
+    #[test]
+    fn tickets_complete_once() {
+        let state = Arc::new(TicketState::default());
+        let ticket = CommitTicket {
+            state: Arc::clone(&state),
+        };
+        assert!(ticket.try_result().is_none());
+        let receipt = CommitReceipt {
+            epoch: 7,
+            durable_epoch: None,
+            ops_in_commit: 3,
+        };
+        state.complete(Ok(receipt.clone()));
+        state.complete(Err(CommitError::WriterExited)); // ignored: already done
+        assert_eq!(ticket.wait(), Ok(receipt));
+    }
+
+    #[test]
+    fn fail_remaining_completes_all_tickets() {
+        let q: SubmissionQueue<2> = SubmissionQueue::new(8);
+        let t1 = Arc::new(TicketState::default());
+        let t2 = Arc::new(TicketState::default());
+        q.push_op(op(0), Arc::clone(&t1)).unwrap();
+        q.push_barrier(Arc::clone(&t2)).unwrap();
+        q.fail_remaining(&CommitError::WriterExited);
+        assert_eq!(q.depth(), 0);
+        for t in [t1, t2] {
+            assert_eq!(
+                CommitTicket { state: t }.wait(),
+                Err(CommitError::WriterExited)
+            );
+        }
+    }
+}

@@ -140,6 +140,12 @@ impl<const D: usize> RTree<D> {
     pub fn tree_mut(&mut self) -> &mut Tree<D> {
         &mut self.0
     }
+
+    /// Consumes the wrapper, returning the engine (e.g. to seed a
+    /// `ConcurrentIndex`).
+    pub fn into_tree(self) -> Tree<D> {
+        self.0
+    }
 }
 
 impl<const D: usize> Default for RTree<D> {
@@ -182,6 +188,12 @@ impl<const D: usize> SRTree<D> {
     /// The underlying engine, mutably.
     pub fn tree_mut(&mut self) -> &mut Tree<D> {
         &mut self.0
+    }
+
+    /// Consumes the wrapper, returning the engine (e.g. to seed a
+    /// `ConcurrentIndex`).
+    pub fn into_tree(self) -> Tree<D> {
+        self.0
     }
 }
 
@@ -395,6 +407,17 @@ macro_rules! skeleton_variant {
             pub fn finalize(&mut self) {
                 if matches!(self.0, SkeletonCore::Buffering { .. }) {
                     self.0.build();
+                }
+            }
+
+            /// Consumes the wrapper, returning the built engine (finalizing
+            /// the prediction buffer first if necessary), e.g. to seed a
+            /// `ConcurrentIndex`.
+            pub fn into_tree(mut self) -> Tree<D> {
+                self.finalize();
+                match self.0 {
+                    SkeletonCore::Built(t) => t,
+                    SkeletonCore::Buffering { .. } => unreachable!("finalize() builds"),
                 }
             }
         }

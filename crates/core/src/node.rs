@@ -3,6 +3,7 @@
 use crate::entry::{BranchStore, LeafStore, SpanningStore};
 use crate::id::NodeId;
 use segidx_geom::Rect;
+use std::sync::Arc;
 
 /// The level-dependent contents of a node. Entries live in
 /// structure-of-arrays stores (see [`crate::entry`]): per-dimension
@@ -155,9 +156,17 @@ impl<const D: usize> Node<D> {
 }
 
 /// A slab arena of nodes with id stability and slot reuse.
+///
+/// Slots hold `Arc<Node>` so an arena clone is a *structural-sharing
+/// snapshot*: cloning copies one refcounted pointer per node (no entry
+/// data), and subsequent mutation through [`Arena::get_mut`] copies only
+/// the nodes it actually touches (copy-on-write via [`Arc::make_mut`]).
+/// While an arena is uniquely owned — the common case, with no snapshot
+/// outstanding — `get_mut` degrades to a refcount check and mutates in
+/// place, so the single-owner write path stays allocation-free.
 #[derive(Clone, Debug, Default)]
 pub struct Arena<const D: usize> {
-    slots: Vec<Option<Node<D>>>,
+    slots: Vec<Option<Arc<Node<D>>>>,
     free: Vec<NodeId>,
     live: usize,
 }
@@ -172,11 +181,11 @@ impl<const D: usize> Arena<D> {
     pub fn alloc(&mut self, node: Node<D>) -> NodeId {
         self.live += 1;
         if let Some(id) = self.free.pop() {
-            self.slots[id.index()] = Some(node);
+            self.slots[id.index()] = Some(Arc::new(node));
             id
         } else {
             let id = NodeId(self.slots.len() as u32);
-            self.slots.push(Some(node));
+            self.slots.push(Some(Arc::new(node)));
             id
         }
     }
@@ -188,7 +197,9 @@ impl<const D: usize> Arena<D> {
             .expect("dealloc of free arena slot");
         self.free.push(id);
         self.live -= 1;
-        node
+        // A snapshot may still share this node; in that case detach a copy
+        // and leave the snapshot's Arc untouched.
+        Arc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Shared access.
@@ -197,10 +208,11 @@ impl<const D: usize> Arena<D> {
         self.slots[id.index()].as_ref().expect("use of freed node")
     }
 
-    /// Exclusive access.
+    /// Exclusive access. Copy-on-write: if the node is shared with a
+    /// snapshot, it is cloned once and the arena points at the copy.
     #[inline]
     pub fn get_mut(&mut self, id: NodeId) -> &mut Node<D> {
-        self.slots[id.index()].as_mut().expect("use of freed node")
+        Arc::make_mut(self.slots[id.index()].as_mut().expect("use of freed node"))
     }
 
     /// Number of live nodes.
@@ -220,7 +232,17 @@ impl<const D: usize> Arena<D> {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, slot)| slot.as_ref().map(|n| (NodeId(i as u32), n)))
+            .filter_map(|(i, slot)| slot.as_ref().map(|n| (NodeId(i as u32), n.as_ref())))
+    }
+
+    /// Number of live nodes whose storage is shared with another arena
+    /// clone (refcount > 1). Zero when no snapshot is outstanding.
+    pub fn shared_nodes(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|n| Arc::strong_count(n) > 1)
+            .count()
     }
 }
 

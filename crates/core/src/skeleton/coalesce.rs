@@ -72,7 +72,7 @@ impl<const D: usize> Tree<D> {
             if !adjacent {
                 continue;
             }
-            if best.as_ref().is_none_or(|(_, _, d)| dead < *d) {
+            if best.as_ref().map_or(true, |(_, _, d)| dead < *d) {
                 best = Some((b.child, merged, dead));
             }
         }

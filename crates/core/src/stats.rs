@@ -163,6 +163,33 @@ impl TreeStats {
     }
 }
 
+/// Cloning copies the current counter values into fresh (unshared)
+/// atomics — used by [`Tree::clone`](crate::tree::Tree) so a snapshot
+/// carries the statistics it was taken with, decoupled from the live tree.
+impl Clone for TreeStats {
+    fn clone(&self) -> Self {
+        Self {
+            search_node_accesses: AtomicU64::new(self.search_node_accesses.load(Ordering::Relaxed)),
+            searches: AtomicU64::new(self.searches.load(Ordering::Relaxed)),
+            search_results: AtomicU64::new(self.search_results.load(Ordering::Relaxed)),
+            maintenance_node_accesses: self.maintenance_node_accesses,
+            leaf_splits: self.leaf_splits,
+            internal_splits: self.internal_splits,
+            promotions: self.promotions,
+            demotions: self.demotions,
+            relinks: self.relinks,
+            cuts: self.cuts,
+            remnants_inserted: self.remnants_inserted,
+            spanning_stores: self.spanning_stores,
+            elastic_overflows: self.elastic_overflows,
+            coalesces: self.coalesces,
+            spanning_evictions: self.spanning_evictions,
+            redistributions: self.redistributions,
+            forced_reinserts: self.forced_reinserts,
+        }
+    }
+}
+
 impl StatsSnapshot {
     /// Average nodes accessed per search — the Y axis of the paper's
     /// Graphs 1–6. `None` before any searches.

@@ -81,6 +81,30 @@ pub struct Tree<const D: usize> {
     pub(crate) obs: Option<Arc<TreeTelemetry>>,
 }
 
+/// Cloning a tree is a *snapshot*: the arena shares every node with the
+/// original by refcount (see [`crate::node::Arena`]), so the cost is one
+/// `Arc` clone per node — no entry data is copied. Mutating either copy
+/// afterwards copies only the nodes that mutation touches (copy-on-write),
+/// which is what makes epoch-published snapshots in `segidx-concurrent`
+/// cheap: a group commit that touched *k* of *n* nodes pays O(k) node
+/// copies, not O(n).
+impl<const D: usize> Clone for Tree<D> {
+    fn clone(&self) -> Self {
+        Self {
+            arena: self.arena.clone(),
+            root: self.root,
+            config: self.config.clone(),
+            len: self.len,
+            entry_count: self.entry_count,
+            pending: self.pending.clone(),
+            inserts_since_coalesce: self.inserts_since_coalesce,
+            reinsert_armed: self.reinsert_armed,
+            stats: self.stats.clone(),
+            obs: self.obs.clone(),
+        }
+    }
+}
+
 impl<const D: usize> Tree<D> {
     /// Creates an empty tree (a single empty leaf as root).
     ///
@@ -147,6 +171,12 @@ impl<const D: usize> Tree<D> {
     /// Number of index nodes.
     pub fn node_count(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Number of live nodes whose storage is shared with a snapshot clone
+    /// of this tree (see [`Clone`] above). Zero when no clone is alive.
+    pub fn shared_node_count(&self) -> usize {
+        self.arena.shared_nodes()
     }
 
     /// Height of the tree (a lone leaf root has height 1).

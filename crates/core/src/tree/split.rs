@@ -132,7 +132,7 @@ impl<const D: usize> Tree<D> {
             }
             for (ei, e) in self.node(n).entries().iter().enumerate() {
                 let enlargement = b.rect.enlargement(&e.rect);
-                if best.as_ref().is_none_or(|(.., d)| enlargement < *d) {
+                if best.as_ref().map_or(true, |(.., d)| enlargement < *d) {
                     let bi = self
                         .node(parent)
                         .branch_index_of(b.child)

@@ -1,0 +1,97 @@
+//! Snapshot cloning: `Tree::clone` is a structural-sharing snapshot —
+//! cheap to take, isolated from later writes, and copy-on-write so the
+//! writer only duplicates the nodes it actually touches.
+
+use segidx_core::{IndexConfig, RecordId, Tree};
+use segidx_geom::Rect;
+
+fn build(segment: bool, n: u64) -> Tree<2> {
+    let config = if segment {
+        IndexConfig::srtree()
+    } else {
+        IndexConfig::rtree()
+    };
+    let mut t: Tree<2> = Tree::new(config);
+    for i in 0..n {
+        let x = ((i * 37) % 50_000) as f64;
+        let y = ((i * 113) % 50_000) as f64;
+        let len = if i % 11 == 0 { 9_000.0 } else { 50.0 };
+        t.insert(Rect::new([x, y], [x + len, y]), RecordId(i));
+    }
+    t
+}
+
+#[test]
+fn clone_shares_every_node_until_mutation() {
+    for segment in [false, true] {
+        let tree = build(segment, 5_000);
+        let snap = tree.clone();
+        // Every live node is shared between the two arenas, none copied.
+        assert_eq!(tree.shared_node_count(), tree.node_count());
+        assert_eq!(snap.node_count(), tree.node_count());
+        assert_eq!(snap.len(), tree.len());
+        assert_eq!(snap.entry_count(), tree.entry_count());
+        snap.assert_invariants();
+    }
+}
+
+#[test]
+fn snapshot_is_isolated_from_later_writes() {
+    let mut tree = build(true, 4_000);
+    let q = Rect::new([0.0, 0.0], [50_000.0, 50_000.0]);
+    let snap = tree.clone();
+    let before = snap.search(&q);
+
+    // Heavy post-snapshot churn: deletes and inserts.
+    let victims: Vec<(Rect<2>, RecordId)> = tree
+        .iter_entries()
+        .filter(|(_, id)| id.raw() % 3 == 0)
+        .collect();
+    for (rect, id) in &victims {
+        tree.delete(rect, *id);
+    }
+    for i in 10_000..11_000u64 {
+        let x = (i % 1_000) as f64;
+        tree.insert(Rect::new([x, x], [x + 5.0, x]), RecordId(i));
+    }
+
+    // The snapshot still answers exactly as it did at clone time, and still
+    // validates — the writer's copy-on-write never reaches shared nodes.
+    assert_eq!(snap.search(&q), before);
+    snap.assert_invariants();
+    tree.assert_invariants();
+    assert_ne!(tree.search(&q), before, "writer really changed");
+}
+
+#[test]
+fn writer_copies_only_touched_nodes() {
+    let mut tree = build(false, 8_000);
+    let total = tree.node_count();
+    let snap = tree.clone();
+    assert_eq!(tree.shared_node_count(), total);
+
+    // One point insert touches a root-to-leaf path (plus any split/reinsert
+    // fallout) — a small fraction of the arena unshares, not the whole tree.
+    tree.insert(Rect::new([1.0, 1.0], [2.0, 1.0]), RecordId(999_999));
+    let still_shared = tree.shared_node_count();
+    assert!(
+        still_shared > total / 2,
+        "one insert unshared {} of {} nodes",
+        total - still_shared,
+        total
+    );
+    drop(snap);
+}
+
+#[test]
+fn clone_carries_stats_and_config() {
+    let tree = build(true, 2_000);
+    let _ = tree.search(&Rect::new([0.0, 0.0], [100.0, 100.0]));
+    let snap = tree.clone();
+    assert_eq!(snap.stats(), tree.stats());
+    assert_eq!(snap.config().segment, tree.config().segment);
+    // Searches on the clone do not bump the original's counters.
+    let before = tree.stats();
+    let _ = snap.search(&Rect::new([0.0, 0.0], [100.0, 100.0]));
+    assert_eq!(tree.stats(), before);
+}

@@ -57,6 +57,17 @@ pub enum EventKind {
     /// A dirty page write-back failed in a context that could not return
     /// the error (e.g. buffer-pool flush-on-drop).
     WriteBackError,
+    /// A concurrent index published a new immutable snapshot; `node` is the
+    /// published epoch, `detail` the number of operations in the group
+    /// commit that produced it.
+    SnapshotPublished,
+    /// A retired snapshot's memory was reclaimed — every reader had moved
+    /// past its epoch (`node` = the reclaimed snapshot's epoch).
+    EpochReclaimed,
+    /// The single writer fell behind its submission queue: an operation was
+    /// rejected with a typed overload error (`detail` = queue depth at
+    /// rejection).
+    WriterStalled,
 }
 
 impl EventKind {
@@ -79,6 +90,9 @@ impl EventKind {
             EventKind::SubtreeLost => "subtree_lost",
             EventKind::RecoveryRebuild => "recovery_rebuild",
             EventKind::WriteBackError => "write_back_error",
+            EventKind::SnapshotPublished => "snapshot_published",
+            EventKind::EpochReclaimed => "epoch_reclaimed",
+            EventKind::WriterStalled => "writer_stalled",
         }
     }
 }
@@ -339,6 +353,9 @@ mod tests {
             EventKind::SubtreeLost,
             EventKind::RecoveryRebuild,
             EventKind::WriteBackError,
+            EventKind::SnapshotPublished,
+            EventKind::EpochReclaimed,
+            EventKind::WriterStalled,
         ] {
             let name = kind.name();
             assert!(name.chars().all(|c| c.is_ascii_lowercase() || c == '_'));

@@ -31,7 +31,7 @@ impl Version {
     /// Whether the version is valid at `t` (closed-open interval
     /// `[from, to)`, current versions open-ended).
     pub fn valid_at(&self, t: f64) -> bool {
-        t >= self.from && self.to.is_none_or(|to| t < to)
+        t >= self.from && self.to.map_or(true, |to| t < to)
     }
 }
 

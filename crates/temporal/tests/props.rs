@@ -37,7 +37,7 @@ impl Model {
         let mut out: Vec<(u64, f64)> = self
             .versions
             .iter()
-            .filter(|(_, _, from, to)| t >= *from && to.is_none_or(|to| t < to))
+            .filter(|(_, _, from, to)| t >= *from && to.map_or(true, |to| t < to))
             .map(|(k, v, _, _)| (*k, *v))
             .collect();
         out.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -21,12 +21,15 @@
 //! See the member crates for the substance:
 //! [`core`] (the index engine), [`geom`] (rectangle/interval geometry),
 //! [`storage`] (paged files with variable page sizes and a buffer pool),
-//! [`workloads`] (the paper's data and query distributions), and
-//! [`temporal`] (a valid-time table layer). The `segidx-bench` crate
-//! provides the `reproduce` binary that regenerates the paper's Graphs 1–6.
+//! [`concurrent`] (epoch-based snapshot reads over a single-writer
+//! group-commit service), [`workloads`] (the paper's data and query
+//! distributions), and [`temporal`] (a valid-time table layer). The
+//! `segidx-bench` crate provides the `reproduce` binary that regenerates
+//! the paper's Graphs 1–6.
 
 #![warn(missing_docs)]
 
+pub use segidx_concurrent as concurrent;
 pub use segidx_core as core;
 pub use segidx_geom as geom;
 pub use segidx_storage as storage;

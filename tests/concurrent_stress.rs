@@ -1,0 +1,29 @@
+//! Tier-1 slice of the deterministic interleaving stress harness: a few
+//! seeds, small configuration, all four paper variants. CI's release-mode
+//! stress job runs the full `stress_concurrent --seeds 32` sweep; this
+//! keeps a canary in the default test suite.
+
+use segidx_bench::interleave::{stress_seed, StressConfig};
+
+#[test]
+fn interleaving_stress_small_seeds() {
+    let cfg = StressConfig {
+        initial: 200,
+        ops: 300,
+        readers: 2,
+        ..StressConfig::default()
+    };
+    for seed in 0..4u64 {
+        let outcome = stress_seed(seed, &cfg);
+        assert!(
+            outcome.failures.is_empty(),
+            "seed {seed}: snapshot-isolation violations: {:#?}",
+            outcome.failures
+        );
+        assert!(outcome.observations > 0, "seed {seed}: readers observed");
+        assert!(
+            outcome.epochs >= 4,
+            "seed {seed}: every variant published at least one epoch"
+        );
+    }
+}
