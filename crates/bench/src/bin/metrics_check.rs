@@ -4,11 +4,18 @@
 //! metrics are well-formed: the file parses, is non-empty, and every
 //! (graph, variant) pair carries search/insert latency percentiles, the
 //! logical node-access counters, and a buffer-pool hit rate. Metrics
-//! carrying a `component` label instead (the concurrent index service)
-//! are validated separately: epoch/queue-depth/retired-snapshot gauges,
-//! commit counters and latency histograms, and the event-ring health pair
-//! (`segidx_events_dropped_total` / `segidx_events_buffered`) must all be
-//! present for `component="concurrent"`.
+//! carrying a `component` label instead are service families and are
+//! validated separately:
+//!
+//! * `component="concurrent"` — the unsharded index service must export
+//!   the epoch/queue-depth/retired-snapshot/retired-highwater gauges,
+//!   commit counters and latency histograms, and the event-ring health
+//!   pair (`segidx_events_dropped_total` / `segidx_events_buffered`).
+//! * `component="sharded"` — every metric must carry a `shard` label;
+//!   each numeric shard id must export the full per-shard service family,
+//!   and a `shard="all"` aggregate rollup must be present alongside the
+//!   sharded-only families (shard count, global epoch, retired epoch
+//!   vectors, routing imbalance, routed-op counters).
 //!
 //! Usage: `metrics_check <path/to/metrics.json>`. Exits non-zero with a
 //! description of the first problem found.
@@ -46,25 +53,55 @@ const REQUIRED_COUNTERS: [&str; 3] = [
 ];
 const REQUIRED_GAUGES: [&str; 1] = ["segidx_buffer_pool_hit_rate"];
 
-/// Metrics the `component="concurrent"` family must export.
-const CONCURRENT_GAUGES: [&str; 5] = [
+/// The index-service family every service scope (the unsharded service,
+/// each shard, and the sharded rollup) must export.
+const SERVICE_GAUGES: [&str; 5] = [
     "segidx_concurrent_epoch",
     "segidx_concurrent_queue_depth",
     "segidx_concurrent_retired_snapshots",
+    "segidx_concurrent_retired_highwater",
     "segidx_concurrent_active_readers",
-    "segidx_events_buffered",
 ];
-const CONCURRENT_COUNTERS: [&str; 5] = [
+const SERVICE_COUNTERS: [&str; 4] = [
     "segidx_concurrent_commits_total",
     "segidx_concurrent_ops_applied_total",
     "segidx_concurrent_overloads_total",
     "segidx_concurrent_reclaimed_total",
-    "segidx_events_dropped_total",
 ];
-const CONCURRENT_HISTOGRAMS: [&str; 2] = [
+const SERVICE_HISTOGRAMS: [&str; 2] = [
     "segidx_concurrent_queue_wait_nanos",
     "segidx_concurrent_commit_latency_nanos",
 ];
+
+/// Event-sink health metrics, required for `component="concurrent"` only
+/// (the sharded exercise runs without a ring sink).
+const EVENT_GAUGES: [&str; 1] = ["segidx_events_buffered"];
+const EVENT_COUNTERS: [&str; 1] = ["segidx_events_dropped_total"];
+
+/// Sharded-only families on the `shard="all"` rollup.
+const SHARDED_ROLLUP_GAUGES: [&str; 5] = [
+    "segidx_sharded_shards",
+    "segidx_sharded_global_epoch",
+    "segidx_sharded_retired_vectors",
+    "segidx_sharded_retired_vector_highwater",
+    "segidx_sharded_routing_imbalance",
+];
+const SHARDED_COUNTERS: [&str; 2] = [
+    "segidx_sharded_routed_ops_total",
+    "segidx_sharded_global_publishes_total",
+];
+
+fn is_gauge(name: &str) -> bool {
+    SERVICE_GAUGES.contains(&name)
+        || EVENT_GAUGES.contains(&name)
+        || SHARDED_ROLLUP_GAUGES.contains(&name)
+}
+
+fn is_counter(name: &str) -> bool {
+    SERVICE_COUNTERS.contains(&name)
+        || EVENT_COUNTERS.contains(&name)
+        || SHARDED_COUNTERS.contains(&name)
+}
 
 fn check(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
@@ -79,11 +116,12 @@ fn check(path: &str) -> Result<String, String> {
 
     // Group by (graph, variant), remembering which names each pair exported.
     // Metrics labeled with `component` instead belong to a service family
-    // (the concurrent index) and are collected separately.
+    // and are keyed by (component, shard, name) with shard defaulting to
+    // "" when the label is absent.
     let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
     let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
     let mut components: BTreeSet<String> = BTreeSet::new();
-    let mut component_seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut component_seen: BTreeSet<(String, String, String)> = BTreeSet::new();
     for m in metrics {
         let name = m
             .get("name")
@@ -91,9 +129,13 @@ fn check(path: &str) -> Result<String, String> {
             .ok_or("metric without a \"name\"")?;
         let labels = m.get("labels").ok_or("metric without \"labels\"")?;
         if let Some(component) = labels.get("component").and_then(Value::as_str) {
+            let shard = labels.get("shard").and_then(Value::as_str).unwrap_or("");
+            if component == "sharded" && shard.is_empty() {
+                return Err(format!("{name} (sharded): missing shard label"));
+            }
             validate_component_metric(name, component, m)?;
             components.insert(component.to_string());
-            component_seen.insert((component.to_string(), name.to_string()));
+            component_seen.insert((component.to_string(), shard.to_string(), name.to_string()));
             continue;
         }
         let graph = labels.get("graph").and_then(Value::as_str).unwrap_or("");
@@ -118,30 +160,108 @@ fn check(path: &str) -> Result<String, String> {
         }
     }
 
+    check_concurrent(&components, &component_seen)?;
+    let shard_scopes = check_sharded(&components, &component_seen)?;
+
+    Ok(format!(
+        "ok: {} metrics across {} (graph, variant) pairs + {} service component(s), \
+         {} shard scope(s)",
+        metrics.len(),
+        pairs.len(),
+        components.len(),
+        shard_scopes
+    ))
+}
+
+/// The unsharded service: full service family plus event-sink health, all
+/// without a `shard` label.
+fn check_concurrent(
+    components: &BTreeSet<String>,
+    component_seen: &BTreeSet<(String, String, String)>,
+) -> Result<(), String> {
     if !components.contains("concurrent") {
         return Err("missing component=\"concurrent\" service metrics".into());
     }
-    for name in CONCURRENT_GAUGES
+    for name in SERVICE_GAUGES
         .iter()
-        .chain(&CONCURRENT_COUNTERS)
-        .chain(&CONCURRENT_HISTOGRAMS)
+        .chain(&SERVICE_COUNTERS)
+        .chain(&SERVICE_HISTOGRAMS)
+        .chain(&EVENT_GAUGES)
+        .chain(&EVENT_COUNTERS)
     {
-        if !component_seen.contains(&("concurrent".to_string(), name.to_string())) {
+        if !component_seen.contains(&("concurrent".to_string(), String::new(), name.to_string())) {
             return Err(format!("component concurrent: missing {name}"));
         }
     }
+    Ok(())
+}
 
-    Ok(format!(
-        "ok: {} metrics across {} (graph, variant) pairs + {} service component(s)",
-        metrics.len(),
-        pairs.len(),
-        components.len()
-    ))
+/// The sharded service: per-shard service families under numeric shard
+/// ids, a `shard="all"` rollup carrying the same family, and the
+/// sharded-only rollup gauges/counters. Returns the number of shard
+/// scopes validated (numeric ids + the rollup).
+fn check_sharded(
+    components: &BTreeSet<String>,
+    component_seen: &BTreeSet<(String, String, String)>,
+) -> Result<usize, String> {
+    if !components.contains("sharded") {
+        return Err("missing component=\"sharded\" service metrics".into());
+    }
+    let shards: BTreeSet<&str> = component_seen
+        .iter()
+        .filter(|(c, _, _)| c == "sharded")
+        .map(|(_, s, _)| s.as_str())
+        .collect();
+    if !shards.contains("all") {
+        return Err("component sharded: missing shard=\"all\" aggregate rollup".into());
+    }
+    let numeric: Vec<&str> = shards
+        .iter()
+        .copied()
+        .filter(|s| s.chars().all(|c| c.is_ascii_digit()) && !s.is_empty())
+        .collect();
+    if numeric.is_empty() {
+        return Err("component sharded: no per-shard (numeric shard id) metrics".into());
+    }
+    // Every shard scope — each numeric id and the rollup — must carry the
+    // full service family plus its routed-op counter.
+    for shard in numeric.iter().copied().chain(["all"]) {
+        for name in SERVICE_GAUGES
+            .iter()
+            .chain(&SERVICE_COUNTERS)
+            .chain(&SERVICE_HISTOGRAMS)
+        {
+            if !component_seen.contains(&(
+                "sharded".to_string(),
+                shard.to_string(),
+                name.to_string(),
+            )) {
+                return Err(format!("component sharded, shard {shard}: missing {name}"));
+            }
+        }
+        if !component_seen.contains(&(
+            "sharded".to_string(),
+            shard.to_string(),
+            "segidx_sharded_routed_ops_total".to_string(),
+        )) {
+            return Err(format!(
+                "component sharded, shard {shard}: missing segidx_sharded_routed_ops_total"
+            ));
+        }
+    }
+    for name in SHARDED_ROLLUP_GAUGES.iter().chain(&SHARDED_COUNTERS) {
+        if !component_seen.contains(&("sharded".to_string(), "all".to_string(), name.to_string())) {
+            return Err(format!(
+                "component sharded: missing rollup metric {name} (shard=\"all\")"
+            ));
+        }
+    }
+    Ok(numeric.len() + 1)
 }
 
 fn validate_component_metric(name: &str, component: &str, m: &Value) -> Result<(), String> {
     let kind = m.get("type").and_then(Value::as_str).unwrap_or("");
-    if CONCURRENT_HISTOGRAMS.contains(&name) {
+    if SERVICE_HISTOGRAMS.contains(&name) {
         if kind != "histogram" {
             return Err(format!(
                 "{name} ({component}): expected histogram, got {kind}"
@@ -151,11 +271,11 @@ fn validate_component_metric(name: &str, component: &str, m: &Value) -> Result<(
         if count <= 0 {
             return Err(format!("{name} ({component}): empty histogram"));
         }
-    } else if CONCURRENT_COUNTERS.contains(&name) && kind != "counter" {
+    } else if is_counter(name) && kind != "counter" {
         return Err(format!(
             "{name} ({component}): expected counter, got {kind}"
         ));
-    } else if CONCURRENT_GAUGES.contains(&name) {
+    } else if is_gauge(name) {
         if kind != "gauge" {
             return Err(format!("{name} ({component}): expected gauge, got {kind}"));
         }

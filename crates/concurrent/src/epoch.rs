@@ -1,22 +1,49 @@
-//! Hand-rolled epoch-based reclamation for published snapshots.
+//! Hand-rolled epoch-based reclamation for published snapshots, with
+//! *refined* reader slots so one long-pinned reader holds exactly one
+//! snapshot instead of every snapshot retired after it.
 //!
 //! The scheme is the classic three-step reader protocol over a fixed slot
 //! array, with every access `SeqCst` so the safety argument is a plain
 //! total-order case analysis:
 //!
 //! 1. a reader *pins*: it loads the global epoch `E` and claims a slot by
-//!    CAS-ing `E` into it;
-//! 2. only then does it load the published snapshot pointer;
-//! 3. on drop it *unpins* by storing [`INACTIVE`] back into the slot.
+//!    CAS-ing the **unrefined** encoding of `E` into it;
+//! 2. only then does it load the published snapshot pointer, observing a
+//!    snapshot at some epoch `A >= E`;
+//! 3. it *refines* its slot to the exact epoch `A` it acquired — from now
+//!    on the slot protects only that one snapshot;
+//! 4. on drop it *unpins* by storing [`INACTIVE`] back into the slot.
 //!
-//! The writer publishes a new snapshot by swapping the root pointer, then
-//! advancing the global epoch to `G`, then retiring the old snapshot tagged
-//! with `G`. A retired snapshot tagged `G` may be freed once every active
-//! slot holds an epoch `>= G`: any reader that could still hold the old
-//! pointer performed its slot store before the writer's slot scan (else the
-//! scan's `SeqCst` position after the root swap would force the reader's
-//! later pointer load to observe the *new* root), and that store wrote an
-//! epoch `< G` — so the scan sees it and blocks the free.
+//! Reclamation asks, per retired snapshot at epoch `e`: does any slot
+//! still [`protect`](EpochRegistry::protects) it?
+//!
+//! * an **unrefined** slot at `E` protects every `e >= E` — between its
+//!   pin and its pointer load the reader may acquire whatever is current,
+//!   which always has an epoch `>= E`;
+//! * a **refined** slot at `A` protects exactly `e == A` — the guard
+//!   holds one snapshot and has told us which.
+//!
+//! The payoff: a reader parked on epoch 5 while the writer publishes
+//! epochs 6..=100 protects only snapshot 5. Snapshots 6..=99 are freed as
+//! they retire, so the retired backlog under a long-pinned reader is
+//! bounded (at most one snapshot per parked reader plus whatever is
+//! mid-flight), not proportional to writer progress.
+//!
+//! # Safety argument (all accesses `SeqCst`)
+//!
+//! A snapshot `V` (epoch `e`) enters the retired list only after the
+//! writer swapped the published pointer away from it, so no load performed
+//! after that swap (in the `SeqCst` total order) can return `V`. Consider
+//! a reclaimer scanning the slots (the scan happens inside the retired-
+//! list critical section, so the swap *happens-before* it) and a reader
+//! `R` that holds or will hold `V`:
+//!
+//! * `R`'s slot store precedes the scan: the scan observes either the
+//!   unrefined `E` (with `E <= e`, since `R` could acquire `V`) or the
+//!   refined `e` — both protect `V`, so it is not freed.
+//! * `R`'s slot store follows the scan: `R`'s pointer load follows its
+//!   own store, hence follows the scan, hence follows the swap that
+//!   retired `V` — the load returns a newer snapshot, never `V`.
 //!
 //! Slots are a fixed array of [`MAX_READERS`] atomics; pinning spins (with
 //! `yield_now`) only in the pathological case that more than
@@ -29,6 +56,10 @@ pub const MAX_READERS: usize = 128;
 
 /// Slot value marking "no reader here".
 const INACTIVE: u64 = u64::MAX;
+
+/// Slots encode `(epoch << 1) | refined_bit`, so the epoch space is 63
+/// bits — enough for one commit per nanosecond for ~290 years.
+const REFINED: u64 = 1;
 
 /// The global epoch counter plus the reader slot array.
 #[derive(Debug)]
@@ -58,15 +89,15 @@ impl EpochRegistry {
         self.global.store(epoch, SeqCst);
     }
 
-    /// Claims a slot pinned at the current global epoch, returning its
-    /// index. Lock-free unless all [`MAX_READERS`] slots are taken, in
-    /// which case it yields and retries.
+    /// Claims a slot pinned (unrefined) at the current global epoch,
+    /// returning its index. Lock-free unless all [`MAX_READERS`] slots are
+    /// taken, in which case it yields and retries.
     pub(crate) fn pin(&self) -> usize {
         loop {
             let epoch = self.global.load(SeqCst);
             for (i, slot) in self.slots.iter().enumerate() {
                 if slot
-                    .compare_exchange(INACTIVE, epoch, SeqCst, SeqCst)
+                    .compare_exchange(INACTIVE, epoch << 1, SeqCst, SeqCst)
                     .is_ok()
                 {
                     return i;
@@ -76,19 +107,45 @@ impl EpochRegistry {
         }
     }
 
+    /// Narrows `slot`'s protection to exactly `epoch` — the epoch of the
+    /// snapshot the reader actually acquired. Must only be called by the
+    /// slot's owner, with `epoch >=` the pinned epoch.
+    pub(crate) fn refine(&self, slot: usize, epoch: u64) {
+        self.slots[slot].store((epoch << 1) | REFINED, SeqCst);
+    }
+
     /// Releases a slot claimed by [`pin`](Self::pin).
     pub(crate) fn unpin(&self, slot: usize) {
         self.slots[slot].store(INACTIVE, SeqCst);
     }
 
-    /// The smallest epoch any active reader is pinned at, or `None` when no
-    /// reader is active. A snapshot retired at epoch `G` is reclaimable iff
-    /// `min_pinned().map_or(true, |m| m >= G)`.
+    /// Whether any active reader may still hold the snapshot published at
+    /// `epoch`. A retired snapshot is reclaimable iff this is `false`.
+    pub(crate) fn protects(&self, epoch: u64) -> bool {
+        self.slots.iter().any(|s| {
+            let v = s.load(SeqCst);
+            if v == INACTIVE {
+                return false;
+            }
+            let slot_epoch = v >> 1;
+            if v & REFINED == REFINED {
+                slot_epoch == epoch
+            } else {
+                slot_epoch <= epoch
+            }
+        })
+    }
+
+    /// The smallest epoch any active reader is pinned at (refined or not),
+    /// or `None` when no reader is active. A monitoring signal, not the
+    /// reclamation criterion — see [`protects`](Self::protects).
+    #[cfg(test)]
     pub(crate) fn min_pinned(&self) -> Option<u64> {
         self.slots
             .iter()
             .map(|s| s.load(SeqCst))
-            .filter(|&e| e != INACTIVE)
+            .filter(|&v| v != INACTIVE)
+            .map(|v| v >> 1)
             .min()
     }
 
@@ -115,13 +172,38 @@ mod tests {
         let b = reg.pin();
         assert_ne!(a, b);
         assert_eq!(reg.active_readers(), 2);
-        // The oldest pin dominates the reclamation horizon.
+        // The oldest pin dominates the monitoring horizon.
         assert_eq!(reg.min_pinned(), Some(0));
         reg.unpin(a);
         assert_eq!(reg.min_pinned(), Some(3));
         reg.unpin(b);
         assert_eq!(reg.min_pinned(), None);
         assert_eq!(reg.active_readers(), 0);
+    }
+
+    #[test]
+    fn unrefined_pin_protects_everything_at_or_after_it() {
+        let reg = EpochRegistry::new();
+        reg.advance(5);
+        let slot = reg.pin(); // unrefined at 5
+        assert!(!reg.protects(4), "older snapshots cannot be acquired");
+        assert!(reg.protects(5));
+        assert!(reg.protects(17), "may acquire anything current or later");
+        reg.unpin(slot);
+        assert!(!reg.protects(5));
+    }
+
+    #[test]
+    fn refined_pin_protects_exactly_one_epoch() {
+        let reg = EpochRegistry::new();
+        reg.advance(5);
+        let slot = reg.pin();
+        reg.refine(slot, 7); // acquired the snapshot published at 7
+        assert!(!reg.protects(5), "refinement released the pin epoch");
+        assert!(reg.protects(7));
+        assert!(!reg.protects(8), "later snapshots are not held");
+        reg.unpin(slot);
+        assert!(!reg.protects(7));
     }
 
     #[test]
@@ -143,6 +225,7 @@ mod tests {
                 scope.spawn(move || {
                     for _ in 0..500 {
                         let s = reg.pin();
+                        reg.refine(s, reg.global());
                         std::hint::black_box(reg.min_pinned());
                         reg.unpin(s);
                     }

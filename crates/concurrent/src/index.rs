@@ -33,6 +33,7 @@
 //! reader could have seen.
 
 use crate::epoch::EpochRegistry;
+use crate::global_epoch::GlobalLink;
 use crate::queue::{
     CommitError, CommitReceipt, CommitTicket, IndexOp, QueueItem, SubmissionQueue, SubmitError,
     TicketState,
@@ -87,15 +88,21 @@ impl ConcurrentTelemetry {
 }
 
 /// One published, immutable snapshot: the tree plus its epoch identity.
-struct SnapshotInner<const D: usize> {
-    epoch: u64,
-    durable_epoch: Option<u64>,
-    tree: Tree<D>,
+/// `Arc`-shared so a cross-shard [`GlobalEpochVector`](crate::global_epoch)
+/// can reference the same snapshot the shard publishes locally without
+/// re-cloning the tree.
+pub(crate) struct SnapshotInner<const D: usize> {
+    pub(crate) epoch: u64,
+    pub(crate) durable_epoch: Option<u64>,
+    pub(crate) tree: Tree<D>,
 }
 
-/// A retired snapshot pointer tagged with the epoch at which it was
-/// replaced; freeable once every pinned reader is at that epoch or later.
-struct Retired<const D: usize>(*mut SnapshotInner<D>, u64);
+/// A retired snapshot reference tagged with the snapshot's *own* epoch;
+/// freeable once no reader slot [`protects`](EpochRegistry::protects) that
+/// epoch. The pointer came from `Arc::into_raw`, so "freeing" drops this
+/// holder's reference — the tree lives on if a global epoch vector still
+/// shares it.
+struct Retired<const D: usize>(*const SnapshotInner<D>, u64);
 
 // SAFETY: the pointee is a heap allocation whose ownership moves with the
 // `Retired` value; `Tree<D>` itself is `Send`.
@@ -108,6 +115,7 @@ struct Shared<const D: usize> {
     queue: SubmissionQueue<D>,
     retired: Mutex<Vec<Retired<D>>>,
     retired_count: AtomicUsize,
+    retired_highwater: AtomicUsize,
     telemetry: Arc<ConcurrentTelemetry>,
     sink: Option<Arc<dyn ObsSink>>,
 }
@@ -122,6 +130,12 @@ impl<const D: usize> Shared<D> {
     fn snapshot(self: &Arc<Self>) -> SnapshotGuard<D> {
         let slot = self.epochs.pin();
         let ptr = self.published.load(SeqCst);
+        // SAFETY: the unrefined pin keeps `ptr` alive until the slot is
+        // refined or released.
+        let epoch = unsafe { (*ptr).epoch };
+        // Narrow the slot to the snapshot actually acquired, so retired
+        // snapshots published later are not held hostage by this guard.
+        self.epochs.refine(slot, epoch);
         SnapshotGuard {
             shared: Arc::clone(self),
             ptr,
@@ -151,24 +165,42 @@ impl<const D: usize> Shared<D> {
         }
     }
 
-    /// Frees every retired snapshot no pinned reader can still reference.
+    /// Frees every retired snapshot no reader slot still protects. Runs on
+    /// the writer after each publish *and* on the reader unpin path, so a
+    /// long-pinned reader's backlog is released the moment it lets go
+    /// rather than at the next commit. The slot scan happens inside the
+    /// retired-list critical section — see `epoch.rs` for why that
+    /// ordering makes the free safe.
     fn reclaim(&self) {
-        let min = self.epochs.min_pinned();
         let mut retired = self.retired.lock().unwrap();
         let mut i = 0;
         while i < retired.len() {
-            if min.map_or(true, |m| m >= retired[i].1) {
-                let Retired(ptr, _) = retired.swap_remove(i);
-                // SAFETY: retired pointers are owned by this list, and the
-                // epoch condition above proves no reader holds `ptr`.
-                let snap = unsafe { Box::from_raw(ptr) };
+            if !self.epochs.protects(retired[i].1) {
+                let Retired(ptr, epoch) = retired.swap_remove(i);
+                // SAFETY: the pointer came from `Arc::into_raw` and this
+                // list owns that reference; the `protects` check proves no
+                // reader slot can still reach it.
+                unsafe { drop(Arc::from_raw(ptr)) };
                 self.telemetry.reclaimed.fetch_add(1, SeqCst);
-                self.emit(Event::new(EventKind::EpochReclaimed).node(snap.epoch));
+                self.emit(Event::new(EventKind::EpochReclaimed).node(epoch));
             } else {
                 i += 1;
             }
         }
         self.retired_count.store(retired.len(), SeqCst);
+    }
+
+    /// Moves the replaced snapshot onto the retired list, tagged with its
+    /// own epoch, and tracks the backlog high-water mark.
+    fn retire(&self, old: *const SnapshotInner<D>) {
+        // SAFETY: `old` was just swapped out of `published`; the list now
+        // owns its reference and keeps it alive.
+        let old_epoch = unsafe { (*old).epoch };
+        let mut retired = self.retired.lock().unwrap();
+        retired.push(Retired(old, old_epoch));
+        let depth = retired.len();
+        self.retired_count.store(depth, SeqCst);
+        self.retired_highwater.fetch_max(depth, SeqCst);
     }
 
     /// The published snapshot's durable epoch. Writer-thread / owner use;
@@ -185,11 +217,12 @@ impl<const D: usize> Drop for Shared<D> {
         // No readers or writer can exist anymore: every guard and handle
         // holds an `Arc<Shared>`.
         let published = self.published.load(SeqCst);
-        // SAFETY: sole owner at drop time; the pointer came from Box::into_raw.
-        unsafe { drop(Box::from_raw(published)) };
+        // SAFETY: sole owner at drop time; the pointer came from
+        // `Arc::into_raw` and this drops the published reference.
+        unsafe { drop(Arc::from_raw(published)) };
         for Retired(ptr, _) in self.retired.lock().unwrap().drain(..) {
-            // SAFETY: retired pointers are uniquely owned by the list.
-            unsafe { drop(Box::from_raw(ptr)) };
+            // SAFETY: retired references are owned by the list.
+            unsafe { drop(Arc::from_raw(ptr)) };
         }
     }
 }
@@ -202,7 +235,7 @@ impl<const D: usize> Drop for Shared<D> {
 /// promptly so retired epochs can be reclaimed.
 pub struct SnapshotGuard<const D: usize> {
     shared: Arc<Shared<D>>,
-    ptr: *mut SnapshotInner<D>,
+    ptr: *const SnapshotInner<D>,
     slot: usize,
 }
 
@@ -235,6 +268,13 @@ impl<const D: usize> Deref for SnapshotGuard<D> {
 impl<const D: usize> Drop for SnapshotGuard<D> {
     fn drop(&mut self) {
         self.shared.epochs.unpin(self.slot);
+        // Amortized reclamation: whatever this reader was the last one
+        // holding is freed here, on the unpin path, instead of waiting for
+        // the writer's next publish (which may never come on an idle
+        // index). Cheap when nothing is retired — one atomic load.
+        if self.shared.retired_count.load(SeqCst) > 0 {
+            self.shared.reclaim();
+        }
     }
 }
 
@@ -302,6 +342,14 @@ impl<const D: usize> Builder<D> {
     /// even epoch 0 is recoverable; that checkpoint is the only way this
     /// returns an error.
     pub fn start(self) -> Result<ConcurrentIndex<D>, StorageError> {
+        Ok(self.prepare()?.launch(None))
+    }
+
+    /// Builds the shared state and initial snapshot without spawning the
+    /// writer. [`ShardedIndex`](crate::ShardedIndex) uses this two-phase
+    /// start so every shard's epoch-0 snapshot can be gathered into the
+    /// initial global epoch vector *before* any writer can publish.
+    pub(crate) fn prepare(self) -> Result<Prepared<D>, StorageError> {
         let Builder {
             tree,
             disk,
@@ -317,29 +365,74 @@ impl<const D: usize> Builder<D> {
             }
             None => None,
         };
-        let initial = Box::into_raw(Box::new(SnapshotInner {
+        let initial = Arc::new(SnapshotInner {
             epoch: 0,
             durable_epoch,
             tree: tree.clone(),
-        }));
+        });
+        let published = Arc::into_raw(Arc::clone(&initial)) as *mut SnapshotInner<D>;
         let shared = Arc::new(Shared {
-            published: AtomicPtr::new(initial),
+            published: AtomicPtr::new(published),
             epochs: EpochRegistry::new(),
             queue: SubmissionQueue::new(queue_capacity),
             retired: Mutex::new(Vec::new()),
             retired_count: AtomicUsize::new(0),
+            retired_highwater: AtomicUsize::new(0),
             telemetry: Arc::new(ConcurrentTelemetry::default()),
             sink,
         });
+        Ok(Prepared {
+            shared,
+            tree,
+            disk,
+            max_batch,
+            commit_hook,
+            initial,
+        })
+    }
+}
+
+/// A fully built but not yet serving index: the writer thread has not been
+/// spawned, so nothing can commit or publish past epoch 0.
+pub(crate) struct Prepared<const D: usize> {
+    shared: Arc<Shared<D>>,
+    tree: Tree<D>,
+    disk: Option<Arc<DiskManager>>,
+    max_batch: usize,
+    commit_hook: Option<CommitHook>,
+    initial: Arc<SnapshotInner<D>>,
+}
+
+impl<const D: usize> Prepared<D> {
+    /// The epoch-0 snapshot, for seeding a global epoch vector.
+    pub(crate) fn initial(&self) -> &Arc<SnapshotInner<D>> {
+        &self.initial
+    }
+
+    /// Spawns the writer thread. With a `global` link, every publish also
+    /// installs the shard's new snapshot into the global epoch vector.
+    pub(crate) fn launch(self, global: Option<GlobalLink<D>>) -> ConcurrentIndex<D> {
+        let Prepared {
+            shared,
+            tree,
+            disk,
+            max_batch,
+            commit_hook,
+            initial: _,
+        } = self;
         let writer_shared = Arc::clone(&shared);
+        let name = match &global {
+            Some(link) => format!("segidx-writer-{}", link.shard),
+            None => "segidx-writer".into(),
+        };
         let writer = std::thread::Builder::new()
-            .name("segidx-writer".into())
-            .spawn(move || writer_loop(writer_shared, tree, disk, max_batch, commit_hook))
+            .name(name)
+            .spawn(move || writer_loop(writer_shared, tree, disk, max_batch, commit_hook, global))
             .expect("spawn writer thread");
-        Ok(ConcurrentIndex {
+        ConcurrentIndex {
             shared,
             writer: Some(writer),
-        })
+        }
     }
 }
 
@@ -431,6 +524,12 @@ impl<const D: usize> ConcurrentIndex<D> {
     /// Retired snapshots not yet reclaimed (readers still pin them).
     pub fn retired_snapshots(&self) -> usize {
         self.shared.retired_count.load(SeqCst)
+    }
+
+    /// The largest retired-snapshot backlog ever observed — the alerting
+    /// signal for a reader pinning snapshots longer than it should.
+    pub fn retired_highwater(&self) -> usize {
+        self.shared.retired_highwater.load(SeqCst)
     }
 
     /// Currently pinned snapshot guards.
@@ -527,6 +626,11 @@ impl<const D: usize> IndexHandle<D> {
         self.shared.retired_count.load(SeqCst)
     }
 
+    /// The largest retired-snapshot backlog ever observed.
+    pub fn retired_highwater(&self) -> usize {
+        self.shared.retired_highwater.load(SeqCst)
+    }
+
     /// Writer-side telemetry.
     pub fn telemetry(&self) -> Arc<ConcurrentTelemetry> {
         Arc::clone(&self.shared.telemetry)
@@ -537,6 +641,7 @@ impl<const D: usize> IndexHandle<D> {
     ///
     /// * `segidx_concurrent_epoch`, `segidx_concurrent_queue_depth`,
     ///   `segidx_concurrent_retired_snapshots`,
+    ///   `segidx_concurrent_retired_highwater`,
     ///   `segidx_concurrent_active_readers` — gauges;
     /// * `segidx_concurrent_commits_total`,
     ///   `segidx_concurrent_ops_applied_total`,
@@ -570,6 +675,11 @@ impl<const D: usize> IndexHandle<D> {
                 "segidx_concurrent_retired_snapshots",
                 &l,
                 shared.retired_count.load(SeqCst) as f64,
+            ));
+            out.push(Metric::gauge(
+                "segidx_concurrent_retired_highwater",
+                &l,
+                shared.retired_highwater.load(SeqCst) as f64,
             ));
             out.push(Metric::gauge(
                 "segidx_concurrent_active_readers",
@@ -626,6 +736,7 @@ fn writer_loop<const D: usize>(
     disk: Option<Arc<DiskManager>>,
     max_batch: usize,
     mut hook: Option<CommitHook>,
+    global: Option<GlobalLink<D>>,
 ) {
     loop {
         let (batch, closed) = shared.queue.drain(max_batch);
@@ -697,18 +808,21 @@ fn writer_loop<const D: usize>(
             },
             None => None,
         };
-        let fresh = Box::into_raw(Box::new(SnapshotInner {
+        let fresh = Arc::new(SnapshotInner {
             epoch: next_epoch,
             durable_epoch,
             tree: tree.clone(),
-        }));
-        let old = shared.published.swap(fresh, SeqCst);
+        });
+        let fresh_ptr = Arc::into_raw(Arc::clone(&fresh)) as *mut SnapshotInner<D>;
+        let old = shared.published.swap(fresh_ptr, SeqCst);
         shared.epochs.advance(next_epoch);
-        {
-            let mut retired = shared.retired.lock().unwrap();
-            retired.push(Retired(old, next_epoch));
-            shared.retired_count.store(retired.len(), SeqCst);
+        // Cross-shard visibility: install this shard's new snapshot into
+        // the global epoch vector (one pointer swap over there) before
+        // retiring the old one locally.
+        if let Some(link) = &global {
+            link.publisher.publish(link.shard, &fresh);
         }
+        shared.retire(old);
         shared.reclaim();
         shared
             .telemetry

@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use segidx_core::RecordId;
 use segidx_geom::Rect;
@@ -124,6 +124,23 @@ impl TicketState {
         slot.clone().unwrap()
     }
 
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<CommitReceipt, CommitError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.result.lock().unwrap();
+        while slot.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timed_out) = self.done.wait_timeout(slot, deadline - now).unwrap();
+            slot = next;
+            if timed_out.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+        slot.clone()
+    }
+
     fn peek(&self) -> Option<Result<CommitReceipt, CommitError>> {
         self.result.lock().unwrap().clone()
     }
@@ -145,8 +162,17 @@ impl CommitTicket {
         self.state.wait()
     }
 
+    /// Blocks for at most `timeout`, returning `None` if the commit is
+    /// still pending when it elapses. The ticket stays valid: callers can
+    /// keep polling or fall back to [`wait`](Self::wait). This is how
+    /// harnesses avoid parking forever on a poisoned shard — bound the
+    /// wait, then inspect the shard instead of hanging.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<CommitReceipt, CommitError>> {
+        self.state.wait_timeout(timeout)
+    }
+
     /// The commit outcome if it is already known, without blocking.
-    pub fn try_result(&self) -> Option<Result<CommitReceipt, CommitError>> {
+    pub fn try_receipt(&self) -> Option<Result<CommitReceipt, CommitError>> {
         self.state.peek()
     }
 }
@@ -358,7 +384,7 @@ mod tests {
         let ticket = CommitTicket {
             state: Arc::clone(&state),
         };
-        assert!(ticket.try_result().is_none());
+        assert!(ticket.try_receipt().is_none());
         let receipt = CommitReceipt {
             epoch: 7,
             durable_epoch: None,
@@ -367,6 +393,45 @@ mod tests {
         state.complete(Ok(receipt.clone()));
         state.complete(Err(CommitError::WriterExited)); // ignored: already done
         assert_eq!(ticket.wait(), Ok(receipt));
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_consuming_the_ticket() {
+        let state = Arc::new(TicketState::default());
+        let ticket = CommitTicket {
+            state: Arc::clone(&state),
+        };
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(10)), None);
+        // The timeout did not poison anything: a later completion is
+        // observed by both polling styles.
+        let receipt = CommitReceipt {
+            epoch: 1,
+            durable_epoch: None,
+            ops_in_commit: 1,
+        };
+        state.complete(Ok(receipt.clone()));
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(10)),
+            Some(Ok(receipt.clone()))
+        );
+        assert_eq!(ticket.try_receipt(), Some(Ok(receipt)));
+    }
+
+    #[test]
+    fn wait_timeout_wakes_on_completion() {
+        let state = Arc::new(TicketState::default());
+        let ticket = CommitTicket {
+            state: Arc::clone(&state),
+        };
+        let waiter = std::thread::spawn(move || ticket.wait_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        let receipt = CommitReceipt {
+            epoch: 9,
+            durable_epoch: Some(9),
+            ops_in_commit: 2,
+        };
+        state.complete(Ok(receipt.clone()));
+        assert_eq!(waiter.join().unwrap(), Some(Ok(receipt)));
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl StreamResult {
         let mut tree: Tree<2> = Tree::new(IndexConfig::srtree());
         let mut seen_failure = false;
         for (op, ticket) in &self.tickets {
-            match ticket.try_result() {
+            match ticket.try_receipt() {
                 Some(Ok(_)) => {
                     assert!(!seen_failure, "committed ops must form a prefix");
                     match *op {
