@@ -1,0 +1,475 @@
+//! HINT vs the paper variants: the 1-D stabbing microbench, the hybrid
+//! router's multi-dimensional overhead, and the per-dimension-intersection
+//! crossover sweep. Results land in `results/BENCH_hint.json` (same
+//! `hardware_note` convention as `results/BENCH_sharded.json`).
+//!
+//! Three measurements:
+//!
+//! 1. **1-D stab**: HINT's bottom-level stabbing is nearly comparison-free,
+//!    so it should beat every paper variant by a wide margin on pure
+//!    stabbing workloads. `--check` asserts ≥ 2× over the *best* variant.
+//! 2. **Router overhead**: on genuinely 2-D windows the [`HybridIndex`]
+//!    routes to its SR-Tree; the routing test must cost ≈ nothing.
+//!    `--check` asserts ≤ 5% overhead vs querying the SR-Tree directly.
+//! 3. **Crossover**: HINT answers a D-dimensional window by intersecting
+//!    per-dimension sorted candidate sets, so its cost tracks the widest
+//!    dimension's candidate count. The sweep holds the query degenerate in
+//!    y (a slab, the shape the router sends to HINT) and widens the x
+//!    extent from a pure stab outward, recording where the SR-Tree takes
+//!    over — the boundary behind the router's shape rule.
+//!
+//! Usage:
+//!   hint_bench [--records N] [--stabs N] [--rounds N] [--out FILE] [--check]
+
+use segidx_core::{
+    HintIndex, HybridIndex, IntervalIndex, RTree, SRTree, SkeletonRTree, SkeletonSRTree,
+};
+use segidx_geom::{Point, Rect};
+use segidx_workloads::{DataDistribution, DOMAIN_MAX};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct Args {
+    records: usize,
+    stabs: usize,
+    rounds: usize,
+    out: PathBuf,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // 500k intervals approaches the scale of the HINT paper's real
+    // datasets (BOOKS: 2.3M); at toy sizes the comparison trees are so
+    // shallow that fixed per-query costs mask the hierarchy's advantage.
+    let mut args = Args {
+        records: 500_000,
+        stabs: 2_000,
+        rounds: 7,
+        out: PathBuf::from("results/BENCH_hint.json"),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--records" => {
+                args.records = value("--records")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--stabs" => args.stabs = value("--stabs")?.parse().map_err(|e| format!("{e}"))?,
+            "--rounds" => args.rounds = value("--rounds")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                return Err("usage: hint_bench [--records N] [--stabs N] [--rounds N] \
+                     [--out FILE] [--check]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Deterministic splitmix64 stream (no external RNG deps).
+struct Rng(u64);
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// 1-D interval data in the spirit of the HINT paper's real workloads
+/// (BOOKS/TAXIS): overwhelmingly short intervals with a sparse long tail,
+/// uniform placement over `[0, DOMAIN_MAX)`. Stab results stay small
+/// (≈ a dozen ids), so the measurement compares index traversal cost
+/// rather than result materialisation, which every engine pays alike.
+fn intervals_1d(n: usize, seed: u64) -> Vec<(Rect<1>, segidx_core::RecordId)> {
+    let mut rng = Rng(seed);
+    (0..n as u64)
+        .map(|i| {
+            let x = rng.next_f64() * DOMAIN_MAX;
+            let len = if rng.next_u64() & 63 == 0 {
+                DOMAIN_MAX * 0.005
+            } else {
+                DOMAIN_MAX * 0.000_05
+            };
+            (Rect::new([x], [x + len]), segidx_core::RecordId(i))
+        })
+        .collect()
+}
+
+fn stab_points_1d(n: usize, seed: u64) -> Vec<Point<1>> {
+    let mut rng = Rng(seed);
+    (0..n)
+        .map(|_| Point::new([rng.next_f64() * DOMAIN_MAX]))
+        .collect()
+}
+
+/// Per-round wall times for two stab paths with their rounds interleaved
+/// (a, b, a, b, ...), so slow-clock stretches — frequency scaling, noisy
+/// neighbours — hit both sides equally instead of biasing whichever block
+/// ran second. Callers compare the sides through per-round *ratios*
+/// (adjacent rounds see near-identical machine conditions, so the noise
+/// cancels) and report latencies as per-side medians.
+fn time_stabs_rounds<const D: usize>(
+    a: &dyn IntervalIndex<D>,
+    b: &dyn IntervalIndex<D>,
+    points: &[Point<D>],
+    rounds: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let (mut rounds_a, mut rounds_b) = (Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        for (index, out) in [(a, &mut rounds_a), (b, &mut rounds_b)] {
+            let start = Instant::now();
+            let mut found = 0usize;
+            for p in points {
+                found += index.stab(p).len();
+            }
+            black_box(found);
+            out.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    (rounds_a, rounds_b)
+}
+
+/// Median of the per-round ratios `b_i / a_i` — the noise-cancelling
+/// comparison statistic for interleaved round times.
+fn median_ratio(a: &[u64], b: &[u64]) -> f64 {
+    let mut ratios: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(&a, &b)| b as f64 / a as f64)
+        .collect();
+    ratios.sort_unstable_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Interleaved median-of-`rounds` for two search closures (see
+/// [`time_stabs_rounds`] for why interleaving and the median matter).
+fn time_searches_pair<const D: usize>(
+    a: impl Fn(&Rect<D>) -> usize,
+    b: impl Fn(&Rect<D>) -> usize,
+    queries: &[Rect<D>],
+    rounds: usize,
+) -> (u64, u64) {
+    let (mut rounds_a, mut rounds_b) = (Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        for (search, out) in [
+            (&a as &dyn Fn(&Rect<D>) -> usize, &mut rounds_a),
+            (&b as &dyn Fn(&Rect<D>) -> usize, &mut rounds_b),
+        ] {
+            let start = Instant::now();
+            let mut found = 0usize;
+            for q in queries {
+                found += search(q);
+            }
+            black_box(found);
+            out.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    (median(&mut rounds_a), median(&mut rounds_b))
+}
+
+/// Builds each 1-D paper variant over `records`.
+fn paper_variants_1d(
+    records: &[(Rect<1>, segidx_core::RecordId)],
+) -> Vec<(&'static str, Box<dyn IntervalIndex<1>>)> {
+    let n = records.len();
+    let domain = Rect::new([0.0], [DOMAIN_MAX * 1.05]);
+    let buffer = (n / 10).max(1);
+    let mut out: Vec<(&'static str, Box<dyn IntervalIndex<1>>)> = vec![
+        ("R-Tree", Box::new(RTree::<1>::new())),
+        ("SR-Tree", Box::new(SRTree::<1>::new())),
+        (
+            "Skeleton R-Tree",
+            Box::new(SkeletonRTree::<1>::with_prediction(domain, n, buffer)),
+        ),
+        (
+            "Skeleton SR-Tree",
+            Box::new(SkeletonSRTree::<1>::with_prediction(domain, n, buffer)),
+        ),
+    ];
+    for (_, index) in &mut out {
+        for (r, id) in records {
+            index.insert(*r, *id);
+        }
+    }
+    out
+}
+
+/// Days-since-epoch → (year, month, day), proleptic Gregorian.
+fn civil_from_days(mut z: i64) -> (i64, u32, u32) {
+    z += 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64 / 86_400)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // ---- 1. 1-D stabbing microbench -----------------------------------
+    let records_1d = intervals_1d(args.records, 7);
+    let points = stab_points_1d(args.stabs, 11);
+    let mut hint_1d = HintIndex::<1>::new();
+    hint_1d.bulk_load(records_1d.clone());
+    println!(
+        "1-D stab over {} intervals, {} probes:",
+        args.records, args.stabs
+    );
+    // Each variant's rounds interleave with fresh HINT rounds, and each
+    // pairing is summarized by its median per-round ratio (adjacent
+    // rounds see near-identical machine conditions, so noise cancels in
+    // the ratio). HINT's reported latency is the median over all its
+    // rounds.
+    let mut hint_rounds: Vec<u64> = Vec::new();
+    let mut variant_stabs: Vec<(&'static str, u64, f64)> = Vec::new();
+    for (name, index) in paper_variants_1d(&records_1d) {
+        let (h, mut v) = time_stabs_rounds(&hint_1d, index.as_ref(), &points, args.rounds);
+        let ratio = median_ratio(&h, &v);
+        let nanos = median(&mut v);
+        println!(
+            "  {:<18} {:>10.0} ns/op  ({:.2}x HINT)",
+            name,
+            nanos as f64 / args.stabs as f64,
+            ratio
+        );
+        variant_stabs.push((name, nanos, ratio));
+        hint_rounds.extend(h);
+    }
+    let hint_stab = median(&mut hint_rounds);
+    println!(
+        "  {:<18} {:>10.0} ns/op",
+        "HINT",
+        hint_stab as f64 / args.stabs as f64
+    );
+    let best_variant = variant_stabs
+        .iter()
+        .min_by(|x, y| x.2.total_cmp(&y.2))
+        .copied()
+        .expect("four variants timed");
+    let stab_speedup = best_variant.2;
+    println!(
+        "  speedup vs best variant ({}): {:.2}x",
+        best_variant.0, stab_speedup
+    );
+
+    // ---- 2. Router overhead on genuinely 2-D windows ------------------
+    // The routed path and the direct path must hit the *same* tree, so the
+    // comparison isolates pure routing cost (shape test + counter) rather
+    // than differences in tree construction.
+    let dataset = DataDistribution::I3.generate(args.records.min(50_000), 7);
+    let mut hybrid = HybridIndex::<2>::new();
+    hybrid.bulk_load(dataset.records.clone());
+    let mut rng = Rng(23);
+    let windows: Vec<Rect<2>> = (0..500)
+        .map(|_| {
+            let x = rng.next_f64() * DOMAIN_MAX * 0.9;
+            let y = rng.next_f64() * DOMAIN_MAX * 0.9;
+            let w = DOMAIN_MAX * (0.002 + rng.next_f64() * 0.05);
+            let h = DOMAIN_MAX * (0.002 + rng.next_f64() * 0.05);
+            Rect::new([x, y], [x + w, y + h])
+        })
+        .collect();
+    let (tree_nanos, hybrid_nanos) = time_searches_pair(
+        |q| hybrid.tree().search(q).len(),
+        |q| hybrid.search(q).len(),
+        &windows,
+        args.rounds,
+    );
+    let overhead = hybrid_nanos as f64 / tree_nanos as f64 - 1.0;
+    println!(
+        "2-D windows: SR-Tree {:.0} ns/op, routed {:.0} ns/op, overhead {:+.1}%",
+        tree_nanos as f64 / windows.len() as f64,
+        hybrid_nanos as f64 / windows.len() as f64,
+        overhead * 100.0
+    );
+    let (to_hint, to_tree) = hybrid.routed_counts();
+    assert!(
+        to_tree > to_hint,
+        "genuinely 2-D windows must route to the tree ({to_hint} vs {to_tree})"
+    );
+
+    // ---- 3. Crossover sweep: widen the one extended dimension ---------
+    // Slabs (degenerate in y) are the shape the router sends to HINT; the
+    // sweep widens their x extent from a pure 2-D stab outward against the
+    // same bulk-loaded SR-Tree the hybrid holds.
+    let hint_2d = hybrid.hint();
+    let fractions = [0.0f64, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05];
+    let mut cells = Vec::new();
+    let mut crossover: Option<f64> = None;
+    println!("crossover sweep (y degenerate, x-extent widening):");
+    for &f in &fractions {
+        let mut rng = Rng(31);
+        let queries: Vec<Rect<2>> = (0..300)
+            .map(|_| {
+                let x = rng.next_f64() * DOMAIN_MAX * (1.0 - f).max(0.1);
+                let y = rng.next_f64() * DOMAIN_MAX * 0.9;
+                Rect::new([x, y], [x + DOMAIN_MAX * f, y])
+            })
+            .collect();
+        let (hint_nanos, tree_nanos) = time_searches_pair(
+            |q| hint_2d.search(q).len(),
+            |q| hybrid.tree().search(q).len(),
+            &queries,
+            args.rounds,
+        );
+        let ratio = hint_nanos as f64 / tree_nanos as f64;
+        if crossover.is_none() && ratio > 1.0 {
+            crossover = Some(f);
+        }
+        println!(
+            "  y-extent {:>5.1}%: HINT {:>9.0} ns/op, SR-Tree {:>9.0} ns/op, ratio {:.2}",
+            f * 100.0,
+            hint_nanos as f64 / queries.len() as f64,
+            tree_nanos as f64 / queries.len() as f64,
+            ratio
+        );
+        cells.push((
+            f,
+            hint_nanos / queries.len() as u64,
+            tree_nanos / queries.len() as u64,
+            ratio,
+        ));
+    }
+
+    // ---- JSON ----------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"benchmark\": \"HINT hierarchical interval engine vs the paper's four variants\",\n",
+    );
+    json.push_str(&format!("  \"date\": \"{}\",\n", today()));
+    json.push_str(
+        "  \"method\": \"crates/bench/src/bin/hint_bench.rs; (1) 1-D stabbing over a \
+         long-tail interval set, HINT vs all four paper variants, interleaved rounds scored by the \
+         median per-round ratio; \
+         (2) routed 2-D windows through HybridIndex vs the same bulk-loaded SR-Tree \
+         directly; (3) slab queries (degenerate y) widening the x extent until \
+         per-dimension intersection loses to one tree traversal\",\n",
+    );
+    json.push_str(&format!(
+        "  \"hardware_note\": \"container run (available_parallelism = {cores}); \
+         single-threaded microbenches, {} interleaved rounds (median of paired \
+         per-round ratios) - relative ratios are the \
+         signal, absolute latencies vary with the runner\",\n",
+        args.rounds
+    ));
+    json.push_str(&format!("  \"n_records\": {},\n", args.records));
+    json.push_str(&format!("  \"stab_probes\": {},\n", args.stabs));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str("  \"stab_1d\": {\n");
+    json.push_str(&format!(
+        "    \"hint_nanos_per_op\": {},\n",
+        hint_stab / args.stabs as u64
+    ));
+    json.push_str("    \"variants\": [\n");
+    for (i, (name, nanos, ratio)) in variant_stabs.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"variant\": \"{name}\", \"nanos_per_op\": {}, \"ratio_vs_hint\": {ratio:.2} }}{}\n",
+            nanos / args.stabs as u64,
+            if i + 1 == variant_stabs.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"best_variant\": \"{}\",\n    \"speedup_vs_best_variant\": {:.2}\n  }},\n",
+        best_variant.0, stab_speedup
+    ));
+    json.push_str("  \"router_2d_windows\": {\n");
+    json.push_str(&format!(
+        "    \"srtree_nanos_per_op\": {},\n    \"hybrid_nanos_per_op\": {},\n    \
+         \"overhead_fraction\": {:.4}\n  }},\n",
+        tree_nanos / windows.len() as u64,
+        hybrid_nanos / windows.len() as u64,
+        overhead
+    ));
+    json.push_str("  \"crossover\": {\n    \"y_extent_fraction\": 0.0,\n    \"cells\": [\n");
+    for (i, (f, hint, tree, ratio)) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"x_extent_fraction\": {f}, \"hint_nanos_per_op\": {hint}, \
+             \"srtree_nanos_per_op\": {tree}, \"hint_over_srtree\": {ratio:.2} }}{}\n",
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ],\n");
+    match crossover {
+        Some(f) => json.push_str(&format!("    \"crossover_x_extent_fraction\": {f}\n  }}\n")),
+        None => json.push_str("    \"crossover_x_extent_fraction\": null\n  }\n"),
+    }
+    json.push_str("}\n");
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&args.out, json).expect("write results");
+    println!("hint_bench: wrote {}", args.out.display());
+
+    // ---- Acceptance gates ----------------------------------------------
+    if args.check {
+        let mut problems = Vec::new();
+        if stab_speedup < 2.0 {
+            problems.push(format!(
+                "1-D stab speedup {:.2}x vs {} is below the 2x gate",
+                stab_speedup, best_variant.0
+            ));
+        }
+        if overhead > 0.05 {
+            problems.push(format!(
+                "router overhead {:.1}% on 2-D windows exceeds the 5% gate",
+                overhead * 100.0
+            ));
+        }
+        if !problems.is_empty() {
+            for p in &problems {
+                eprintln!("hint_bench: CHECK FAILED: {p}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "hint_bench: checks passed (stab {:.2}x >= 2x, router overhead {:+.1}% <= 5%)",
+            stab_speedup,
+            overhead * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,9 +1,11 @@
 //! Validates a `reproduce --metrics-out` JSON file.
 //!
 //! CI runs this after the smoke reproduction to guarantee the exported
-//! metrics are well-formed: the file parses, is non-empty, and every
-//! (graph, variant) pair carries search/insert latency percentiles, the
-//! logical node-access counters, and a buffer-pool hit rate. Metrics
+//! metrics are well-formed: the file parses, is non-empty, every graph
+//! carries all five engine labels (the paper's four variants plus
+//! `variant="HINT"`), and every (graph, variant) pair carries
+//! search/insert latency percentiles, the logical node-access counters,
+//! and a buffer-pool hit rate. Metrics
 //! carrying a `component` label instead are service families and are
 //! validated separately:
 //!
@@ -52,6 +54,16 @@ const REQUIRED_COUNTERS: [&str; 3] = [
     "segidx_maintenance_node_accesses_total",
 ];
 const REQUIRED_GAUGES: [&str; 1] = ["segidx_buffer_pool_hit_rate"];
+
+/// Engine labels every graph must export: the paper's four variants plus
+/// the HINT baseline the harness runs alongside them.
+const EXPECTED_VARIANTS: [&str; 5] = [
+    "R-Tree",
+    "SR-Tree",
+    "Skeleton R-Tree",
+    "Skeleton SR-Tree",
+    "HINT",
+];
 
 /// The index-service family every service scope (the unsharded service,
 /// each shard, and the sharded rollup) must export.
@@ -148,6 +160,17 @@ fn check(path: &str) -> Result<String, String> {
         seen.insert((graph.to_string(), variant.to_string(), name.to_string()));
     }
 
+    let graphs: BTreeSet<&String> = pairs.iter().map(|(g, _)| g).collect();
+    for graph in graphs {
+        for v in EXPECTED_VARIANTS {
+            if !pairs.contains(&(graph.clone(), v.to_string())) {
+                return Err(format!(
+                    "graph {graph}: missing variant \"{v}\" \
+                     (expected the four paper variants plus HINT)"
+                ));
+            }
+        }
+    }
     for (graph, variant) in &pairs {
         for name in REQUIRED_HISTOGRAMS
             .iter()

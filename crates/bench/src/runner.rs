@@ -1,5 +1,5 @@
-//! Experiment execution: build all four variants, sweep the QAR range,
-//! collect the paper's metric.
+//! Experiment execution: build all variants (the paper's four plus the
+//! HINT baseline), sweep the QAR range, collect the paper's metric.
 
 use crate::experiment::{Experiment, Graph, Variant};
 use segidx_core::{IntervalIndex, StatsSnapshot, TreeTelemetry};
@@ -86,12 +86,12 @@ impl Series {
     }
 }
 
-/// All four series for one graph.
+/// All series for one graph (paper variants plus HINT).
 #[derive(Clone, Debug)]
 pub struct GraphResult {
     /// The experiment that produced this result.
     pub experiment: Experiment,
-    /// One series per variant, in [`Variant::ALL`] order.
+    /// One series per variant, in [`Variant::WITH_HINT`] order.
     pub series: Vec<Series>,
 }
 
@@ -110,16 +110,16 @@ impl GraphResult {
     }
 }
 
-/// Runs one experiment: generates the data once, then builds and sweeps all
-/// four variants in parallel (one thread per variant — they are independent
+/// Runs one experiment: generates the data once, then builds and sweeps
+/// every variant in parallel (one thread per variant — they are independent
 /// indexes over the same input).
 pub fn run_experiment(experiment: &Experiment) -> GraphResult {
     let dataset = experiment.dataset();
-    let mut series: Vec<Option<Series>> = vec![None, None, None, None];
+    let mut series: Vec<Option<Series>> = vec![None; Variant::WITH_HINT.len()];
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for variant in Variant::ALL {
+        for variant in Variant::WITH_HINT {
             let records = &dataset.records;
             let exp = *experiment;
             handles.push(scope.spawn(move || run_variant(variant, records, &exp)));
@@ -209,7 +209,7 @@ pub fn inspect_variants(experiment: &Experiment) -> Vec<String> {
     let buffer = crate::experiment::PAPER_PREDICTION_BUFFER.min((experiment.tuples / 10).max(1));
     let domain = segidx_workloads::domain();
 
-    Variant::ALL
+    Variant::WITH_HINT
         .iter()
         .map(|variant| {
             let report = match variant {
@@ -218,14 +218,14 @@ pub fn inspect_variants(experiment: &Experiment) -> Vec<String> {
                     for (r, id) in &dataset.records {
                         t.tree_mut().insert(*r, *id);
                     }
-                    t.tree().report()
+                    t.tree().report().to_string()
                 }
                 Variant::SRTree => {
                     let mut t = SRTree::<2>::new();
                     for (r, id) in &dataset.records {
                         t.tree_mut().insert(*r, *id);
                     }
-                    t.tree().report()
+                    t.tree().report().to_string()
                 }
                 Variant::SkeletonRTree => {
                     let mut t =
@@ -233,7 +233,10 @@ pub fn inspect_variants(experiment: &Experiment) -> Vec<String> {
                     for (r, id) in &dataset.records {
                         segidx_core::IntervalIndex::insert(&mut t, *r, *id);
                     }
-                    t.tree().expect("built after prediction").report()
+                    t.tree()
+                        .expect("built after prediction")
+                        .report()
+                        .to_string()
                 }
                 Variant::SkeletonSRTree => {
                     let mut t =
@@ -241,7 +244,24 @@ pub fn inspect_variants(experiment: &Experiment) -> Vec<String> {
                     for (r, id) in &dataset.records {
                         segidx_core::IntervalIndex::insert(&mut t, *r, *id);
                     }
-                    t.tree().expect("built after prediction").report()
+                    t.tree()
+                        .expect("built after prediction")
+                        .report()
+                        .to_string()
+                }
+                Variant::Hint => {
+                    let mut t = segidx_core::HintIndex::<2>::with_domain(domain);
+                    for (r, id) in &dataset.records {
+                        t.insert(*r, *id);
+                    }
+                    format!(
+                        "resolution 2^{} per dimension, {} populated partitions, \
+                         {} stored copies of {} records",
+                        t.resolution_bits().unwrap_or(0),
+                        segidx_core::IntervalIndex::node_count(&t) - 1,
+                        segidx_core::IntervalIndex::entry_count(&t),
+                        t.len(),
+                    )
                 }
             };
             format!("structure of {}:\n{report}", variant.name())
@@ -261,7 +281,7 @@ mod tests {
             ..Experiment::paper(Graph::G3)
         };
         let result = run_experiment(&exp);
-        assert_eq!(result.series.len(), 4);
+        assert_eq!(result.series.len(), 5, "four paper variants + HINT");
         for s in &result.series {
             assert_eq!(s.points.len(), 13, "{}", s.variant.name());
             assert!(

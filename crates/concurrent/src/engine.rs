@@ -1,0 +1,218 @@
+//! The engine abstraction behind the concurrent index service.
+//!
+//! [`ConcurrentIndex`](crate::ConcurrentIndex) and
+//! [`ShardedIndex`](crate::ShardedIndex) publish immutable snapshots of a
+//! copy-on-write structure and apply mutations on a single writer thread.
+//! Nothing in that machinery is specific to the paper's [`Tree`]: any
+//! engine that clones cheaply (structural sharing) and answers the read
+//! surface can serve. [`SnapshotEngine`] captures that contract, and both
+//! [`Tree`] and the HINT engine ([`HintIndex`]) implement it — so the
+//! modern main-memory baseline runs under exactly the same epoch snapshot /
+//! group-commit service as the four paper variants.
+//!
+//! The one asymmetry is durability: [`checkpoint`](SnapshotEngine::checkpoint)
+//! writes the engine to a [`DiskManager`] before a snapshot is published.
+//! `Tree` checkpoints via [`persist::commit`]; `HintIndex` is main-memory
+//! only and returns [`StorageError::Unsupported`], which a durable builder
+//! surfaces at `start()` time (typed, not a panic).
+
+use segidx_core::hint::HintIndex;
+use segidx_core::persist;
+use segidx_core::tree::{Neighbor, SearchCursor, Tree};
+use segidx_core::RecordId;
+use segidx_geom::{Point, Rect};
+use segidx_storage::{DiskManager, StorageError};
+
+/// A copy-on-write index engine servable by the concurrent snapshot
+/// machinery.
+///
+/// `Clone` must be cheap and structurally sharing: the writer clones its
+/// private engine once per group commit to publish a frozen snapshot, and
+/// readers run every query against such clones. `Send + Sync` let the
+/// snapshot cross threads and serve concurrent readers.
+pub trait SnapshotEngine<const D: usize>: Clone + Send + Sync + 'static {
+    /// Applies one insert on the writer's private engine.
+    fn apply_insert(&mut self, rect: Rect<D>, record: RecordId);
+
+    /// Applies one delete on the writer's private engine.
+    fn apply_delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool;
+
+    /// Number of logical records.
+    fn len(&self) -> usize;
+
+    /// Whether the engine is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All records intersecting `query`, deduplicated and sorted by id.
+    fn search(&self, query: &Rect<D>) -> Vec<RecordId>;
+
+    /// All records containing `p`, deduplicated and sorted by id.
+    fn stab(&self, p: &Point<D>) -> Vec<RecordId>;
+
+    /// The `k` records nearest to `p`, ascending by distance.
+    fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>>;
+
+    /// Runs many searches on this snapshot, serially, in input order —
+    /// the scatter half of a sharded scatter/gather, where the fan-out
+    /// across shards already provides the parallelism. Engines override to
+    /// reuse per-call scratch state.
+    fn search_many(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
+        queries.iter().map(|q| self.search(q)).collect()
+    }
+
+    /// Runs many stabs on this snapshot, serially, in input order.
+    fn stab_many(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
+        points.iter().map(|p| self.stab(p)).collect()
+    }
+
+    /// Writes the engine durably to `disk` (called before the snapshot of
+    /// this state is published). Main-memory-only engines return
+    /// [`StorageError::Unsupported`].
+    fn checkpoint(&self, disk: &DiskManager) -> Result<(), StorageError>;
+
+    /// Structural invariant check (empty = consistent).
+    fn check_invariants(&self) -> Vec<String>;
+
+    /// Short engine name for diagnostics and metrics labels.
+    fn engine_name(&self) -> &'static str;
+}
+
+impl<const D: usize> SnapshotEngine<D> for Tree<D> {
+    fn apply_insert(&mut self, rect: Rect<D>, record: RecordId) {
+        self.insert(rect, record);
+    }
+
+    fn apply_delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
+        self.delete(rect, record)
+    }
+
+    fn len(&self) -> usize {
+        Tree::len(self)
+    }
+
+    fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        Tree::search(self, query)
+    }
+
+    fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+        Tree::stab(self, p)
+    }
+
+    fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+        Tree::nearest(self, p, k)
+    }
+
+    fn search_many(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
+        let mut cursor = SearchCursor::new();
+        queries
+            .iter()
+            .map(|q| self.search_with(&mut cursor, q).to_vec())
+            .collect()
+    }
+
+    fn stab_many(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
+        let mut cursor = SearchCursor::new();
+        points
+            .iter()
+            .map(|p| self.stab_with(&mut cursor, p).to_vec())
+            .collect()
+    }
+
+    fn checkpoint(&self, disk: &DiskManager) -> Result<(), StorageError> {
+        persist::commit(self, disk).map(|_| ())
+    }
+
+    fn check_invariants(&self) -> Vec<String> {
+        Tree::check_invariants(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "tree"
+    }
+}
+
+impl<const D: usize> SnapshotEngine<D> for HintIndex<D> {
+    fn apply_insert(&mut self, rect: Rect<D>, record: RecordId) {
+        self.insert(rect, record);
+    }
+
+    fn apply_delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
+        self.delete(rect, record)
+    }
+
+    fn len(&self) -> usize {
+        HintIndex::len(self)
+    }
+
+    fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        HintIndex::search(self, query)
+    }
+
+    fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+        HintIndex::stab(self, p)
+    }
+
+    fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+        HintIndex::nearest(self, p, k)
+    }
+
+    fn checkpoint(&self, _disk: &DiskManager) -> Result<(), StorageError> {
+        Err(StorageError::Unsupported(
+            "HINT is a main-memory engine with no on-disk checkpoint format; \
+             build the concurrent index without durable()"
+                .into(),
+        ))
+    }
+
+    fn check_invariants(&self) -> Vec<String> {
+        HintIndex::check_invariants(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "hint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segidx_core::IndexConfig;
+
+    fn drive<E: SnapshotEngine<2>>(mut engine: E) {
+        for i in 0..300u64 {
+            let x = (i * 37 % 900) as f64;
+            engine.apply_insert(Rect::new([x, x], [x + 20.0, x]), RecordId(i));
+        }
+        let snap = engine.clone();
+        assert_eq!(snap.len(), 300);
+        let q = Rect::new([100.0, 0.0], [200.0, 900.0]);
+        assert_eq!(snap.search_many(&[q]), vec![snap.search(&q)]);
+        let p = Point::new([150.0, 150.0]);
+        assert_eq!(snap.stab_many(&[p]), vec![snap.stab(&p)]);
+        assert!(!snap.nearest(&p, 3).is_empty());
+        assert!(snap.check_invariants().is_empty());
+        // Mutations after the clone do not leak into the snapshot.
+        engine.apply_delete(&Rect::new([0.0, 0.0], [20.0, 0.0]), RecordId(0));
+        assert_eq!(snap.len(), 300);
+        assert_eq!(engine.len(), 299);
+    }
+
+    #[test]
+    fn tree_and_hint_satisfy_the_engine_contract() {
+        drive(Tree::<2>::new(IndexConfig::srtree()));
+        drive(HintIndex::<2>::new());
+    }
+
+    #[test]
+    fn hint_checkpoint_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("segidx-hint-ckpt-{}", std::process::id()));
+        let disk = DiskManager::create(&dir).unwrap();
+        let hint = HintIndex::<2>::new();
+        let err = hint.checkpoint(&disk).unwrap_err();
+        assert!(matches!(err, StorageError::Unsupported(_)), "{err}");
+        drop(disk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -34,40 +34,41 @@
 
 use crate::epoch::EpochRegistry;
 use crate::index::SnapshotInner;
+use segidx_core::tree::Tree;
 use segidx_obs::{Event, EventKind, ObsSink};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
 /// One immutable published state of the whole sharded index: the global
 /// epoch plus every shard's snapshot at that epoch.
-pub(crate) struct GlobalVector<const D: usize> {
+pub(crate) struct GlobalVector<const D: usize, E = Tree<D>> {
     pub(crate) epoch: u64,
-    pub(crate) shards: Box<[Arc<SnapshotInner<D>>]>,
+    pub(crate) shards: Box<[Arc<SnapshotInner<D, E>>]>,
 }
 
 /// A retired vector tagged with its own epoch.
-struct RetiredVector<const D: usize>(*mut GlobalVector<D>, u64);
+struct RetiredVector<const D: usize, E = Tree<D>>(*mut GlobalVector<D, E>, u64);
 
 // SAFETY: the pointee is a heap allocation whose ownership moves with the
 // `RetiredVector` value; its contents are `Send + Sync`.
-unsafe impl<const D: usize> Send for RetiredVector<D> {}
+unsafe impl<const D: usize, E: Send + Sync> Send for RetiredVector<D, E> {}
 
 /// Ties one shard's writer thread to the publisher: on every local
 /// publish, the writer also installs its fresh snapshot globally.
-pub(crate) struct GlobalLink<const D: usize> {
+pub(crate) struct GlobalLink<const D: usize, E = Tree<D>> {
     pub(crate) shard: usize,
-    pub(crate) publisher: Arc<GlobalPublisher<D>>,
+    pub(crate) publisher: Arc<GlobalPublisher<D, E>>,
 }
 
 /// The single swap point every shard publishes through and every
 /// cross-shard reader pins against.
-pub(crate) struct GlobalPublisher<const D: usize> {
-    published: AtomicPtr<GlobalVector<D>>,
+pub(crate) struct GlobalPublisher<const D: usize, E = Tree<D>> {
+    published: AtomicPtr<GlobalVector<D, E>>,
     pub(crate) registry: EpochRegistry,
     /// Serializes vector construction + swap across shard writers. Held
     /// only for the N `Arc` bumps and the swap — readers never touch it.
     publish_lock: Mutex<()>,
-    retired: Mutex<Vec<RetiredVector<D>>>,
+    retired: Mutex<Vec<RetiredVector<D, E>>>,
     retired_count: AtomicUsize,
     retired_highwater: AtomicUsize,
     reclaimed: AtomicU64,
@@ -75,10 +76,13 @@ pub(crate) struct GlobalPublisher<const D: usize> {
     sink: Option<Arc<dyn ObsSink>>,
 }
 
-impl<const D: usize> GlobalPublisher<D> {
+impl<const D: usize, E> GlobalPublisher<D, E> {
     /// A publisher whose epoch-0 vector holds every shard's initial
     /// snapshot. Must be created before any shard writer starts.
-    pub(crate) fn new(initial: Vec<Arc<SnapshotInner<D>>>, sink: Option<Arc<dyn ObsSink>>) -> Self {
+    pub(crate) fn new(
+        initial: Vec<Arc<SnapshotInner<D, E>>>,
+        sink: Option<Arc<dyn ObsSink>>,
+    ) -> Self {
         let vector = Box::into_raw(Box::new(GlobalVector {
             epoch: 0,
             shards: initial.into_boxed_slice(),
@@ -98,7 +102,7 @@ impl<const D: usize> GlobalPublisher<D> {
 
     /// Installs `snapshot` as shard `shard`'s entry: builds the successor
     /// vector, swaps it in atomically, retires the old one.
-    pub(crate) fn publish(&self, shard: usize, snapshot: &Arc<SnapshotInner<D>>) {
+    pub(crate) fn publish(&self, shard: usize, snapshot: &Arc<SnapshotInner<D, E>>) {
         let _guard = self.publish_lock.lock().unwrap();
         let current = self.published.load(SeqCst);
         // SAFETY: `published` always points at a live vector; the publish
@@ -131,7 +135,7 @@ impl<const D: usize> GlobalPublisher<D> {
     /// Pins a slot, acquires the current vector, and refines the slot to
     /// the vector's exact epoch. The caller owns the (slot, pointer) pair
     /// and must [`release`](Self::release) it.
-    pub(crate) fn acquire(&self) -> (usize, *const GlobalVector<D>) {
+    pub(crate) fn acquire(&self) -> (usize, *const GlobalVector<D, E>) {
         let slot = self.registry.pin();
         let ptr = self.published.load(SeqCst);
         // SAFETY: the unrefined pin keeps `ptr` alive until refinement.
@@ -203,7 +207,7 @@ impl<const D: usize> GlobalPublisher<D> {
     }
 }
 
-impl<const D: usize> Drop for GlobalPublisher<D> {
+impl<const D: usize, E> Drop for GlobalPublisher<D, E> {
     fn drop(&mut self) {
         // No reader or shard writer can exist anymore: guards and links
         // hold an `Arc<GlobalPublisher>`.
@@ -220,13 +224,12 @@ impl<const D: usize> Drop for GlobalPublisher<D> {
 // SAFETY: all interior state is atomics, mutex-protected lists, and
 // `Arc`s of `Send + Sync` payloads; the raw pointers are managed under
 // the EBR protocol documented above.
-unsafe impl<const D: usize> Send for GlobalPublisher<D> {}
-unsafe impl<const D: usize> Sync for GlobalPublisher<D> {}
+unsafe impl<const D: usize, E: Send + Sync> Send for GlobalPublisher<D, E> {}
+unsafe impl<const D: usize, E: Send + Sync> Sync for GlobalPublisher<D, E> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use segidx_core::tree::Tree;
     use segidx_core::IndexConfig;
 
     fn snap(epoch: u64) -> Arc<SnapshotInner<2>> {

@@ -32,13 +32,13 @@
 //! crash at any point recovers exactly the tree of the last epoch any
 //! reader could have seen.
 
+use crate::engine::SnapshotEngine;
 use crate::epoch::EpochRegistry;
 use crate::global_epoch::GlobalLink;
 use crate::queue::{
     CommitError, CommitReceipt, CommitTicket, IndexOp, QueueItem, SubmissionQueue, SubmitError,
     TicketState,
 };
-use segidx_core::persist;
 use segidx_core::tree::Tree;
 use segidx_core::RecordId;
 use segidx_geom::Rect;
@@ -91,10 +91,11 @@ impl ConcurrentTelemetry {
 /// `Arc`-shared so a cross-shard [`GlobalEpochVector`](crate::global_epoch)
 /// can reference the same snapshot the shard publishes locally without
 /// re-cloning the tree.
-pub(crate) struct SnapshotInner<const D: usize> {
+pub(crate) struct SnapshotInner<const D: usize, E = Tree<D>> {
     pub(crate) epoch: u64,
     pub(crate) durable_epoch: Option<u64>,
-    pub(crate) tree: Tree<D>,
+    /// The frozen engine (historically a [`Tree`]; any [`SnapshotEngine`]).
+    pub(crate) tree: E,
 }
 
 /// A retired snapshot reference tagged with the snapshot's *own* epoch;
@@ -102,32 +103,32 @@ pub(crate) struct SnapshotInner<const D: usize> {
 /// epoch. The pointer came from `Arc::into_raw`, so "freeing" drops this
 /// holder's reference — the tree lives on if a global epoch vector still
 /// shares it.
-struct Retired<const D: usize>(*const SnapshotInner<D>, u64);
+struct Retired<const D: usize, E = Tree<D>>(*const SnapshotInner<D, E>, u64);
 
 // SAFETY: the pointee is a heap allocation whose ownership moves with the
-// `Retired` value; `Tree<D>` itself is `Send`.
-unsafe impl<const D: usize> Send for Retired<D> {}
+// `Retired` value; the engine itself is `Send`.
+unsafe impl<const D: usize, E: Send> Send for Retired<D, E> {}
 
 /// State shared by the writer thread, the owner, and every handle.
-struct Shared<const D: usize> {
-    published: AtomicPtr<SnapshotInner<D>>,
+struct Shared<const D: usize, E = Tree<D>> {
+    published: AtomicPtr<SnapshotInner<D, E>>,
     epochs: EpochRegistry,
     queue: SubmissionQueue<D>,
-    retired: Mutex<Vec<Retired<D>>>,
+    retired: Mutex<Vec<Retired<D, E>>>,
     retired_count: AtomicUsize,
     retired_highwater: AtomicUsize,
     telemetry: Arc<ConcurrentTelemetry>,
     sink: Option<Arc<dyn ObsSink>>,
 }
 
-impl<const D: usize> Shared<D> {
+impl<const D: usize, E> Shared<D, E> {
     fn emit(&self, event: Event) {
         if let Some(sink) = &self.sink {
             sink.event(event);
         }
     }
 
-    fn snapshot(self: &Arc<Self>) -> SnapshotGuard<D> {
+    fn snapshot(self: &Arc<Self>) -> SnapshotGuard<D, E> {
         let slot = self.epochs.pin();
         let ptr = self.published.load(SeqCst);
         // SAFETY: the unrefined pin keeps `ptr` alive until the slot is
@@ -192,7 +193,7 @@ impl<const D: usize> Shared<D> {
 
     /// Moves the replaced snapshot onto the retired list, tagged with its
     /// own epoch, and tracks the backlog high-water mark.
-    fn retire(&self, old: *const SnapshotInner<D>) {
+    fn retire(&self, old: *const SnapshotInner<D, E>) {
         // SAFETY: `old` was just swapped out of `published`; the list now
         // owns its reference and keeps it alive.
         let old_epoch = unsafe { (*old).epoch };
@@ -212,7 +213,7 @@ impl<const D: usize> Shared<D> {
     }
 }
 
-impl<const D: usize> Drop for Shared<D> {
+impl<const D: usize, E> Drop for Shared<D, E> {
     fn drop(&mut self) {
         // No readers or writer can exist anymore: every guard and handle
         // holds an `Arc<Shared>`.
@@ -233,13 +234,13 @@ impl<const D: usize> Drop for Shared<D> {
 /// `search`, `stab`, `search_batch`, `nearest`, `validate` — works
 /// unchanged. Holding a guard keeps its snapshot's memory alive; drop it
 /// promptly so retired epochs can be reclaimed.
-pub struct SnapshotGuard<const D: usize> {
-    shared: Arc<Shared<D>>,
-    ptr: *const SnapshotInner<D>,
+pub struct SnapshotGuard<const D: usize, E = Tree<D>> {
+    shared: Arc<Shared<D, E>>,
+    ptr: *const SnapshotInner<D, E>,
     slot: usize,
 }
 
-impl<const D: usize> SnapshotGuard<D> {
+impl<const D: usize, E> SnapshotGuard<D, E> {
     /// The epoch this snapshot was published at. Monotone across
     /// re-pins: a later `snapshot()` call never observes a smaller epoch.
     pub fn epoch(&self) -> u64 {
@@ -255,17 +256,17 @@ impl<const D: usize> SnapshotGuard<D> {
     }
 }
 
-impl<const D: usize> Deref for SnapshotGuard<D> {
-    type Target = Tree<D>;
+impl<const D: usize, E> Deref for SnapshotGuard<D, E> {
+    type Target = E;
 
-    fn deref(&self) -> &Tree<D> {
+    fn deref(&self) -> &E {
         // SAFETY: the pin taken in `Shared::snapshot` keeps `ptr` alive,
         // and published trees are never mutated.
         unsafe { &(*self.ptr).tree }
     }
 }
 
-impl<const D: usize> Drop for SnapshotGuard<D> {
+impl<const D: usize, E> Drop for SnapshotGuard<D, E> {
     fn drop(&mut self) {
         self.shared.epochs.unpin(self.slot);
         // Amortized reclamation: whatever this reader was the last one
@@ -278,7 +279,7 @@ impl<const D: usize> Drop for SnapshotGuard<D> {
     }
 }
 
-impl<const D: usize> std::fmt::Debug for SnapshotGuard<D> {
+impl<const D: usize, E: SnapshotEngine<D>> std::fmt::Debug for SnapshotGuard<D, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SnapshotGuard")
             .field("epoch", &self.epoch())
@@ -294,8 +295,8 @@ impl<const D: usize> std::fmt::Debug for SnapshotGuard<D> {
 pub type CommitHook = Box<dyn FnMut(u64) + Send>;
 
 /// Configures and starts a [`ConcurrentIndex`].
-pub struct Builder<const D: usize> {
-    tree: Tree<D>,
+pub struct Builder<const D: usize, E = Tree<D>> {
+    tree: E,
     disk: Option<Arc<DiskManager>>,
     queue_capacity: usize,
     max_batch: usize,
@@ -303,9 +304,9 @@ pub struct Builder<const D: usize> {
     commit_hook: Option<CommitHook>,
 }
 
-impl<const D: usize> Builder<D> {
+impl<const D: usize, E: SnapshotEngine<D>> Builder<D, E> {
     /// Backs the index with `disk`: every group commit is checkpointed via
-    /// [`persist::commit`] before its snapshot is published.
+    /// `persist::commit` before its snapshot is published.
     pub fn durable(mut self, disk: Arc<DiskManager>) -> Self {
         self.disk = Some(disk);
         self
@@ -341,7 +342,7 @@ impl<const D: usize> Builder<D> {
     /// 0). For a durable index the initial tree is checkpointed first, so
     /// even epoch 0 is recoverable; that checkpoint is the only way this
     /// returns an error.
-    pub fn start(self) -> Result<ConcurrentIndex<D>, StorageError> {
+    pub fn start(self) -> Result<ConcurrentIndex<D, E>, StorageError> {
         Ok(self.prepare()?.launch(None))
     }
 
@@ -349,7 +350,7 @@ impl<const D: usize> Builder<D> {
     /// writer. [`ShardedIndex`](crate::ShardedIndex) uses this two-phase
     /// start so every shard's epoch-0 snapshot can be gathered into the
     /// initial global epoch vector *before* any writer can publish.
-    pub(crate) fn prepare(self) -> Result<Prepared<D>, StorageError> {
+    pub(crate) fn prepare(self) -> Result<Prepared<D, E>, StorageError> {
         let Builder {
             tree,
             disk,
@@ -360,7 +361,7 @@ impl<const D: usize> Builder<D> {
         } = self;
         let durable_epoch = match &disk {
             Some(disk) => {
-                persist::commit(&tree, disk)?;
+                tree.checkpoint(disk)?;
                 Some(disk.epoch())
             }
             None => None,
@@ -370,7 +371,7 @@ impl<const D: usize> Builder<D> {
             durable_epoch,
             tree: tree.clone(),
         });
-        let published = Arc::into_raw(Arc::clone(&initial)) as *mut SnapshotInner<D>;
+        let published = Arc::into_raw(Arc::clone(&initial)) as *mut SnapshotInner<D, E>;
         let shared = Arc::new(Shared {
             published: AtomicPtr::new(published),
             epochs: EpochRegistry::new(),
@@ -394,24 +395,24 @@ impl<const D: usize> Builder<D> {
 
 /// A fully built but not yet serving index: the writer thread has not been
 /// spawned, so nothing can commit or publish past epoch 0.
-pub(crate) struct Prepared<const D: usize> {
-    shared: Arc<Shared<D>>,
-    tree: Tree<D>,
+pub(crate) struct Prepared<const D: usize, E = Tree<D>> {
+    shared: Arc<Shared<D, E>>,
+    tree: E,
     disk: Option<Arc<DiskManager>>,
     max_batch: usize,
     commit_hook: Option<CommitHook>,
-    initial: Arc<SnapshotInner<D>>,
+    initial: Arc<SnapshotInner<D, E>>,
 }
 
-impl<const D: usize> Prepared<D> {
+impl<const D: usize, E: SnapshotEngine<D>> Prepared<D, E> {
     /// The epoch-0 snapshot, for seeding a global epoch vector.
-    pub(crate) fn initial(&self) -> &Arc<SnapshotInner<D>> {
+    pub(crate) fn initial(&self) -> &Arc<SnapshotInner<D, E>> {
         &self.initial
     }
 
     /// Spawns the writer thread. With a `global` link, every publish also
     /// installs the shard's new snapshot into the global epoch vector.
-    pub(crate) fn launch(self, global: Option<GlobalLink<D>>) -> ConcurrentIndex<D> {
+    pub(crate) fn launch(self, global: Option<GlobalLink<D, E>>) -> ConcurrentIndex<D, E> {
         let Prepared {
             shared,
             tree,
@@ -465,14 +466,15 @@ impl<const D: usize> Prepared<D> {
 /// assert!(snap.epoch() >= receipt.epoch);
 /// assert_eq!(snap.search(&Rect::new([5.0, 0.0], [6.0, 2.0])), vec![RecordId(1)]);
 /// ```
-pub struct ConcurrentIndex<const D: usize> {
-    shared: Arc<Shared<D>>,
+pub struct ConcurrentIndex<const D: usize, E = Tree<D>> {
+    shared: Arc<Shared<D, E>>,
     writer: Option<JoinHandle<()>>,
 }
 
-impl<const D: usize> ConcurrentIndex<D> {
-    /// A builder over `tree`'s current contents.
-    pub fn builder(tree: Tree<D>) -> Builder<D> {
+impl<const D: usize, E> ConcurrentIndex<D, E> {
+    /// A builder over the engine's current contents (any
+    /// [`SnapshotEngine`]: a [`Tree`], a `HintIndex`, ...).
+    pub fn builder(tree: E) -> Builder<D, E> {
         Builder {
             tree,
             disk: None,
@@ -484,14 +486,14 @@ impl<const D: usize> ConcurrentIndex<D> {
     }
 
     /// A cloneable handle sharing this index's read/submit API.
-    pub fn handle(&self) -> IndexHandle<D> {
+    pub fn handle(&self) -> IndexHandle<D, E> {
         IndexHandle {
             shared: Arc::clone(&self.shared),
         }
     }
 
     /// Pins and returns the current published snapshot. Never blocks.
-    pub fn snapshot(&self) -> SnapshotGuard<D> {
+    pub fn snapshot(&self) -> SnapshotGuard<D, E> {
         self.shared.snapshot()
     }
 
@@ -551,13 +553,13 @@ impl<const D: usize> ConcurrentIndex<D> {
     }
 }
 
-impl<const D: usize> Drop for ConcurrentIndex<D> {
+impl<const D: usize, E> Drop for ConcurrentIndex<D, E> {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
 }
 
-impl<const D: usize> std::fmt::Debug for ConcurrentIndex<D> {
+impl<const D: usize, E> std::fmt::Debug for ConcurrentIndex<D, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConcurrentIndex")
             .field("epoch", &self.epoch())
@@ -573,14 +575,21 @@ impl<const D: usize> std::fmt::Debug for ConcurrentIndex<D> {
 /// writer alive — once the owning `ConcurrentIndex` shuts down, submissions
 /// fail with [`SubmitError::Closed`] while snapshots continue to serve the
 /// last published state.
-#[derive(Clone)]
-pub struct IndexHandle<const D: usize> {
-    shared: Arc<Shared<D>>,
+pub struct IndexHandle<const D: usize, E = Tree<D>> {
+    shared: Arc<Shared<D, E>>,
 }
 
-impl<const D: usize> IndexHandle<D> {
+impl<const D: usize, E> Clone for IndexHandle<D, E> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<const D: usize, E> IndexHandle<D, E> {
     /// Pins and returns the current published snapshot. Never blocks.
-    pub fn snapshot(&self) -> SnapshotGuard<D> {
+    pub fn snapshot(&self) -> SnapshotGuard<D, E> {
         self.shared.snapshot()
     }
 
@@ -649,7 +658,10 @@ impl<const D: usize> IndexHandle<D> {
     ///   `segidx_concurrent_reclaimed_total` — counters;
     /// * `segidx_concurrent_queue_wait_nanos`,
     ///   `segidx_concurrent_commit_latency_nanos` — histograms.
-    pub fn register_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+    pub fn register_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)])
+    where
+        E: Send + Sync + 'static,
+    {
         let shared = Arc::clone(&self.shared);
         let labels: Vec<(String, String)> = labels
             .iter()
@@ -720,7 +732,7 @@ impl<const D: usize> IndexHandle<D> {
     }
 }
 
-impl<const D: usize> std::fmt::Debug for IndexHandle<D> {
+impl<const D: usize, E> std::fmt::Debug for IndexHandle<D, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IndexHandle")
             .field("epoch", &self.epoch())
@@ -730,13 +742,13 @@ impl<const D: usize> std::fmt::Debug for IndexHandle<D> {
 }
 
 /// The single writer: drain → apply → checkpoint → publish → reclaim.
-fn writer_loop<const D: usize>(
-    shared: Arc<Shared<D>>,
-    mut tree: Tree<D>,
+fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
+    shared: Arc<Shared<D, E>>,
+    mut tree: E,
     disk: Option<Arc<DiskManager>>,
     max_batch: usize,
     mut hook: Option<CommitHook>,
-    global: Option<GlobalLink<D>>,
+    global: Option<GlobalLink<D, E>>,
 ) {
     loop {
         let (batch, closed) = shared.queue.drain(max_batch);
@@ -761,9 +773,9 @@ fn writer_loop<const D: usize>(
                         .queue_wait
                         .record_duration(enqueued.elapsed());
                     match op {
-                        IndexOp::Insert { rect, record } => tree.insert(rect, record),
+                        IndexOp::Insert { rect, record } => tree.apply_insert(rect, record),
                         IndexOp::Delete { rect, record } => {
-                            tree.delete(&rect, record);
+                            tree.apply_delete(&rect, record);
                         }
                     }
                     applied += 1;
@@ -790,8 +802,8 @@ fn writer_loop<const D: usize>(
             hook(next_epoch);
         }
         let durable_epoch = match &disk {
-            Some(disk) => match persist::commit(&tree, disk) {
-                Ok(_) => Some(disk.epoch()),
+            Some(disk) => match tree.checkpoint(disk) {
+                Ok(()) => Some(disk.epoch()),
                 Err(err) => {
                     // Cannot make this batch durable; publishing it would
                     // break the durability == visibility invariant. Fail
@@ -813,7 +825,7 @@ fn writer_loop<const D: usize>(
             durable_epoch,
             tree: tree.clone(),
         });
-        let fresh_ptr = Arc::into_raw(Arc::clone(&fresh)) as *mut SnapshotInner<D>;
+        let fresh_ptr = Arc::into_raw(Arc::clone(&fresh)) as *mut SnapshotInner<D, E>;
         let old = shared.published.swap(fresh_ptr, SeqCst);
         shared.epochs.advance(next_epoch);
         // Cross-shard visibility: install this shard's new snapshot into

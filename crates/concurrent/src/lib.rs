@@ -65,12 +65,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod engine;
 mod epoch;
 mod global_epoch;
 mod index;
 mod queue;
 mod shard;
 
+pub use engine::SnapshotEngine;
 pub use epoch::MAX_READERS;
 pub use index::{
     Builder, CommitHook, ConcurrentIndex, ConcurrentTelemetry, IndexHandle, SnapshotGuard,

@@ -31,10 +31,11 @@
 //! record), merging the shards' sorted result lists reproduces the
 //! unsharded service's output bit-for-bit, record order included.
 
+use crate::engine::SnapshotEngine;
 use crate::global_epoch::{GlobalLink, GlobalPublisher, GlobalVector};
 use crate::index::{ConcurrentIndex, ConcurrentTelemetry, IndexHandle, SnapshotGuard};
 use crate::queue::{CommitError, CommitReceipt, CommitTicket, IndexOp, SubmitError};
-use segidx_core::tree::{Neighbor, SearchCursor, Tree};
+use segidx_core::tree::{Neighbor, Tree};
 use segidx_core::RecordId;
 use segidx_geom::{Point, Rect};
 use segidx_obs::{Metric, MetricsRegistry, ObsSink};
@@ -156,16 +157,16 @@ impl RoutingStats {
 }
 
 /// Configures and starts a [`ShardedIndex`].
-pub struct ShardedBuilder<const D: usize> {
+pub struct ShardedBuilder<const D: usize, E = Tree<D>> {
     router: ZOrderRouter<D>,
-    trees: Vec<Tree<D>>,
+    trees: Vec<E>,
     disks: Option<Vec<Arc<DiskManager>>>,
     queue_capacity: usize,
     max_batch: usize,
     sink: Option<Arc<dyn ObsSink>>,
 }
 
-impl<const D: usize> ShardedBuilder<D> {
+impl<const D: usize, E: SnapshotEngine<D>> ShardedBuilder<D, E> {
     /// Per-shard submission queue capacity (see
     /// [`Builder::queue_capacity`](crate::Builder::queue_capacity)).
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
@@ -206,7 +207,7 @@ impl<const D: usize> ShardedBuilder<D> {
 
     /// Starts every shard's writer thread and publishes the initial
     /// global epoch vector (global epoch 0, every shard at epoch 0).
-    pub fn start(self) -> Result<ShardedIndex<D>, StorageError> {
+    pub fn start(self) -> Result<ShardedIndex<D, E>, StorageError> {
         let ShardedBuilder {
             router,
             trees,
@@ -234,7 +235,7 @@ impl<const D: usize> ShardedBuilder<D> {
         }
         let initial = prepared.iter().map(|p| Arc::clone(p.initial())).collect();
         let publisher = Arc::new(GlobalPublisher::new(initial, sink));
-        let shards: Vec<ConcurrentIndex<D>> = prepared
+        let shards: Vec<ConcurrentIndex<D, E>> = prepared
             .into_iter()
             .enumerate()
             .map(|(shard, p)| {
@@ -282,14 +283,14 @@ impl<const D: usize> ShardedBuilder<D> {
 /// let snap = index.snapshot(); // one consistent cross-shard snapshot
 /// assert_eq!(snap.search(&Rect::new([0.0, 0.0], [50.0, 50.0])), vec![RecordId(7)]);
 /// ```
-pub struct ShardedIndex<const D: usize> {
-    shards: Vec<ConcurrentIndex<D>>,
+pub struct ShardedIndex<const D: usize, E = Tree<D>> {
+    shards: Vec<ConcurrentIndex<D, E>>,
     router: ZOrderRouter<D>,
-    publisher: Arc<GlobalPublisher<D>>,
+    publisher: Arc<GlobalPublisher<D, E>>,
     routed: Arc<[AtomicU64]>,
 }
 
-impl<const D: usize> ShardedIndex<D> {
+impl<const D: usize, E: SnapshotEngine<D>> ShardedIndex<D, E> {
     /// A builder over `router` and one pre-built tree per shard (shard `i`
     /// serves `trees[i]`; use [`ZOrderRouter::partition`] to split an
     /// initial load consistently with later routing).
@@ -297,7 +298,7 @@ impl<const D: usize> ShardedIndex<D> {
     /// # Panics
     ///
     /// If `trees.len()` differs from `router.shards()`.
-    pub fn builder(router: ZOrderRouter<D>, trees: Vec<Tree<D>>) -> ShardedBuilder<D> {
+    pub fn builder(router: ZOrderRouter<D>, trees: Vec<E>) -> ShardedBuilder<D, E> {
         assert_eq!(trees.len(), router.shards(), "one tree per shard");
         ShardedBuilder {
             router,
@@ -310,7 +311,7 @@ impl<const D: usize> ShardedIndex<D> {
     }
 
     /// A cloneable handle sharing this index's snapshot/submit API.
-    pub fn handle(&self) -> ShardedHandle<D> {
+    pub fn handle(&self) -> ShardedHandle<D, E> {
         ShardedHandle {
             handles: self.shards.iter().map(ConcurrentIndex::handle).collect(),
             router: self.router.clone(),
@@ -336,13 +337,13 @@ impl<const D: usize> ShardedIndex<D> {
     /// Pins one consistent cross-shard snapshot: every shard is observed
     /// at the epoch recorded in the same atomically-published global
     /// vector. Never blocks.
-    pub fn snapshot(&self) -> GlobalSnapshotGuard<D> {
+    pub fn snapshot(&self) -> GlobalSnapshotGuard<D, E> {
         acquire_guard(&self.publisher)
     }
 
     /// Pins shard `shard`'s *local* snapshot — cheaper than a global pin
     /// when the caller knows its query touches one shard.
-    pub fn shard_snapshot(&self, shard: usize) -> SnapshotGuard<D> {
+    pub fn shard_snapshot(&self, shard: usize) -> SnapshotGuard<D, E> {
         self.shards[shard].snapshot()
     }
 
@@ -408,7 +409,7 @@ impl<const D: usize> ShardedIndex<D> {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
-        let handles: Vec<IndexHandle<D>> =
+        let handles: Vec<IndexHandle<D, E>> =
             self.shards.iter().map(ConcurrentIndex::handle).collect();
         let telemetry: Vec<Arc<ConcurrentTelemetry>> =
             self.shards.iter().map(ConcurrentIndex::telemetry).collect();
@@ -554,7 +555,7 @@ impl<const D: usize> ShardedIndex<D> {
     }
 }
 
-impl<const D: usize> std::fmt::Debug for ShardedIndex<D> {
+impl<const D: usize, E: SnapshotEngine<D>> std::fmt::Debug for ShardedIndex<D, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedIndex")
             .field("shards", &self.shards.len())
@@ -569,16 +570,16 @@ impl<const D: usize> std::fmt::Debug for ShardedIndex<D> {
 /// owning index shuts down, submissions fail with [`SubmitError::Closed`]
 /// while snapshots keep serving the last published global vector.
 #[derive(Clone)]
-pub struct ShardedHandle<const D: usize> {
-    handles: Vec<IndexHandle<D>>,
+pub struct ShardedHandle<const D: usize, E = Tree<D>> {
+    handles: Vec<IndexHandle<D, E>>,
     router: ZOrderRouter<D>,
-    publisher: Arc<GlobalPublisher<D>>,
+    publisher: Arc<GlobalPublisher<D, E>>,
     routed: Arc<[AtomicU64]>,
 }
 
-impl<const D: usize> ShardedHandle<D> {
+impl<const D: usize, E> ShardedHandle<D, E> {
     /// Pins one consistent cross-shard snapshot. Never blocks.
-    pub fn snapshot(&self) -> GlobalSnapshotGuard<D> {
+    pub fn snapshot(&self) -> GlobalSnapshotGuard<D, E> {
         acquire_guard(&self.publisher)
     }
 
@@ -605,7 +606,7 @@ impl<const D: usize> ShardedHandle<D> {
     }
 }
 
-impl<const D: usize> std::fmt::Debug for ShardedHandle<D> {
+impl<const D: usize, E> std::fmt::Debug for ShardedHandle<D, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedHandle")
             .field("shards", &self.handles.len())
@@ -632,7 +633,9 @@ fn submit_routed<const D: usize>(
     Ok(ticket)
 }
 
-fn acquire_guard<const D: usize>(publisher: &Arc<GlobalPublisher<D>>) -> GlobalSnapshotGuard<D> {
+fn acquire_guard<const D: usize, E>(
+    publisher: &Arc<GlobalPublisher<D, E>>,
+) -> GlobalSnapshotGuard<D, E> {
     let (slot, ptr) = publisher.acquire();
     GlobalSnapshotGuard {
         publisher: Arc::clone(publisher),
@@ -649,19 +652,19 @@ fn acquire_guard<const D: usize>(publisher: &Arc<GlobalPublisher<D>>) -> GlobalS
 /// exactly what the unsharded service would for the same logical
 /// contents. Holding a guard keeps its vector (and each referenced shard
 /// snapshot) alive; drop it promptly so retired vectors can be reclaimed.
-pub struct GlobalSnapshotGuard<const D: usize> {
-    publisher: Arc<GlobalPublisher<D>>,
-    ptr: *const GlobalVector<D>,
+pub struct GlobalSnapshotGuard<const D: usize, E = Tree<D>> {
+    publisher: Arc<GlobalPublisher<D, E>>,
+    ptr: *const GlobalVector<D, E>,
     slot: usize,
 }
 
 // SAFETY: the guard's pointer is protected by its refined epoch pin; the
 // pointee is immutable and `Send + Sync`.
-unsafe impl<const D: usize> Send for GlobalSnapshotGuard<D> {}
-unsafe impl<const D: usize> Sync for GlobalSnapshotGuard<D> {}
+unsafe impl<const D: usize, E: Send + Sync> Send for GlobalSnapshotGuard<D, E> {}
+unsafe impl<const D: usize, E: Send + Sync> Sync for GlobalSnapshotGuard<D, E> {}
 
-impl<const D: usize> GlobalSnapshotGuard<D> {
-    fn vector(&self) -> &GlobalVector<D> {
+impl<const D: usize, E: SnapshotEngine<D>> GlobalSnapshotGuard<D, E> {
+    fn vector(&self) -> &GlobalVector<D, E> {
         // SAFETY: the refined pin taken in `acquire` keeps `ptr` alive,
         // and published vectors are never mutated.
         unsafe { &*self.ptr }
@@ -689,8 +692,8 @@ impl<const D: usize> GlobalSnapshotGuard<D> {
         self.vector().shards[shard].durable_epoch
     }
 
-    /// Shard `shard`'s tree, for reads that target one shard directly.
-    pub fn shard_tree(&self, shard: usize) -> &Tree<D> {
+    /// Shard `shard`'s engine, for reads that target one shard directly.
+    pub fn shard_tree(&self, shard: usize) -> &E {
         &self.vector().shards[shard].tree
     }
 
@@ -708,12 +711,11 @@ impl<const D: usize> GlobalSnapshotGuard<D> {
     /// order — bit-identical to [`Tree::search`] on the unsharded
     /// contents.
     pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
-        let mut cursor = SearchCursor::new();
         let parts: Vec<Vec<RecordId>> = self
             .vector()
             .shards
             .iter()
-            .map(|s| s.tree.search_with(&mut cursor, query).to_vec())
+            .map(|s| s.tree.search(query))
             .collect();
         merge_sorted(parts)
     }
@@ -721,12 +723,11 @@ impl<const D: usize> GlobalSnapshotGuard<D> {
     /// All records containing `p`, merged across shards in record order —
     /// bit-identical to [`Tree::stab`] on the unsharded contents.
     pub fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
-        let mut cursor = SearchCursor::new();
         let parts: Vec<Vec<RecordId>> = self
             .vector()
             .shards
             .iter()
-            .map(|s| s.tree.stab_with(&mut cursor, p).to_vec())
+            .map(|s| s.tree.stab(p))
             .collect();
         merge_sorted(parts)
     }
@@ -751,47 +752,34 @@ impl<const D: usize> GlobalSnapshotGuard<D> {
     }
 
     /// Batched [`search`](Self::search): scatters the whole query list to
-    /// one thread per shard (each reusing a single [`SearchCursor`]
-    /// scratch across its queries), then gathers per-query merges in
-    /// input order.
+    /// one thread per shard (each running the engine's
+    /// [`search_many`](SnapshotEngine::search_many), which reuses scratch
+    /// state across its queries), then gathers per-query merges in input
+    /// order.
     pub fn search_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
-        self.scatter_gather(queries.len(), |tree, cursor, i| {
-            tree.search_with(cursor, &queries[i]).to_vec()
-        })
+        self.scatter_gather(queries.len(), |engine| engine.search_many(queries))
     }
 
     /// Batched [`stab`](Self::stab), same fan-out as
     /// [`search_batch`](Self::search_batch).
     pub fn stab_batch(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
-        self.scatter_gather(points.len(), |tree, cursor, i| {
-            tree.stab_with(cursor, &points[i]).to_vec()
-        })
+        self.scatter_gather(points.len(), |engine| engine.stab_many(points))
     }
 
     fn scatter_gather(
         &self,
         queries: usize,
-        run: impl Fn(&Tree<D>, &mut SearchCursor<D>, usize) -> Vec<RecordId> + Sync,
+        run: impl Fn(&E) -> Vec<Vec<RecordId>> + Sync,
     ) -> Vec<Vec<RecordId>> {
         let shards = &self.vector().shards;
         if shards.len() == 1 {
-            let mut cursor = SearchCursor::new();
-            return (0..queries)
-                .map(|i| run(&shards[0].tree, &mut cursor, i))
-                .collect();
+            return run(&shards[0].tree);
         }
         let run = &run;
         let mut per_shard: Vec<Vec<Vec<RecordId>>> = std::thread::scope(|scope| {
             let workers: Vec<_> = shards
                 .iter()
-                .map(|s| {
-                    scope.spawn(move || {
-                        let mut cursor = SearchCursor::new();
-                        (0..queries)
-                            .map(|i| run(&s.tree, &mut cursor, i))
-                            .collect::<Vec<_>>()
-                    })
-                })
+                .map(|s| scope.spawn(move || run(&s.tree)))
                 .collect();
             workers
                 .into_iter()
@@ -829,13 +817,13 @@ impl<const D: usize> GlobalSnapshotGuard<D> {
     }
 }
 
-impl<const D: usize> Drop for GlobalSnapshotGuard<D> {
+impl<const D: usize, E> Drop for GlobalSnapshotGuard<D, E> {
     fn drop(&mut self) {
         self.publisher.release(self.slot);
     }
 }
 
-impl<const D: usize> std::fmt::Debug for GlobalSnapshotGuard<D> {
+impl<const D: usize, E: SnapshotEngine<D>> std::fmt::Debug for GlobalSnapshotGuard<D, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GlobalSnapshotGuard")
             .field("global_epoch", &self.global_epoch())
@@ -970,6 +958,90 @@ mod tests {
             .map(|&i| RecordId(i))
             .collect();
         assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn boundary_centroids_route_in_range_and_deterministically() {
+        // Centroids exactly on the domain corners, edges, and midlines —
+        // the `t == 1.0` and `t == 0.0` cell-mapping extremes.
+        let r = router(8);
+        let on = |x: f64, y: f64| Rect::new([x, y], [x, y]);
+        let cases = [
+            on(0.0, 0.0),
+            on(1_000.0, 1_000.0),
+            on(0.0, 1_000.0),
+            on(1_000.0, 0.0),
+            on(500.0, 0.0),
+            on(0.0, 500.0),
+            on(500.0, 500.0),
+            on(1_000.0, 500.0),
+        ];
+        for rect in &cases {
+            let shard = r.route(rect);
+            assert!(shard < 8, "boundary centroid {rect:?} out of range");
+            assert_eq!(shard, r.route(rect), "boundary routing is stable");
+        }
+        // The hi-corner centroid clamps into the top cell, not past it:
+        // it lands in the same shard as a point just inside the corner.
+        assert_eq!(r.route(&on(1_000.0, 1_000.0)), r.route(&on(999.9, 999.9)));
+    }
+
+    #[test]
+    fn degenerate_rectangles_route_like_their_centroid_point() {
+        let r = router(4);
+        for i in 0..64u64 {
+            let x = ((i * 131) % 1_000) as f64;
+            let y = ((i * 67) % 1_000) as f64;
+            let point = Rect::new([x, y], [x, y]);
+            // A zero-extent rect in one dimension (a horizontal segment
+            // collapsed to its centroid) routes with the same rule.
+            let flat = Rect::new([x - 10.0, y], [x + 10.0, y]);
+            assert_eq!(r.route(&point), r.route(&flat), "at ({x}, {y})");
+            assert!(r.route(&point) < 4);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_clamping_is_directional() {
+        // Clamped centroids keep their in-domain coordinate: far-right
+        // rects land with right-edge routes, far-left with left-edge ones.
+        let r = router(4);
+        let right = Rect::new([5_000.0, 400.0], [5_010.0, 400.0]);
+        let at_right_edge = Rect::new([999.0, 400.0], [999.0, 400.0]);
+        assert_eq!(r.route(&right), r.route(&at_right_edge));
+        let left = Rect::new([-5_000.0, 400.0], [-4_990.0, 400.0]);
+        let at_left_edge = Rect::new([0.0, 400.0], [0.0, 400.0]);
+        assert_eq!(r.route(&left), r.route(&at_left_edge));
+    }
+
+    #[test]
+    fn sharded_service_runs_the_hint_engine() {
+        use segidx_core::hint::HintIndex;
+        let r = router(4);
+        let engines = (0..4).map(|_| HintIndex::<2>::new()).collect();
+        let index = ShardedIndex::builder(r, engines).start().unwrap();
+        for i in 0..400u64 {
+            let x = ((i * 131) % 950) as f64;
+            let y = ((i * 67) % 950) as f64;
+            index
+                .submit(IndexOp::Insert {
+                    rect: Rect::new([x, y], [x + 20.0, y + 4.0]),
+                    record: RecordId(i),
+                })
+                .unwrap();
+        }
+        index.flush().unwrap();
+        let snap = index.snapshot();
+        assert_eq!(snap.len(), 400);
+        snap.assert_invariants();
+        let everything = snap.search(&Rect::new([0.0, 0.0], [1_000.0, 1_000.0]));
+        assert_eq!(everything.len(), 400);
+        assert!(everything.windows(2).all(|w| w[0] < w[1]), "record order");
+        let q = Rect::new([100.0, 0.0], [300.0, 1_000.0]);
+        assert_eq!(snap.search_batch(&[q]), vec![snap.search(&q)]);
+        let p = Point::new([200.0, 268.0]);
+        assert_eq!(snap.stab_batch(&[p]), vec![snap.stab(&p)]);
+        index.shutdown();
     }
 
     #[test]

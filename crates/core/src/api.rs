@@ -12,8 +12,8 @@ use crate::id::RecordId;
 use crate::skeleton::{build_skeleton, DistributionPredictor, SkeletonSpec};
 use crate::stats::StatsSnapshot;
 use crate::telemetry::TreeTelemetry;
-use crate::tree::Tree;
-use segidx_geom::Rect;
+use crate::tree::{Neighbor, Tree};
+use segidx_geom::{Point, Rect};
 use std::sync::Arc;
 
 /// The common interface of the four paper variants, object-safe so the
@@ -29,6 +29,26 @@ pub trait IntervalIndex<const D: usize> {
     /// [`Tree::search_batch`]); the default runs the queries serially.
     fn search_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
         queries.iter().map(|q| self.search(q)).collect()
+    }
+    /// All records containing point `p`, deduplicated and sorted by id —
+    /// the degenerate window query.
+    fn stab(&self, p: &Point<D>) -> Vec<RecordId>;
+    /// Runs every stab in `points` and returns per-point results in input
+    /// order, bit-identical to calling [`stab`](Self::stab) per point. The
+    /// default runs the stabs serially.
+    fn stab_batch(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
+        points.iter().map(|p| self.stab(p)).collect()
+    }
+    /// The `k` records nearest to `p`, ascending by minimum rectangle
+    /// distance.
+    fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>>;
+    /// Loads `items` into the index. Engines with a packed construction
+    /// path use it when the index is still empty; the default (and the
+    /// non-empty fallback) is an insert loop.
+    fn bulk_load(&mut self, items: Vec<(Rect<D>, RecordId)>) {
+        for (rect, record) in items {
+            self.insert(rect, record);
+        }
     }
     /// Index nodes accessed by a search for `query` (the paper's metric).
     fn count_search_accesses(&self, query: &Rect<D>) -> u64;
@@ -77,6 +97,28 @@ macro_rules! delegate_tree_methods {
         }
         fn search_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
             self.tree().search_batch(queries)
+        }
+        fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+            self.tree().stab(p)
+        }
+        fn stab_batch(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
+            self.tree().stab_batch(points)
+        }
+        fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+            self.tree().nearest(p, k)
+        }
+        fn bulk_load(&mut self, items: Vec<(Rect<D>, RecordId)>) {
+            if self.tree().len() == 0 {
+                let config = self.tree().config().clone();
+                let telemetry = self.tree().telemetry().cloned();
+                let mut tree = crate::bulk::bulk_load(config, items);
+                tree.set_telemetry(telemetry);
+                *self.tree_mut() = tree;
+            } else {
+                for (rect, record) in items {
+                    self.tree_mut().insert(rect, record);
+                }
+            }
         }
         fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
             self.tree().count_search_accesses(query)
@@ -318,6 +360,43 @@ impl<const D: usize> SkeletonCore<D> {
         }
     }
 
+    fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+        match self {
+            SkeletonCore::Built(t) => t.stab(p),
+            SkeletonCore::Buffering { buffered, .. } => {
+                let mut out: Vec<RecordId> = buffered
+                    .iter()
+                    .filter(|(r, _)| r.contains_point(p))
+                    .map(|(_, id)| *id)
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+        match self {
+            SkeletonCore::Built(t) => t.nearest(p, k),
+            SkeletonCore::Buffering { buffered, .. } => {
+                let mut all: Vec<(f64, RecordId, Rect<D>)> = buffered
+                    .iter()
+                    .map(|(r, id)| (r.min_dist_sqr(p), *id, *r))
+                    .collect();
+                all.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                all.truncate(k);
+                all.into_iter()
+                    .map(|(d2, record, rect)| Neighbor {
+                        record,
+                        rect,
+                        distance: d2.sqrt(),
+                    })
+                    .collect()
+            }
+        }
+    }
+
     fn delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
         match self {
             SkeletonCore::Built(t) => t.delete(rect, record),
@@ -435,6 +514,19 @@ macro_rules! skeleton_variant {
                     // Buffering phase: linear scans are cheap; run serially.
                     None => queries.iter().map(|q| self.0.search(q)).collect(),
                 }
+            }
+            fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+                self.0.stab(p)
+            }
+            fn stab_batch(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
+                match self.0.tree() {
+                    Some(t) => t.stab_batch(points),
+                    // Buffering phase: linear scans are cheap; run serially.
+                    None => points.iter().map(|p| self.0.stab(p)).collect(),
+                }
+            }
+            fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+                self.0.nearest(p, k)
             }
             fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
                 match self.0.tree() {

@@ -1,0 +1,340 @@
+//! The hybrid query router: HINT for 1-D / stab-degenerate queries, the
+//! SR-Tree for genuinely multi-dimensional windows.
+//!
+//! HINT dominates on one-dimensional workloads and stabbing queries (the
+//! per-dimension hierarchy answers them nearly comparison-free), while the
+//! SR-Tree prunes multi-dimensional windows in one traversal instead of
+//! intersecting `D` independent candidate sets. [`HybridIndex`] maintains
+//! both engines and routes each query by shape:
+//!
+//! * `D == 1`: always HINT.
+//! * Stabbing queries: always HINT.
+//! * A window degenerate (zero-extent) in **all but at most one**
+//!   dimension: HINT — the non-degenerate dimension does the real filtering
+//!   and the degenerate ones are stabs, so the sorted-ID intersection stays
+//!   cheap.
+//! * Anything else: SR-Tree.
+//!
+//! The crossover this rule encodes is measured by `hint_bench` and recorded
+//! in `results/BENCH_hint.json`.
+
+use super::HintIndex;
+use crate::api::IntervalIndex;
+use crate::config::IndexConfig;
+use crate::id::RecordId;
+use crate::stats::StatsSnapshot;
+use crate::telemetry::TreeTelemetry;
+use crate::tree::{Neighbor, Tree};
+use segidx_geom::{Point, Rect};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A dual-engine index: every record lives in both an SR-Tree and a
+/// [`HintIndex`]; each query is routed to the engine its shape favors.
+///
+/// Routing decisions are counted ([`routed_counts`](Self::routed_counts))
+/// so benchmarks and tests can observe the split.
+#[derive(Debug)]
+pub struct HybridIndex<const D: usize> {
+    tree: Tree<D>,
+    hint: HintIndex<D>,
+    hint_routed: AtomicU64,
+    tree_routed: AtomicU64,
+}
+
+impl<const D: usize> Default for HybridIndex<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// True when HINT should serve `query`: one-dimensional data, or a window
+/// degenerate in all but at most one dimension (i.e. a stab in the rest).
+fn hint_favored<const D: usize>(query: &Rect<D>) -> bool {
+    if D == 1 {
+        return true;
+    }
+    let extended = (0..D).filter(|&d| query.lo(d) < query.hi(d)).count();
+    extended <= 1
+}
+
+impl<const D: usize> HybridIndex<D> {
+    /// An empty hybrid over the paper's SR-Tree configuration and a
+    /// domain-discovering [`HintIndex`].
+    pub fn new() -> Self {
+        Self::with_config(IndexConfig::srtree())
+    }
+
+    /// An empty hybrid with a custom tree configuration.
+    pub fn with_config(config: IndexConfig) -> Self {
+        Self {
+            tree: Tree::new(config),
+            hint: HintIndex::new(),
+            hint_routed: AtomicU64::new(0),
+            tree_routed: AtomicU64::new(0),
+        }
+    }
+
+    /// The tree engine.
+    pub fn tree(&self) -> &Tree<D> {
+        &self.tree
+    }
+
+    /// The HINT engine.
+    pub fn hint(&self) -> &HintIndex<D> {
+        &self.hint
+    }
+
+    /// Queries routed to (HINT, tree) so far.
+    pub fn routed_counts(&self) -> (u64, u64) {
+        (
+            self.hint_routed.load(Ordering::Relaxed),
+            self.tree_routed.load(Ordering::Relaxed),
+        )
+    }
+
+    fn route(&self, query: &Rect<D>) -> bool {
+        let to_hint = hint_favored(query);
+        if to_hint {
+            self.hint_routed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.tree_routed.fetch_add(1, Ordering::Relaxed);
+        }
+        to_hint
+    }
+}
+
+impl<const D: usize> IntervalIndex<D> for HybridIndex<D> {
+    fn insert(&mut self, rect: Rect<D>, record: RecordId) {
+        self.tree.insert(rect, record);
+        self.hint.insert(rect, record);
+    }
+
+    fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        if self.route(query) {
+            self.hint.search(query)
+        } else {
+            self.tree.search(query)
+        }
+    }
+
+    fn search_batch(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
+        // Route the whole batch by its first query's shape when uniform;
+        // otherwise fall back to per-query routing (still exact).
+        if queries.iter().all(hint_favored) {
+            self.hint_routed
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            self.hint.search_batch(queries)
+        } else if !queries.iter().any(hint_favored) {
+            self.tree_routed
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            self.tree.search_batch(queries)
+        } else {
+            queries.iter().map(|q| self.search(q)).collect()
+        }
+    }
+
+    fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+        self.hint_routed.fetch_add(1, Ordering::Relaxed);
+        self.hint.stab(p)
+    }
+
+    fn stab_batch(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
+        self.hint_routed
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        self.hint.stab_batch(points)
+    }
+
+    fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+        self.tree_routed.fetch_add(1, Ordering::Relaxed);
+        self.tree.nearest(p, k)
+    }
+
+    fn bulk_load(&mut self, items: Vec<(Rect<D>, RecordId)>) {
+        if self.tree.is_empty() && self.hint.is_empty() {
+            let config = self.tree.config().clone();
+            let telemetry = self.tree.telemetry().cloned();
+            let mut tree = crate::bulk::bulk_load(config, items.clone());
+            tree.set_telemetry(telemetry);
+            self.tree = tree;
+            self.hint.bulk_load(items);
+        } else {
+            for (rect, record) in items {
+                self.insert(rect, record);
+            }
+        }
+    }
+
+    fn count_search_accesses(&self, query: &Rect<D>) -> u64 {
+        if hint_favored(query) {
+            self.hint.count_search_accesses(query)
+        } else {
+            self.tree.count_search_accesses(query)
+        }
+    }
+
+    fn delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
+        let in_tree = self.tree.delete(rect, record);
+        let in_hint = self.hint.delete(rect, record);
+        in_tree || in_hint
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn entry_count(&self) -> usize {
+        self.tree.entry_count() + self.hint.entry_count()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        merge_snapshots(self.tree.stats(), self.hint.stats())
+    }
+
+    fn reset_search_stats(&self) {
+        self.tree.reset_search_stats();
+        self.hint.reset_search_stats();
+    }
+
+    fn node_count(&self) -> usize {
+        self.tree.node_count() + self.hint.node_count()
+    }
+
+    fn height(&self) -> u32 {
+        self.tree.height().max(self.hint.height())
+    }
+
+    fn check_invariants(&self) -> Vec<String> {
+        let mut problems = self.tree.check_invariants();
+        problems.extend(self.hint.check_invariants());
+        if self.tree.len() != self.hint.len() {
+            problems.push(format!(
+                "engines disagree on len: tree {} vs hint {}",
+                self.tree.len(),
+                self.hint.len()
+            ));
+        }
+        problems
+    }
+
+    fn variant_name(&self) -> &'static str {
+        "Hybrid"
+    }
+
+    fn set_telemetry(&mut self, telemetry: Option<Arc<TreeTelemetry>>) {
+        // Latencies stay attributable to the engine that served the query;
+        // the tree carries the shared histograms (HINT latencies are
+        // visible through the HINT variant's own telemetry in the bench).
+        self.tree.set_telemetry(telemetry);
+    }
+
+    fn telemetry(&self) -> Option<Arc<TreeTelemetry>> {
+        self.tree.telemetry().cloned()
+    }
+}
+
+/// Field-wise sum of two statistics snapshots.
+fn merge_snapshots(a: StatsSnapshot, b: StatsSnapshot) -> StatsSnapshot {
+    StatsSnapshot {
+        search_node_accesses: a.search_node_accesses + b.search_node_accesses,
+        searches: a.searches + b.searches,
+        search_results: a.search_results + b.search_results,
+        maintenance_node_accesses: a.maintenance_node_accesses + b.maintenance_node_accesses,
+        leaf_splits: a.leaf_splits + b.leaf_splits,
+        internal_splits: a.internal_splits + b.internal_splits,
+        promotions: a.promotions + b.promotions,
+        demotions: a.demotions + b.demotions,
+        relinks: a.relinks + b.relinks,
+        cuts: a.cuts + b.cuts,
+        remnants_inserted: a.remnants_inserted + b.remnants_inserted,
+        spanning_stores: a.spanning_stores + b.spanning_stores,
+        elastic_overflows: a.elastic_overflows + b.elastic_overflows,
+        coalesces: a.coalesces + b.coalesces,
+        spanning_evictions: a.spanning_evictions + b.spanning_evictions,
+        redistributions: a.redistributions + b.redistributions,
+        forced_reinserts: a.forced_reinserts + b.forced_reinserts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: u64) -> Vec<(Rect<2>, RecordId)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 9_000) as f64;
+                let y = ((i * 113) % 9_000) as f64;
+                let len = if i % 13 == 0 { 1_500.0 } else { 6.0 };
+                (Rect::new([x, y], [x + len, y]), RecordId(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_follows_query_shape() {
+        let mut h = HybridIndex::<2>::new();
+        h.bulk_load(dataset(1_000));
+        // Wide 2-D window → tree.
+        h.search(&Rect::new([0.0, 0.0], [5_000.0, 5_000.0]));
+        // Degenerate in one of two dims → HINT.
+        h.search(&Rect::new([0.0, 100.0], [5_000.0, 100.0]));
+        // Stab → HINT.
+        h.stab(&Point::new([100.0, 100.0]));
+        let (hint, tree) = h.routed_counts();
+        assert_eq!((hint, tree), (2, 1));
+    }
+
+    #[test]
+    fn one_dimensional_always_routes_to_hint() {
+        let mut h = HybridIndex::<1>::new();
+        for i in 0..300u64 {
+            h.insert(Rect::new([i as f64], [i as f64 + 10.0]), RecordId(i));
+        }
+        h.search(&Rect::new([50.0], [80.0]));
+        let (hint, tree) = h.routed_counts();
+        assert_eq!((hint, tree), (1, 0));
+    }
+
+    #[test]
+    fn both_routes_return_identical_results() {
+        let data = dataset(2_000);
+        let mut h = HybridIndex::<2>::new();
+        h.bulk_load(data.clone());
+        for i in 0..40u64 {
+            let x = ((i * 997) % 8_000) as f64;
+            let wide = Rect::new([x, 0.0], [x + 800.0, 9_000.0]);
+            let slab = Rect::new([x, 4_000.0], [x + 800.0, 4_000.0]);
+            for q in [wide, slab] {
+                let via_hint = h.hint().search(&q);
+                let via_tree = h.tree().search(&q);
+                assert_eq!(via_hint, via_tree, "query {q:?}");
+                assert_eq!(h.search(&q), via_tree);
+            }
+        }
+        assert!(
+            h.check_invariants().is_empty(),
+            "{:?}",
+            h.check_invariants()
+        );
+    }
+
+    #[test]
+    fn insert_delete_keep_engines_in_lockstep() {
+        let data = dataset(500);
+        let mut h = HybridIndex::<2>::new();
+        for (r, id) in &data {
+            h.insert(*r, *id);
+        }
+        for (r, id) in data.iter().filter(|(_, id)| id.0 % 2 == 0) {
+            assert!(h.delete(r, *id));
+        }
+        assert_eq!(h.len(), 250);
+        assert_eq!(h.hint().len(), 250);
+        assert!(
+            h.check_invariants().is_empty(),
+            "{:?}",
+            h.check_invariants()
+        );
+    }
+}

@@ -46,6 +46,7 @@ pub mod baseline;
 pub mod bulk;
 pub mod config;
 pub mod entry;
+pub mod hint;
 pub mod id;
 pub mod node;
 pub mod paged;
@@ -57,6 +58,7 @@ pub mod tree;
 
 pub use api::{IntervalIndex, RTree, SRTree, SkeletonRTree, SkeletonSRTree};
 pub use config::{CoalesceConfig, IndexConfig, SplitAlgorithm};
+pub use hint::{HintIndex, HybridIndex};
 pub use id::{NodeId, RecordId};
 pub use paged::PagedSearcher;
 pub use skeleton::{build_skeleton, DistributionPredictor, Histogram, SkeletonSpec};

@@ -51,7 +51,9 @@ pub use interval::{Interval, Remnants};
 pub use point::Point;
 pub use qar::{qar_of, rect_from_area_qar, QarSweep, PAPER_QAR_SWEEP};
 pub use rect::{CutResult, Rect};
-pub use scan::{scan_intersects, scan_min_dist_sqr, scan_min_enlargement, scan_stab};
+pub use scan::{
+    scan_hi_ge, scan_intersects, scan_lo_le, scan_min_dist_sqr, scan_min_enlargement, scan_stab,
+};
 
 /// Coordinate scalar used throughout the crate.
 pub type Coord = f64;

@@ -164,6 +164,60 @@ pub fn scan_stab<const D: usize>(
     }
 }
 
+/// Appends to `out` the index of every entry whose `lo` coordinate is at
+/// most `bound` — the one-sided half of the intersection predicate.
+///
+/// HINT-style partition classes elide one (or both) comparisons of the
+/// overlap test per class; this kernel serves the classes where only the
+/// `start ≤ query.hi` side remains. Same contract as [`scan_intersects`]:
+/// ascending indexes, `out` not cleared.
+pub fn scan_lo_le(los: &[Coord], bound: Coord, out: &mut Vec<u32>) {
+    let n = los.len();
+    let mut mask = [0u64; CHUNK];
+    let mut base = 0;
+    while n - base >= CHUNK {
+        let lo_p: &[Coord; CHUNK] = los[base..base + CHUNK].try_into().unwrap();
+        for i in 0..CHUNK {
+            mask[i] = u64::from(lo_p[i] <= bound);
+        }
+        emit_hits(&mask, CHUNK, base, out);
+        base += CHUNK;
+    }
+    let m = n - base;
+    if m > 0 {
+        let lo_p = &los[base..];
+        for i in 0..m {
+            mask[i] = u64::from(lo_p[i] <= bound);
+        }
+        emit_hits(&mask, m, base, out);
+    }
+}
+
+/// Appends to `out` the index of every entry whose `hi` coordinate is at
+/// least `bound` — the other one-sided half of the intersection
+/// predicate (`end ≥ query.lo`). Same contract as [`scan_lo_le`].
+pub fn scan_hi_ge(his: &[Coord], bound: Coord, out: &mut Vec<u32>) {
+    let n = his.len();
+    let mut mask = [0u64; CHUNK];
+    let mut base = 0;
+    while n - base >= CHUNK {
+        let hi_p: &[Coord; CHUNK] = his[base..base + CHUNK].try_into().unwrap();
+        for i in 0..CHUNK {
+            mask[i] = u64::from(hi_p[i] >= bound);
+        }
+        emit_hits(&mask, CHUNK, base, out);
+        base += CHUNK;
+    }
+    let m = n - base;
+    if m > 0 {
+        let hi_p = &his[base..];
+        for i in 0..m {
+            mask[i] = u64::from(hi_p[i] >= bound);
+        }
+        emit_hits(&mask, m, base, out);
+    }
+}
+
 /// Writes into `dists` the squared Euclidean `MINDIST` from `p` to every
 /// entry rectangle (`dists` is resized to the plane length). Used by
 /// best-first nearest-neighbor traversal to score a whole node in one
@@ -343,6 +397,37 @@ mod tests {
             [&[], &[]]
         )
         .is_none());
+    }
+
+    #[test]
+    fn one_sided_kernels_match_filters() {
+        let rects = dataset(193); // crosses one CHUNK boundary with a tail
+        let (los, his) = planes_of(&rects);
+        for bound in [-10.0, 0.0, 123.0, 480.0, 10_000.0] {
+            let mut got = Vec::new();
+            scan_lo_le(&los[0], bound, &mut got);
+            let want: Vec<u32> = los[0]
+                .iter()
+                .enumerate()
+                .filter(|(_, &lo)| lo <= bound)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "scan_lo_le bound={bound}");
+
+            let mut got = Vec::new();
+            scan_hi_ge(&his[0], bound, &mut got);
+            let want: Vec<u32> = his[0]
+                .iter()
+                .enumerate()
+                .filter(|(_, &hi)| hi >= bound)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "scan_hi_ge bound={bound}");
+        }
+        let mut out = vec![7u32];
+        scan_lo_le(&[], 0.0, &mut out);
+        scan_hi_ge(&[], 0.0, &mut out);
+        assert_eq!(out, vec![7], "empty planes append nothing, no clear");
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub enum StorageError {
     PoolExhausted,
     /// A decoding operation ran past the end of its input.
     Decode(String),
+    /// The operation is not supported by this engine (e.g. checkpointing a
+    /// main-memory-only index).
+    Unsupported(String),
 }
 
 impl StorageError {
@@ -78,6 +81,7 @@ impl fmt::Display for StorageError {
             StorageError::BadMeta(msg) => write!(f, "bad metadata: {msg}"),
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all pages pinned)"),
             StorageError::Decode(msg) => write!(f, "decode error: {msg}"),
+            StorageError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }

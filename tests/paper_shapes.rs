@@ -79,9 +79,9 @@ fn experiments_are_deterministic() {
 
 #[test]
 fn every_variant_answers_every_graph_consistently() {
-    // Cheap sanity across all six paper graphs: all four variants return
-    // the same result *counts* for the same query load (full equality is
-    // covered by the differential tests).
+    // Cheap sanity across all six paper graphs: the four paper variants
+    // plus the HINT engine return the same result *counts* for the same
+    // query load (full equality is covered by the differential tests).
     for graph in Graph::PAPER {
         let exp = Experiment {
             tuples: 2_000,
@@ -89,7 +89,7 @@ fn every_variant_answers_every_graph_consistently() {
             ..Experiment::paper(graph)
         };
         let result = run_experiment(&exp);
-        assert_eq!(result.series.len(), 4);
+        assert_eq!(result.series.len(), 5);
         for s in &result.series {
             assert_eq!(s.points.len(), 13, "{} on {graph:?}", s.variant.name());
             assert!(s.points.iter().all(|p| p.avg_nodes >= 1.0));
