@@ -18,6 +18,15 @@
 //!   and a `shard="all"` aggregate rollup must be present alongside the
 //!   sharded-only families (shard count, global epoch, retired epoch
 //!   vectors, routing imbalance, routed-op counters).
+//! * `component="hybrid"` — the router's `segidx_hybrid_routed_total`
+//!   must cover the full engine × query-shape matrix (zeros included).
+//! * `component="trace"` — the tracer's health families
+//!   (`segidx_trace_*` counters and gauges) must all be present.
+//!
+//! Finally, the top-level `flight_recorder` object (slowest retained
+//! trace per op class) must exist and each entry must carry a positive
+//! `retained` count and a `slowest` trace with duration, span count, and
+//! profile.
 //!
 //! Usage: `metrics_check <path/to/metrics.json>`. Exits non-zero with a
 //! description of the first problem found.
@@ -103,16 +112,32 @@ const SHARDED_COUNTERS: [&str; 2] = [
     "segidx_sharded_global_publishes_total",
 ];
 
+/// Tracer health families, required under `component="trace"`.
+const TRACE_COUNTERS: [&str; 3] = [
+    "segidx_trace_started_total",
+    "segidx_trace_sampled_total",
+    "segidx_trace_spans_dropped_total",
+];
+const TRACE_GAUGES: [&str; 2] = ["segidx_trace_spans_dropped", "segidx_trace_flight_retained"];
+
+/// The hybrid router's engine × shape matrix, required under
+/// `component="hybrid"`.
+const HYBRID_ENGINES: [&str; 2] = ["hint", "tree"];
+const HYBRID_SHAPES: [&str; 5] = ["one_d", "stab", "slab", "window", "nearest"];
+
 fn is_gauge(name: &str) -> bool {
     SERVICE_GAUGES.contains(&name)
         || EVENT_GAUGES.contains(&name)
         || SHARDED_ROLLUP_GAUGES.contains(&name)
+        || TRACE_GAUGES.contains(&name)
 }
 
 fn is_counter(name: &str) -> bool {
     SERVICE_COUNTERS.contains(&name)
         || EVENT_COUNTERS.contains(&name)
         || SHARDED_COUNTERS.contains(&name)
+        || TRACE_COUNTERS.contains(&name)
+        || name == "segidx_hybrid_routed_total"
 }
 
 fn check(path: &str) -> Result<String, String> {
@@ -134,6 +159,7 @@ fn check(path: &str) -> Result<String, String> {
     let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
     let mut components: BTreeSet<String> = BTreeSet::new();
     let mut component_seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    let mut hybrid_seen: BTreeSet<(String, String)> = BTreeSet::new();
     for m in metrics {
         let name = m
             .get("name")
@@ -144,6 +170,14 @@ fn check(path: &str) -> Result<String, String> {
             let shard = labels.get("shard").and_then(Value::as_str).unwrap_or("");
             if component == "sharded" && shard.is_empty() {
                 return Err(format!("{name} (sharded): missing shard label"));
+            }
+            if name == "segidx_hybrid_routed_total" {
+                let engine = labels.get("engine").and_then(Value::as_str).unwrap_or("");
+                let shape = labels.get("shape").and_then(Value::as_str).unwrap_or("");
+                if engine.is_empty() || shape.is_empty() {
+                    return Err(format!("{name}: missing engine/shape labels"));
+                }
+                hybrid_seen.insert((engine.to_string(), shape.to_string()));
             }
             validate_component_metric(name, component, m)?;
             components.insert(component.to_string());
@@ -185,15 +219,96 @@ fn check(path: &str) -> Result<String, String> {
 
     check_concurrent(&components, &component_seen)?;
     let shard_scopes = check_sharded(&components, &component_seen)?;
+    check_trace(&components, &component_seen)?;
+    check_hybrid(&components, &hybrid_seen)?;
+    let flight_classes = check_flight_recorder(&value)?;
 
     Ok(format!(
         "ok: {} metrics across {} (graph, variant) pairs + {} service component(s), \
-         {} shard scope(s)",
+         {} shard scope(s), {} flight-recorder class(es)",
         metrics.len(),
         pairs.len(),
         components.len(),
-        shard_scopes
+        shard_scopes,
+        flight_classes
     ))
+}
+
+/// The tracer's health families under `component="trace"`.
+fn check_trace(
+    components: &BTreeSet<String>,
+    component_seen: &BTreeSet<(String, String, String)>,
+) -> Result<(), String> {
+    if !components.contains("trace") {
+        return Err("missing component=\"trace\" tracer metrics".into());
+    }
+    for name in TRACE_COUNTERS.iter().chain(&TRACE_GAUGES) {
+        if !component_seen.contains(&("trace".to_string(), String::new(), name.to_string())) {
+            return Err(format!("component trace: missing {name}"));
+        }
+    }
+    Ok(())
+}
+
+/// The hybrid router's full engine × shape matrix.
+fn check_hybrid(
+    components: &BTreeSet<String>,
+    hybrid_seen: &BTreeSet<(String, String)>,
+) -> Result<(), String> {
+    if !components.contains("hybrid") {
+        return Err("missing component=\"hybrid\" router metrics".into());
+    }
+    for engine in HYBRID_ENGINES {
+        for shape in HYBRID_SHAPES {
+            if !hybrid_seen.contains(&(engine.to_string(), shape.to_string())) {
+                return Err(format!(
+                    "segidx_hybrid_routed_total: missing engine=\"{engine}\" shape=\"{shape}\" \
+                     (the full matrix must be exported, zeros included)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The top-level `flight_recorder` summary: at least one op class, each
+/// entry a positive `retained` count plus a `slowest` trace carrying
+/// duration, span count, and profile. Returns the class count.
+fn check_flight_recorder(value: &Value) -> Result<usize, String> {
+    let flight = value
+        .get("flight_recorder")
+        .ok_or("missing top-level \"flight_recorder\" object")?;
+    let Value::Object(classes) = flight else {
+        return Err("\"flight_recorder\" is not an object".into());
+    };
+    if classes.is_empty() {
+        return Err("\"flight_recorder\" retained no traces".into());
+    }
+    for (class, entry) in classes {
+        let retained = entry
+            .get("retained")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| format!("flight_recorder.{class}: missing retained count"))?;
+        if retained < 1 {
+            return Err(format!("flight_recorder.{class}: retained {retained} < 1"));
+        }
+        let slowest = entry
+            .get("slowest")
+            .ok_or_else(|| format!("flight_recorder.{class}: missing slowest trace"))?;
+        for field in ["trace_id", "duration_nanos", "spans"] {
+            let v = slowest
+                .get(field)
+                .and_then(Value::as_i64)
+                .ok_or_else(|| format!("flight_recorder.{class}.slowest: missing {field}"))?;
+            if v < 0 {
+                return Err(format!("flight_recorder.{class}.slowest: negative {field}"));
+            }
+        }
+        if slowest.get("profile").is_none() {
+            return Err(format!("flight_recorder.{class}.slowest: missing profile"));
+        }
+    }
+    Ok(classes.len())
 }
 
 /// The unsharded service: full service family plus event-sink health, all

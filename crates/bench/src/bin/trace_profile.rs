@@ -1,0 +1,455 @@
+//! Tracing overhead gate + example-trace artifact for CI.
+//!
+//! Two jobs:
+//!
+//! 1. **Example trace**: forces one sampled 2-D window search against a
+//!    4-shard [`ShardedIndex`] of [`HybridIndex`] engines plus a persisted
+//!    replica read through a deliberately small [`BufferPool`], so a single
+//!    trace spans router decision → per-shard scatter → per-level node
+//!    visits → buffer-pool / page I/O. The trace is printed as a text tree
+//!    and exported as Chrome `trace_event` JSON (`results/trace_example.json`
+//!    by default, loadable in `chrome://tracing` / Perfetto).
+//! 2. **Overhead**: the tracing hooks cost one thread-local branch per span
+//!    site when no trace is active. Interleaved paired rounds compare the
+//!    instrumented [`Tree::search_with`] (tracing compiled in, no active
+//!    trace) against [`Tree::bench_search_untraced`] (the monomorphized
+//!    no-telemetry kernel instantiation); `--check` gates the median
+//!    per-round ratio at ≤ 1.01.
+//!
+//! Results land in `results/BENCH_trace.json` (same `hardware_note`
+//! convention as `results/BENCH_hint.json`).
+//!
+//! Usage:
+//!   trace_profile [--records N] [--queries N] [--rounds N] [--out FILE]
+//!                 [--trace-out FILE] [--check]
+
+use segidx_concurrent::{IndexOp, ShardedIndex, SubmitError, ZOrderRouter};
+use segidx_core::tree::Tree;
+use segidx_core::{persist, HybridIndex, IndexConfig, PagedSearcher, SearchCursor};
+use segidx_geom::Rect;
+use segidx_obs::json::{self, Value};
+use segidx_obs::trace::{chrome_trace_json, CompletedTrace, Dim, OpClass, Tracer};
+use segidx_storage::{BufferPool, BufferPoolConfig, DiskManager};
+use segidx_workloads::{DataDistribution, DOMAIN_MAX};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Untraced-vs-baseline overhead gate, as a ratio (1.01 = +1%).
+const OVERHEAD_GATE: f64 = 1.01;
+
+struct Args {
+    records: usize,
+    queries: usize,
+    rounds: usize,
+    out: PathBuf,
+    trace_out: PathBuf,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        records: 200_000,
+        queries: 400,
+        rounds: 9,
+        out: PathBuf::from("results/BENCH_trace.json"),
+        trace_out: PathBuf::from("results/trace_example.json"),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--records" => {
+                args.records = value("--records")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--queries" => {
+                args.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--rounds" => args.rounds = value("--rounds")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--trace-out" => args.trace_out = PathBuf::from(value("--trace-out")?),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: trace_profile [--records N] [--queries N] [--rounds N] \
+                     [--out FILE] [--trace-out FILE] [--check]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Deterministic splitmix64 stream (no external RNG deps).
+struct Rng(u64);
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Days-since-epoch → (year, month, day), proleptic Gregorian.
+fn civil_from_days(mut z: i64) -> (i64, u32, u32) {
+    z += 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64 / 86_400)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Forces one fully-instrumented 2-D window search and returns the trace:
+/// a 4-shard service over hybrid engines answers the window via threaded
+/// scatter/gather, then a persisted replica of the same data answers it
+/// again through a cold 64 KB buffer pool, all inside one trace guard.
+fn record_example_trace() -> Result<CompletedTrace, String> {
+    let n = 20_000;
+    let dataset = DataDistribution::I3.generate(n, 7);
+    let domain = Rect::new([0.0, 0.0], [DOMAIN_MAX * 1.05, DOMAIN_MAX * 1.05]);
+
+    // The sharded service: 4 hybrid engines behind a Z-order router.
+    let tracer = Arc::new(Tracer::with_config(1, 2, 4096));
+    let engines = vec![
+        HybridIndex::<2>::new(),
+        HybridIndex::<2>::new(),
+        HybridIndex::<2>::new(),
+        HybridIndex::<2>::new(),
+    ];
+    let index = ShardedIndex::builder(ZOrderRouter::new(domain, 4), engines)
+        .max_batch(512)
+        .tracer(Arc::clone(&tracer))
+        .start()
+        .map_err(|e| format!("sharded start: {e}"))?;
+    for (rect, record) in &dataset.records {
+        loop {
+            match index.submit(IndexOp::Insert {
+                rect: *rect,
+                record: *record,
+            }) {
+                Ok(_) => break,
+                Err(SubmitError::Overloaded { .. }) => std::thread::yield_now(),
+                Err(e) => return Err(format!("submit: {e}")),
+            }
+        }
+    }
+    index.flush().map_err(|e| format!("flush: {e}"))?;
+
+    // The persisted replica: same records through an on-disk SR-Tree read
+    // by a PagedSearcher over a pool small enough to actually miss.
+    let mut replica: Tree<2> = Tree::new(IndexConfig::srtree());
+    for (rect, record) in &dataset.records {
+        replica.insert(*rect, *record);
+    }
+    let dir = std::env::temp_dir().join(format!("segidx-trace-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("tempdir: {e}"))?;
+    let disk = Arc::new(
+        DiskManager::create(dir.join("replica.db")).map_err(|e| format!("disk create: {e}"))?,
+    );
+    let meta = persist::save(&replica, &disk).map_err(|e| format!("persist: {e}"))?;
+    let pool = BufferPool::with_config(
+        Arc::clone(&disk),
+        BufferPoolConfig {
+            capacity_bytes: 64 * 1024,
+        },
+    );
+    // One forced trace around both halves of the read.
+    let window = Rect::new(
+        [DOMAIN_MAX * 0.1, DOMAIN_MAX * 0.1],
+        [DOMAIN_MAX * 0.9, DOMAIN_MAX * 0.9],
+    );
+    let (sharded_hits, paged_hits) = {
+        let paged: PagedSearcher<2> =
+            PagedSearcher::open(&pool, meta).map_err(|e| format!("paged open: {e}"))?;
+
+        // Warm the replica's upper levels so the trace shows buffer-pool
+        // hits alongside the cold leaf misses.
+        let _ = paged
+            .search(&Rect::new([0.0, 0.0], [1.0, 1.0]))
+            .map_err(|e| format!("warm-up search: {e}"))?;
+
+        let _g = tracer
+            .force(OpClass::Search, "window_2d")
+            .expect("no other trace is active on this thread");
+        let snap = index.snapshot();
+        let sharded_hits = snap.search_batch(&[window])[0].len();
+        let paged_hits = paged
+            .search(&window)
+            .map_err(|e| format!("paged search: {e}"))?
+            .len();
+        (sharded_hits, paged_hits)
+    };
+    index.shutdown();
+    drop(pool);
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let trace = tracer
+        .last_completed()
+        .ok_or("tracer recorded no completed trace")?;
+    let problems = trace.check_well_formed();
+    if !problems.is_empty() {
+        return Err(format!("trace is malformed: {problems:?}"));
+    }
+    if sharded_hits != paged_hits {
+        return Err(format!(
+            "sharded ({sharded_hits}) and paged ({paged_hits}) disagree on the window"
+        ));
+    }
+
+    // The acceptance shape: one trace covering every layer of the stack.
+    for required in ["sharded.scatter", "router", "tree.search", "paged.search"] {
+        if !trace.spans.iter().any(|s| s.name == required) {
+            return Err(format!("trace is missing a \"{required}\" span"));
+        }
+    }
+    if !trace.spans.iter().any(|s| s.name.starts_with("shard.")) {
+        return Err("trace has no per-shard scatter span".into());
+    }
+    if trace.profile.dim(Dim::ShardFanout) != 4 {
+        return Err(format!(
+            "expected fanout 4, got {}",
+            trace.profile.dim(Dim::ShardFanout)
+        ));
+    }
+    if trace.profile.total_node_visits() == 0 {
+        return Err("profile recorded no per-level node visits".into());
+    }
+    if trace.profile.dim(Dim::PageReads) == 0 || trace.profile.dim(Dim::BufferPoolMisses) == 0 {
+        return Err("profile recorded no buffer-pool / page I/O".into());
+    }
+    Ok(trace)
+}
+
+/// Interleaved per-round wall times for the instrumented search path with
+/// tracing inactive vs the monomorphized untraced kernel, over the same
+/// tree and query batch (a, b, a, b, ... so clock noise hits both sides).
+fn time_overhead_rounds(
+    tree: &Tree<2>,
+    queries: &[Rect<2>],
+    rounds: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut cursor = SearchCursor::new();
+    let (mut instrumented, mut baseline) = (Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let mut found = 0usize;
+        for q in queries {
+            found += tree.search_with(&mut cursor, q).len();
+        }
+        black_box(found);
+        instrumented.push(start.elapsed().as_nanos() as u64);
+
+        let start = Instant::now();
+        let mut found = 0usize;
+        for q in queries {
+            found += tree.bench_search_untraced(&mut cursor, q).len();
+        }
+        black_box(found);
+        baseline.push(start.elapsed().as_nanos() as u64);
+    }
+    (instrumented, baseline)
+}
+
+/// Median of the per-round ratios `instrumented_i / baseline_i`.
+fn median_ratio(instrumented: &[u64], baseline: &[u64]) -> f64 {
+    let mut ratios: Vec<f64> = instrumented
+        .iter()
+        .zip(baseline)
+        .map(|(&i, &b)| i as f64 / b as f64)
+        .collect();
+    ratios.sort_unstable_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // ---- 1. The example trace ------------------------------------------
+    let trace = match record_example_trace() {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("trace_profile: example trace failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Page-I/O-heavy traces render thousands of leaf-read lines; keep the
+    // console preview short — the full trace goes to the Chrome export.
+    let rendered = trace.render_text_tree();
+    let total_lines = rendered.lines().count();
+    for line in rendered.lines().take(48) {
+        println!("{line}");
+    }
+    if total_lines > 48 {
+        println!("  … {} more lines (see Chrome export)", total_lines - 48);
+    }
+    let chrome = chrome_trace_json(std::slice::from_ref(&trace));
+    if let Err(e) = json::parse(&chrome) {
+        eprintln!("trace_profile: chrome export is not valid JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = args.trace_out.parent() {
+        std::fs::create_dir_all(dir).expect("create trace output dir");
+    }
+    std::fs::write(&args.trace_out, &chrome).expect("write chrome trace");
+    println!("trace_profile: wrote {}", args.trace_out.display());
+
+    // ---- 2. Untraced overhead ------------------------------------------
+    let dataset = DataDistribution::I3.generate(args.records, 11);
+    let mut tree: Tree<2> = Tree::new(IndexConfig::srtree());
+    for (rect, record) in &dataset.records {
+        tree.insert(*rect, *record);
+    }
+    let mut rng = Rng(23);
+    let queries: Vec<Rect<2>> = (0..args.queries)
+        .map(|_| {
+            let x = rng.next_f64() * DOMAIN_MAX * 0.9;
+            let y = rng.next_f64() * DOMAIN_MAX * 0.9;
+            let w = DOMAIN_MAX * (0.002 + rng.next_f64() * 0.05);
+            let h = DOMAIN_MAX * (0.002 + rng.next_f64() * 0.05);
+            Rect::new([x, y], [x + w, y + h])
+        })
+        .collect();
+    // Warm-up round outside the measurement (first touch faults pages in).
+    let (_, _) = time_overhead_rounds(&tree, &queries, 1);
+    let (mut instrumented, mut baseline) =
+        time_overhead_rounds(&tree, &queries, args.rounds.max(3));
+    let ratio = median_ratio(&instrumented, &baseline);
+    let instrumented_nanos = median(&mut instrumented) / args.queries as u64;
+    let baseline_nanos = median(&mut baseline) / args.queries as u64;
+    println!(
+        "untraced overhead over {} records, {} windows: instrumented {} ns/op, \
+         baseline {} ns/op, median per-round ratio {:.4} ({:+.2}%)",
+        args.records,
+        args.queries,
+        instrumented_nanos,
+        baseline_nanos,
+        ratio,
+        (ratio - 1.0) * 100.0
+    );
+
+    // ---- JSON ----------------------------------------------------------
+    let body = Value::Object(vec![
+        (
+            "benchmark".to_string(),
+            Value::Str("hierarchical tracing: untraced overhead + full-stack example trace".into()),
+        ),
+        ("date".to_string(), Value::Str(today())),
+        (
+            "method".to_string(),
+            Value::Str(
+                "crates/bench/src/bin/trace_profile.rs; (1) one forced trace of a 2-D window \
+                 search over a 4-shard hybrid service plus a persisted replica behind a 64 KB \
+                 buffer pool, checked well-formed and exported as Chrome trace_event JSON; \
+                 (2) interleaved paired rounds of Tree::search_with (tracing inactive) vs \
+                 Tree::bench_search_untraced, scored by the median per-round ratio"
+                    .into(),
+            ),
+        ),
+        (
+            "hardware_note".to_string(),
+            Value::Str(format!(
+                "container run (available_parallelism = {cores}); single-threaded \
+                 microbench, {} interleaved rounds (median of paired per-round ratios) - \
+                 relative ratios are the signal, absolute latencies vary with the runner",
+                args.rounds.max(3)
+            )),
+        ),
+        ("n_records".to_string(), Value::Int(args.records as i64)),
+        ("n_queries".to_string(), Value::Int(args.queries as i64)),
+        (
+            "overhead".to_string(),
+            Value::Object(vec![
+                (
+                    "instrumented_nanos_per_op".to_string(),
+                    Value::Int(instrumented_nanos as i64),
+                ),
+                (
+                    "baseline_nanos_per_op".to_string(),
+                    Value::Int(baseline_nanos as i64),
+                ),
+                ("median_ratio".to_string(), Value::Float(ratio)),
+                ("gate_ratio".to_string(), Value::Float(OVERHEAD_GATE)),
+            ]),
+        ),
+        (
+            "example_trace".to_string(),
+            Value::Object(vec![
+                ("trace_id".to_string(), Value::Int(trace.id as i64)),
+                ("class".to_string(), Value::Str(trace.class.name().into())),
+                (
+                    "duration_nanos".to_string(),
+                    Value::Int(trace.duration_nanos as i64),
+                ),
+                ("spans".to_string(), Value::Int(trace.spans.len() as i64)),
+                (
+                    "dropped_spans".to_string(),
+                    Value::Int(trace.dropped_spans as i64),
+                ),
+                ("profile".to_string(), trace.profile.to_json_value()),
+            ]),
+        ),
+    ])
+    .render();
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&args.out, body).expect("write results");
+    println!("trace_profile: wrote {}", args.out.display());
+
+    // ---- Acceptance gate -----------------------------------------------
+    if args.check {
+        if ratio > OVERHEAD_GATE {
+            eprintln!(
+                "trace_profile: CHECK FAILED: untraced overhead ratio {:.4} exceeds the \
+                 {:.2} gate",
+                ratio, OVERHEAD_GATE
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace_profile: checks passed (overhead ratio {:.4} <= {:.2}, trace \
+             well-formed across {} spans)",
+            ratio,
+            OVERHEAD_GATE,
+            trace.spans.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

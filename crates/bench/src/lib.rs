@@ -31,8 +31,8 @@ mod shape;
 
 pub use experiment::{Experiment, Graph, Variant, PAPER_PREDICTION_BUFFER};
 pub use metrics::{
-    concurrent_service_metrics, metrics_registry, metrics_snapshot, sharded_service_metrics,
-    write_metrics_json,
+    concurrent_service_metrics, hybrid_router_metrics, metrics_registry, metrics_snapshot,
+    sharded_service_metrics, traced_service_metrics, write_metrics_json,
 };
 pub use report::{render_table, write_csv};
 pub use runner::{inspect_variants, run_experiment, BuildInfo, GraphResult, Series, SweepPoint};

@@ -9,8 +9,11 @@
 
 use crate::runner::GraphResult;
 use segidx_concurrent::{ConcurrentIndex, IndexOp, ShardedIndex, SubmitError, ZOrderRouter};
-use segidx_core::{IndexConfig, RecordId, Tree};
-use segidx_geom::Rect;
+use segidx_core::hint::HybridIndex;
+use segidx_core::{IndexConfig, IntervalIndex, RecordId, Tree};
+use segidx_geom::{Point, Rect};
+use segidx_obs::json::{self, Value};
+use segidx_obs::trace::{OpClass, Tracer};
 use segidx_obs::{Metric, MetricsRegistry, MetricsSnapshot, RingBufferSink};
 use std::io::Write as _;
 use std::path::Path;
@@ -110,11 +113,12 @@ fn collect(results: &[GraphResult], out: &mut Vec<Metric>) {
 pub fn concurrent_service_metrics() -> Vec<Metric> {
     let sink = Arc::new(RingBufferSink::new(4));
     let registry = MetricsRegistry::new();
-    registry.register_ring_sink(&sink, &[("component", "concurrent")]);
 
+    // `ring_sink` (not `sink`) keeps the concrete handle, so
+    // `register_metrics` exports the ring's dropped/buffered series too.
     let index = ConcurrentIndex::builder(Tree::<2>::new(IndexConfig::srtree()))
         .max_batch(8)
-        .sink(Arc::clone(&sink) as Arc<_>)
+        .ring_sink(Arc::clone(&sink))
         .start()
         .expect("memory-only start cannot fail");
     index
@@ -191,11 +195,84 @@ pub fn sharded_service_metrics() -> Vec<Metric> {
     metrics
 }
 
+/// Exercises the [`HybridIndex`] router across every query shape and
+/// returns its per-shape routing counters
+/// (`segidx_hybrid_routed_total{engine, shape}`) under
+/// `component="hybrid"`. The full engine × shape matrix is exported,
+/// zeros included, so dashboards see stable series.
+pub fn hybrid_router_metrics() -> Vec<Metric> {
+    let registry = MetricsRegistry::new();
+    let mut hybrid = HybridIndex::<2>::new();
+    for i in 0..300u64 {
+        let x = ((i * 37) % 900) as f64;
+        let y = ((i * 113) % 900) as f64;
+        hybrid.insert(Rect::new([x, y], [x + 25.0, y]), RecordId(i));
+    }
+    hybrid.register_metrics(&registry, &[("component", "hybrid")]);
+    // One of each shape the router distinguishes in 2-D: stab, slab
+    // (one extended dimension), window (two), and nearest.
+    let _ = hybrid.stab(&Point::new([450.0, 450.0]));
+    let _ = hybrid.search(&Rect::new([100.0, 300.0], [700.0, 300.0]));
+    let _ = hybrid.search(&Rect::new([100.0, 100.0], [400.0, 400.0]));
+    let _ = hybrid.nearest(&Point::new([450.0, 450.0]), 5);
+    registry.snapshot().metrics
+}
+
+/// Exercises a two-shard hybrid-engine service under forced tracing and
+/// returns the tracer's metric families (`segidx_trace_*` under
+/// `component="trace"`) together with the flight recorder's summary —
+/// the slowest retained trace per op class, each carrying its span tree
+/// and phase/profile breakdown. `reproduce --metrics-out` embeds the
+/// summary as the top-level `flight_recorder` key in `metrics.json`.
+pub fn traced_service_metrics() -> (Vec<Metric>, Value) {
+    let tracer = Arc::new(Tracer::with_config(1, 2, 4096));
+    let registry = MetricsRegistry::new();
+    let domain = Rect::new([0.0, 0.0], [1_000.0, 1_000.0]);
+    let router = ZOrderRouter::new(domain, 2);
+    let engines = vec![HybridIndex::<2>::new(), HybridIndex::<2>::new()];
+    let index = ShardedIndex::builder(router, engines)
+        .max_batch(8)
+        .tracer(Arc::clone(&tracer))
+        .start()
+        .expect("memory-only start cannot fail");
+    index.register_metrics(&registry, &[("component", "trace")]);
+
+    // Traced writes: each ticket wait pulls the writer's queue-wait /
+    // apply / publish phases into the submitting trace.
+    for i in 0..32u64 {
+        let x = (i % 25) as f64 * 8.0 + if i % 2 == 0 { 0.0 } else { 500.0 };
+        let y = (i % 20) as f64 * 12.0;
+        let _g = tracer.force(OpClass::Insert, "metrics_insert");
+        index
+            .submit(IndexOp::Insert {
+                rect: Rect::new([x, y], [x + 4.0, y + 4.0]),
+                record: RecordId(i),
+            })
+            .expect("queue cannot fill while every submit waits")
+            .wait()
+            .expect("memory-only commit cannot fail");
+    }
+    // Traced reads: scatter/gather window searches spanning both shards.
+    for i in 0..8u64 {
+        let _g = tracer.force(OpClass::Search, "metrics_search");
+        let snap = index.snapshot();
+        let q = Rect::new([0.0, (i * 10) as f64], [1_000.0, 1_000.0]);
+        let _ = snap.search_batch(&[q]);
+    }
+    let metrics = registry.snapshot().metrics;
+    let flight = tracer.flight().summary_json();
+    index.shutdown();
+    (metrics, flight)
+}
+
 /// Writes the metrics for `results` as JSON to `path`, creating parent
 /// directories as needed. The export also carries the concurrent index
-/// service's metric families (see [`concurrent_service_metrics`]) and the
+/// service's metric families (see [`concurrent_service_metrics`]), the
 /// sharded service's per-shard + rollup families (see
-/// [`sharded_service_metrics`]).
+/// [`sharded_service_metrics`]), the hybrid router's per-shape counters
+/// (see [`hybrid_router_metrics`]), the tracer health families, and a
+/// top-level `flight_recorder` object with the slowest retained trace per
+/// op class (see [`traced_service_metrics`]).
 pub fn write_metrics_json(results: &[GraphResult], path: &Path) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -205,8 +282,21 @@ pub fn write_metrics_json(results: &[GraphResult], path: &Path) -> std::io::Resu
     let mut snapshot = metrics_snapshot(results);
     snapshot.metrics.extend(concurrent_service_metrics());
     snapshot.metrics.extend(sharded_service_metrics());
+    snapshot.metrics.extend(hybrid_router_metrics());
+    let (trace_metrics, flight) = traced_service_metrics();
+    snapshot.metrics.extend(trace_metrics);
+    // Splice the flight-recorder summary in as a sibling of "metrics".
+    let rendered = snapshot.to_json();
+    let body = match json::parse(&rendered) {
+        Ok(Value::Object(mut fields)) => {
+            fields.push(("flight_recorder".to_string(), flight));
+            Value::Object(fields).render()
+        }
+        // to_json always renders an object; fall back to it verbatim.
+        _ => rendered,
+    };
     let mut f = std::fs::File::create(path)?;
-    f.write_all(snapshot.to_json().as_bytes())?;
+    f.write_all(body.as_bytes())?;
     f.write_all(b"\n")?;
     Ok(())
 }
@@ -365,6 +455,79 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_router_metrics_cover_the_shape_matrix() {
+        let metrics = hybrid_router_metrics();
+        let snap = MetricsSnapshot { metrics };
+        for engine in ["hint", "tree"] {
+            for shape in ["one_d", "stab", "slab", "window", "nearest"] {
+                let labels: &[(&str, &str)] = &[
+                    ("component", "hybrid"),
+                    ("engine", engine),
+                    ("shape", shape),
+                ];
+                assert!(
+                    snap.get("segidx_hybrid_routed_total", labels).is_some(),
+                    "missing {engine}/{shape}"
+                );
+            }
+        }
+        // The exercise actually routed: stab went to HINT, nearest to tree.
+        let stab = snap
+            .get(
+                "segidx_hybrid_routed_total",
+                &[
+                    ("component", "hybrid"),
+                    ("engine", "hint"),
+                    ("shape", "stab"),
+                ],
+            )
+            .unwrap();
+        match &stab.value {
+            segidx_obs::MetricValue::Counter(v) => assert!(*v > 0),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_service_metrics_populate_tracer_families_and_flight_summary() {
+        let (metrics, flight) = traced_service_metrics();
+        let snap = MetricsSnapshot { metrics };
+        let labels: &[(&str, &str)] = &[("component", "trace")];
+        for name in [
+            "segidx_trace_started_total",
+            "segidx_trace_sampled_total",
+            "segidx_trace_spans_dropped_total",
+            "segidx_trace_spans_dropped",
+            "segidx_trace_flight_retained",
+        ] {
+            assert!(snap.get(name, labels).is_some(), "missing {name}");
+        }
+        match &snap
+            .get("segidx_trace_sampled_total", labels)
+            .unwrap()
+            .value
+        {
+            segidx_obs::MetricValue::Counter(v) => assert!(*v >= 40, "forced 40 traces, got {v}"),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        // The summary retains both op classes, each with a well-formed
+        // slowest entry carrying a duration and a profile.
+        for class in ["insert", "search"] {
+            let entry = flight.get(class).unwrap_or_else(|| panic!("no {class}"));
+            assert!(entry.get("retained").and_then(Value::as_i64).unwrap() >= 1);
+            let slowest = entry.get("slowest").unwrap();
+            assert!(
+                slowest
+                    .get("duration_nanos")
+                    .and_then(Value::as_i64)
+                    .unwrap()
+                    > 0
+            );
+            assert!(slowest.get("profile").is_some(), "{class} profile missing");
+        }
+    }
+
+    #[test]
     fn written_json_parses_and_roundtrips() {
         let results = tiny_results();
         let dir = std::env::temp_dir().join("segidx-metrics-test");
@@ -374,6 +537,11 @@ mod tests {
         let value = json::parse(&text).unwrap();
         let metrics = value.get("metrics").and_then(|v| v.as_array()).unwrap();
         assert!(!metrics.is_empty());
+        let flight = value.get("flight_recorder").expect("flight_recorder key");
+        assert!(
+            flight.get("search").is_some() || flight.get("insert").is_some(),
+            "flight recorder retained at least one class"
+        );
         // Round-trip: render → parse → render is a fixpoint.
         assert_eq!(
             json::parse(&value.render()).unwrap().render(),

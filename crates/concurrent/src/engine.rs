@@ -16,9 +16,10 @@
 //! only and returns [`StorageError::Unsupported`], which a durable builder
 //! surfaces at `start()` time (typed, not a panic).
 
-use segidx_core::hint::HintIndex;
+use segidx_core::hint::{HintIndex, HybridIndex};
 use segidx_core::persist;
 use segidx_core::tree::{Neighbor, SearchCursor, Tree};
+use segidx_core::IntervalIndex;
 use segidx_core::RecordId;
 use segidx_geom::{Point, Rect};
 use segidx_storage::{DiskManager, StorageError};
@@ -175,6 +176,56 @@ impl<const D: usize> SnapshotEngine<D> for HintIndex<D> {
     }
 }
 
+impl<const D: usize> SnapshotEngine<D> for HybridIndex<D> {
+    fn apply_insert(&mut self, rect: Rect<D>, record: RecordId) {
+        self.insert(rect, record);
+    }
+
+    fn apply_delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
+        self.delete(rect, record)
+    }
+
+    fn len(&self) -> usize {
+        IntervalIndex::len(self)
+    }
+
+    fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        IntervalIndex::search(self, query)
+    }
+
+    fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
+        IntervalIndex::stab(self, p)
+    }
+
+    fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+        IntervalIndex::nearest(self, p, k)
+    }
+
+    fn search_many(&self, queries: &[Rect<D>]) -> Vec<Vec<RecordId>> {
+        self.search_batch(queries)
+    }
+
+    fn stab_many(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
+        self.stab_batch(points)
+    }
+
+    fn checkpoint(&self, _disk: &DiskManager) -> Result<(), StorageError> {
+        Err(StorageError::Unsupported(
+            "the hybrid router pairs the tree with main-memory HINT and has \
+             no combined checkpoint format; build without durable()"
+                .into(),
+        ))
+    }
+
+    fn check_invariants(&self) -> Vec<String> {
+        IntervalIndex::check_invariants(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +254,7 @@ mod tests {
     fn tree_and_hint_satisfy_the_engine_contract() {
         drive(Tree::<2>::new(IndexConfig::srtree()));
         drive(HintIndex::<2>::new());
+        drive(HybridIndex::<2>::new());
     }
 
     #[test]

@@ -36,13 +36,16 @@ use crate::engine::SnapshotEngine;
 use crate::epoch::EpochRegistry;
 use crate::global_epoch::GlobalLink;
 use crate::queue::{
-    CommitError, CommitReceipt, CommitTicket, IndexOp, QueueItem, SubmissionQueue, SubmitError,
-    TicketState,
+    CommitError, CommitPhases, CommitReceipt, CommitTicket, IndexOp, QueueItem, SubmissionQueue,
+    SubmitError, TicketState,
 };
 use segidx_core::tree::Tree;
 use segidx_core::RecordId;
 use segidx_geom::Rect;
-use segidx_obs::{Event, EventKind, LatencyHistogram, Metric, MetricsRegistry, ObsSink};
+use segidx_obs::trace::{self, Tracer};
+use segidx_obs::{
+    Event, EventKind, LatencyHistogram, Metric, MetricsRegistry, ObsSink, RingBufferSink,
+};
 use segidx_storage::{DiskManager, StorageError};
 use std::ops::Deref;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
@@ -119,6 +122,12 @@ struct Shared<const D: usize, E = Tree<D>> {
     retired_highwater: AtomicUsize,
     telemetry: Arc<ConcurrentTelemetry>,
     sink: Option<Arc<dyn ObsSink>>,
+    /// Concrete handle to the ring sink (when the sink *is* one), so
+    /// `register_metrics` can export its dropped/buffered gauges.
+    ring: Option<Arc<RingBufferSink>>,
+    /// Tracer whose flight recorder / drop counters this index's metrics
+    /// should carry.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<const D: usize, E> Shared<D, E> {
@@ -145,6 +154,7 @@ impl<const D: usize, E> Shared<D, E> {
     }
 
     fn submit(&self, op: IndexOp<D>) -> Result<CommitTicket, SubmitError> {
+        let _sp = trace::span("index.submit");
         let state = Arc::new(TicketState::default());
         match self.queue.push_op(op, Arc::clone(&state)) {
             Ok(()) => Ok(CommitTicket { state }),
@@ -301,6 +311,8 @@ pub struct Builder<const D: usize, E = Tree<D>> {
     queue_capacity: usize,
     max_batch: usize,
     sink: Option<Arc<dyn ObsSink>>,
+    ring: Option<Arc<RingBufferSink>>,
+    tracer: Option<Arc<Tracer>>,
     commit_hook: Option<CommitHook>,
 }
 
@@ -332,6 +344,24 @@ impl<const D: usize, E: SnapshotEngine<D>> Builder<D, E> {
         self
     }
 
+    /// Like [`sink`](Self::sink), but keeps the concrete ring-buffer
+    /// handle so [`IndexHandle::register_metrics`] also exports the
+    /// sink's `segidx_events_dropped_total` / `segidx_events_buffered`
+    /// series — lost observability is itself observable.
+    pub fn ring_sink(mut self, sink: Arc<RingBufferSink>) -> Self {
+        self.ring = Some(Arc::clone(&sink));
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Associates a [`Tracer`] with this index: its sampling counters,
+    /// trace-buffer drop counter, and flight-recorder depth ride along in
+    /// [`IndexHandle::register_metrics`].
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Installs a [`CommitHook`] (test seam for in-flight commits).
     pub fn commit_hook(mut self, hook: CommitHook) -> Self {
         self.commit_hook = Some(hook);
@@ -357,6 +387,8 @@ impl<const D: usize, E: SnapshotEngine<D>> Builder<D, E> {
             queue_capacity,
             max_batch,
             sink,
+            ring,
+            tracer,
             commit_hook,
         } = self;
         let durable_epoch = match &disk {
@@ -381,6 +413,8 @@ impl<const D: usize, E: SnapshotEngine<D>> Builder<D, E> {
             retired_highwater: AtomicUsize::new(0),
             telemetry: Arc::new(ConcurrentTelemetry::default()),
             sink,
+            ring,
+            tracer,
         });
         Ok(Prepared {
             shared,
@@ -481,6 +515,8 @@ impl<const D: usize, E> ConcurrentIndex<D, E> {
             queue_capacity: 1024,
             max_batch: 128,
             sink: None,
+            ring: None,
+            tracer: None,
             commit_hook: None,
         }
     }
@@ -658,10 +694,20 @@ impl<const D: usize, E> IndexHandle<D, E> {
     ///   `segidx_concurrent_reclaimed_total` — counters;
     /// * `segidx_concurrent_queue_wait_nanos`,
     ///   `segidx_concurrent_commit_latency_nanos` — histograms.
+    ///
+    /// When the index was built with [`Builder::ring_sink`] or
+    /// [`Builder::tracer`], the sink's `segidx_events_*` and the tracer's
+    /// `segidx_trace_*` series are registered under the same labels.
     pub fn register_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)])
     where
         E: Send + Sync + 'static,
     {
+        if let Some(ring) = &self.shared.ring {
+            registry.register_ring_sink(ring, labels);
+        }
+        if let Some(tracer) = &self.shared.tracer {
+            registry.register_tracer(tracer, labels);
+        }
         let shared = Arc::clone(&self.shared);
         let labels: Vec<(String, String)> = labels
             .iter()
@@ -759,7 +805,9 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
             continue;
         }
         let commit_start = Instant::now();
-        let mut tickets: Vec<Arc<TicketState>> = Vec::new();
+        // Each ticket keeps its own queue wait; the apply/checkpoint/
+        // publish phases below are shared by the whole group commit.
+        let mut tickets: Vec<(Arc<TicketState>, u64)> = Vec::new();
         let mut applied = 0usize;
         for item in batch {
             match item {
@@ -768,10 +816,8 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
                     ticket,
                     enqueued,
                 } => {
-                    shared
-                        .telemetry
-                        .queue_wait
-                        .record_duration(enqueued.elapsed());
+                    let waited = enqueued.elapsed();
+                    shared.telemetry.queue_wait.record_duration(waited);
                     match op {
                         IndexOp::Insert { rect, record } => tree.apply_insert(rect, record),
                         IndexOp::Delete { rect, record } => {
@@ -779,11 +825,12 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
                         }
                     }
                     applied += 1;
-                    tickets.push(ticket);
+                    tickets.push((ticket, waited.as_nanos() as u64));
                 }
-                QueueItem::Barrier(ticket) => tickets.push(ticket),
+                QueueItem::Barrier(ticket) => tickets.push((ticket, 0)),
             }
         }
+        let apply_nanos = commit_start.elapsed().as_nanos() as u64;
         if applied == 0 {
             // Barrier-only batch: the published snapshot already covers
             // everything submitted before it.
@@ -792,7 +839,7 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
                 durable_epoch: shared.published_durable_epoch(),
                 ops_in_commit: 0,
             });
-            for t in tickets {
+            for (t, _) in tickets {
                 t.complete(receipt.clone());
             }
             continue;
@@ -801,6 +848,7 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
         if let Some(hook) = hook.as_mut() {
             hook(next_epoch);
         }
+        let checkpoint_start = Instant::now();
         let durable_epoch = match &disk {
             Some(disk) => match tree.checkpoint(disk) {
                 Ok(()) => Some(disk.epoch()),
@@ -811,7 +859,7 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
                     // the last durable epoch.
                     let failure = CommitError::Storage(err.to_string());
                     shared.queue.close();
-                    for t in tickets {
+                    for (t, _) in tickets {
                         t.complete(Err(failure.clone()));
                     }
                     shared.queue.fail_remaining(&failure);
@@ -820,6 +868,12 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
             },
             None => None,
         };
+        let checkpoint_nanos = if disk.is_some() {
+            checkpoint_start.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        let publish_start = Instant::now();
         let fresh = Arc::new(SnapshotInner {
             epoch: next_epoch,
             durable_epoch,
@@ -855,7 +909,14 @@ fn writer_loop<const D: usize, E: SnapshotEngine<D>>(
             durable_epoch,
             ops_in_commit: applied,
         });
-        for t in tickets {
+        let publish_nanos = publish_start.elapsed().as_nanos() as u64;
+        for (t, queue_wait_nanos) in tickets {
+            t.set_phases(CommitPhases {
+                queue_wait_nanos,
+                apply_nanos,
+                checkpoint_nanos,
+                publish_nanos,
+            });
             t.complete(receipt.clone());
         }
     }

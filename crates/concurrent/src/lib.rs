@@ -77,7 +77,7 @@ pub use epoch::MAX_READERS;
 pub use index::{
     Builder, CommitHook, ConcurrentIndex, ConcurrentTelemetry, IndexHandle, SnapshotGuard,
 };
-pub use queue::{CommitError, CommitReceipt, CommitTicket, IndexOp, SubmitError};
+pub use queue::{CommitError, CommitPhases, CommitReceipt, CommitTicket, IndexOp, SubmitError};
 pub use shard::{
     GlobalSnapshotGuard, RoutingStats, ShardedBuilder, ShardedHandle, ShardedIndex, ZOrderRouter,
 };

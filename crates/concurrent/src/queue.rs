@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use segidx_core::RecordId;
 use segidx_geom::Rect;
+use segidx_obs::trace::{self, Dim};
 
 /// One mutation submitted to a concurrent index.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -100,11 +101,44 @@ pub struct CommitReceipt {
     pub ops_in_commit: usize,
 }
 
+/// Where the wall-clock time of one committed operation went, measured on
+/// the writer thread and reported back through the operation's ticket.
+///
+/// `queue_wait_nanos` is per operation (submission → drain); the other
+/// three phases are properties of the whole group commit the operation
+/// rode in. A waiter that is part of an active trace turns these into
+/// synthetic child spans, so a slow commit shows *which* phase was slow —
+/// queued behind a backlog, applying a big batch, fsyncing a checkpoint,
+/// or publishing/reclaiming snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitPhases {
+    /// Time this operation spent queued before its batch was drained.
+    pub queue_wait_nanos: u64,
+    /// Time the writer spent applying the batch to its private engine.
+    pub apply_nanos: u64,
+    /// Time spent in the durable checkpoint (0 for memory-only indexes).
+    pub checkpoint_nanos: u64,
+    /// Time spent publishing the snapshot, retiring and reclaiming old
+    /// ones, and completing tickets' bookkeeping.
+    pub publish_nanos: u64,
+}
+
+impl CommitPhases {
+    /// Sum of all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.queue_wait_nanos + self.apply_nanos + self.checkpoint_nanos + self.publish_nanos
+    }
+}
+
 /// Shared completion state behind a [`CommitTicket`].
 #[derive(Debug, Default)]
 pub(crate) struct TicketState {
     result: Mutex<Option<Result<CommitReceipt, CommitError>>>,
     done: Condvar,
+    /// Phase breakdown, set by the writer just before `complete`. A side
+    /// channel rather than receipt fields so [`CommitReceipt`] stays a
+    /// pure value type (tests compare receipts with `Eq`).
+    phases: Mutex<Option<CommitPhases>>,
 }
 
 impl TicketState {
@@ -114,6 +148,10 @@ impl TicketState {
             *slot = Some(result);
             self.done.notify_all();
         }
+    }
+
+    pub(crate) fn set_phases(&self, phases: CommitPhases) {
+        *self.phases.lock().unwrap() = Some(phases);
     }
 
     fn wait(&self) -> Result<CommitReceipt, CommitError> {
@@ -158,8 +196,22 @@ pub struct CommitTicket {
 
 impl CommitTicket {
     /// Blocks until the operation's group commit completes (or fails).
+    ///
+    /// If the calling thread is inside an active trace, the wait is
+    /// recorded as a `commit.wait` span whose children are the commit's
+    /// phase breakdown (queue wait, apply, checkpoint, publish) measured
+    /// on the writer thread.
     pub fn wait(&self) -> Result<CommitReceipt, CommitError> {
-        self.state.wait()
+        if !trace::active() {
+            return self.state.wait();
+        }
+        let sp = trace::span("commit.wait");
+        let result = self.state.wait();
+        if let Ok(receipt) = &result {
+            sp.items(receipt.ops_in_commit as u64);
+        }
+        self.record_phases();
+        result
     }
 
     /// Blocks for at most `timeout`, returning `None` if the commit is
@@ -168,12 +220,54 @@ impl CommitTicket {
     /// harnesses avoid parking forever on a poisoned shard — bound the
     /// wait, then inspect the shard instead of hanging.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<CommitReceipt, CommitError>> {
-        self.state.wait_timeout(timeout)
+        if !trace::active() {
+            return self.state.wait_timeout(timeout);
+        }
+        let sp = trace::span("commit.wait");
+        let result = self.state.wait_timeout(timeout);
+        if let Some(Ok(receipt)) = &result {
+            sp.items(receipt.ops_in_commit as u64);
+        }
+        if result.is_some() {
+            self.record_phases();
+        }
+        result
     }
 
     /// The commit outcome if it is already known, without blocking.
     pub fn try_receipt(&self) -> Option<Result<CommitReceipt, CommitError>> {
         self.state.peek()
+    }
+
+    /// The commit's phase breakdown, if the writer has completed it.
+    pub fn phases(&self) -> Option<CommitPhases> {
+        *self.state.phases.lock().unwrap()
+    }
+
+    /// Attributes the completed commit's phases to the active trace: one
+    /// synthetic child span per non-empty phase (laid end-to-end so they
+    /// finish "now", which is when the waiter observed completion) plus
+    /// the matching profile counters.
+    fn record_phases(&self) {
+        let Some(ctx) = trace::current() else { return };
+        let Some(p) = self.phases() else { return };
+        trace::add(Dim::QueueWaitNanos, p.queue_wait_nanos);
+        trace::add(Dim::ApplyNanos, p.apply_nanos);
+        trace::add(Dim::CheckpointNanos, p.checkpoint_nanos);
+        trace::add(Dim::PublishNanos, p.publish_nanos);
+        let now = ctx.now_nanos();
+        let mut t = now.saturating_sub(p.total_nanos());
+        for (name, dur) in [
+            ("commit.queue_wait", p.queue_wait_nanos),
+            ("commit.apply", p.apply_nanos),
+            ("commit.checkpoint", p.checkpoint_nanos),
+            ("commit.publish", p.publish_nanos),
+        ] {
+            if dur > 0 {
+                ctx.record_interval(name, t, t.saturating_add(dur), 0);
+            }
+            t = t.saturating_add(dur);
+        }
     }
 }
 

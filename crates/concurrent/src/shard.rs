@@ -38,10 +38,21 @@ use crate::queue::{CommitError, CommitReceipt, CommitTicket, IndexOp, SubmitErro
 use segidx_core::tree::{Neighbor, Tree};
 use segidx_core::RecordId;
 use segidx_geom::{Point, Rect};
-use segidx_obs::{Metric, MetricsRegistry, ObsSink};
+use segidx_obs::trace::{self, Dim, Tracer};
+use segidx_obs::{Metric, MetricsRegistry, ObsSink, RingBufferSink};
 use segidx_storage::{DiskManager, StorageError};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
+
+/// Static span names for per-shard scatter work, so shard-side spans cost
+/// no allocation. Shard ids past the table share the last name.
+const SHARD_SPANS: [&str; 8] = [
+    "shard.0", "shard.1", "shard.2", "shard.3", "shard.4", "shard.5", "shard.6", "shard.7",
+];
+
+fn shard_span_name(shard: usize) -> &'static str {
+    SHARD_SPANS[shard.min(SHARD_SPANS.len() - 1)]
+}
 
 /// Routes rectangles to shards by a Z-order (Morton) prefix of their
 /// centroid: each centroid coordinate is normalized against `domain` into
@@ -164,6 +175,8 @@ pub struct ShardedBuilder<const D: usize, E = Tree<D>> {
     queue_capacity: usize,
     max_batch: usize,
     sink: Option<Arc<dyn ObsSink>>,
+    ring: Option<Arc<RingBufferSink>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<const D: usize, E: SnapshotEngine<D>> ShardedBuilder<D, E> {
@@ -185,6 +198,22 @@ impl<const D: usize, E: SnapshotEngine<D>> ShardedBuilder<D, E> {
     /// `EpochReclaimed` events.
     pub fn sink(mut self, sink: Arc<dyn ObsSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Like [`sink`](Self::sink), but keeps the concrete ring-buffer
+    /// handle so [`ShardedIndex::register_metrics`] also exports the
+    /// sink's dropped/buffered series (registered once, not per shard).
+    pub fn ring_sink(mut self, sink: Arc<RingBufferSink>) -> Self {
+        self.ring = Some(Arc::clone(&sink));
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Associates a [`Tracer`] whose sampling/drop/flight-recorder series
+    /// [`ShardedIndex::register_metrics`] should export.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -215,6 +244,8 @@ impl<const D: usize, E: SnapshotEngine<D>> ShardedBuilder<D, E> {
             queue_capacity,
             max_batch,
             sink,
+            ring,
+            tracer,
         } = self;
         // Two-phase start: prepare every shard first (building its epoch-0
         // snapshot), seed the global vector with all of them, and only
@@ -251,6 +282,8 @@ impl<const D: usize, E: SnapshotEngine<D>> ShardedBuilder<D, E> {
             router,
             publisher,
             routed,
+            ring,
+            tracer,
         })
     }
 }
@@ -288,6 +321,8 @@ pub struct ShardedIndex<const D: usize, E = Tree<D>> {
     router: ZOrderRouter<D>,
     publisher: Arc<GlobalPublisher<D, E>>,
     routed: Arc<[AtomicU64]>,
+    ring: Option<Arc<RingBufferSink>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<const D: usize, E: SnapshotEngine<D>> ShardedIndex<D, E> {
@@ -307,6 +342,8 @@ impl<const D: usize, E: SnapshotEngine<D>> ShardedIndex<D, E> {
             queue_capacity: 1024,
             max_batch: 128,
             sink: None,
+            ring: None,
+            tracer: None,
         }
     }
 
@@ -399,6 +436,12 @@ impl<const D: usize, E: SnapshotEngine<D>> ShardedIndex<D, E> {
     /// `segidx_sharded_retired_vectors`, `segidx_sharded_routing_imbalance`
     /// and `segidx_sharded_routed_ops_total` (the last also per shard).
     pub fn register_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        if let Some(ring) = &self.ring {
+            registry.register_ring_sink(ring, labels);
+        }
+        if let Some(tracer) = &self.tracer {
+            registry.register_tracer(tracer, labels);
+        }
         for (i, shard) in self.shards.iter().enumerate() {
             let id = i.to_string();
             let mut l: Vec<(&str, &str)> = labels.to_vec();
@@ -711,36 +754,67 @@ impl<const D: usize, E: SnapshotEngine<D>> GlobalSnapshotGuard<D, E> {
     /// order — bit-identical to [`Tree::search`] on the unsharded
     /// contents.
     pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
-        let parts: Vec<Vec<RecordId>> = self
-            .vector()
-            .shards
+        let sp = trace::span("sharded.search");
+        let shards = &self.vector().shards;
+        trace::add(Dim::ShardFanout, shards.len() as u64);
+        let parts: Vec<Vec<RecordId>> = shards
             .iter()
-            .map(|s| s.tree.search(query))
+            .enumerate()
+            .map(|(i, s)| {
+                let ssp = trace::span(shard_span_name(i));
+                let part = s.tree.search(query);
+                ssp.items(part.len() as u64);
+                part
+            })
             .collect();
-        merge_sorted(parts)
+        let msp = trace::span("sharded.merge");
+        let out = merge_sorted(parts);
+        msp.items(out.len() as u64);
+        drop(msp);
+        sp.items(out.len() as u64);
+        out
     }
 
     /// All records containing `p`, merged across shards in record order —
     /// bit-identical to [`Tree::stab`] on the unsharded contents.
     pub fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
-        let parts: Vec<Vec<RecordId>> = self
-            .vector()
-            .shards
+        let sp = trace::span("sharded.stab");
+        let shards = &self.vector().shards;
+        trace::add(Dim::ShardFanout, shards.len() as u64);
+        let parts: Vec<Vec<RecordId>> = shards
             .iter()
-            .map(|s| s.tree.stab(p))
+            .enumerate()
+            .map(|(i, s)| {
+                let ssp = trace::span(shard_span_name(i));
+                let part = s.tree.stab(p);
+                ssp.items(part.len() as u64);
+                part
+            })
             .collect();
-        merge_sorted(parts)
+        let msp = trace::span("sharded.merge");
+        let out = merge_sorted(parts);
+        msp.items(out.len() as u64);
+        drop(msp);
+        sp.items(out.len() as u64);
+        out
     }
 
     /// The `k` records nearest to `p` across all shards, nearest first;
     /// ties broken by record id (deterministic, unlike the single-tree
     /// [`Tree::nearest`] whose ties are arbitrary).
     pub fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
-        let mut all: Vec<Neighbor<D>> = self
-            .vector()
-            .shards
+        let _sp = trace::span("sharded.nearest");
+        let shards = &self.vector().shards;
+        trace::add(Dim::ShardFanout, shards.len() as u64);
+        let mut all: Vec<Neighbor<D>> = shards
             .iter()
-            .flat_map(|s| s.tree.nearest(p, k))
+            .enumerate()
+            .flat_map(|(i, s)| {
+                let ssp = trace::span(shard_span_name(i));
+                let part = s.tree.nearest(p, k);
+                ssp.items(part.len() as u64);
+                part
+            })
             .collect();
         all.sort_unstable_by(|a, b| {
             a.distance
@@ -771,22 +845,39 @@ impl<const D: usize, E: SnapshotEngine<D>> GlobalSnapshotGuard<D, E> {
         queries: usize,
         run: impl Fn(&E) -> Vec<Vec<RecordId>> + Sync,
     ) -> Vec<Vec<RecordId>> {
+        let sp = trace::span("sharded.scatter");
         let shards = &self.vector().shards;
+        trace::add(Dim::ShardFanout, shards.len() as u64);
         if shards.len() == 1 {
-            return run(&shards[0].tree);
+            let out = run(&shards[0].tree);
+            drop(sp);
+            return out;
         }
+        // Hand the submitting thread's trace to every worker: each shard's
+        // reads land as children of the scatter span, tagged with the
+        // shard id, even though they run on scoped threads.
+        let ctx = trace::current();
         let run = &run;
         let mut per_shard: Vec<Vec<Vec<RecordId>>> = std::thread::scope(|scope| {
             let workers: Vec<_> = shards
                 .iter()
-                .map(|s| scope.spawn(move || run(&s.tree)))
+                .enumerate()
+                .map(|(i, s)| {
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let _g = ctx.and_then(|c| c.enter(shard_span_name(i), i as u64));
+                        run(&s.tree)
+                    })
+                })
                 .collect();
             workers
                 .into_iter()
                 .map(|w| w.join().expect("shard read worker"))
                 .collect()
         });
-        (0..queries)
+        drop(sp);
+        let msp = trace::span("sharded.gather");
+        let out: Vec<Vec<RecordId>> = (0..queries)
             .map(|i| {
                 merge_sorted(
                     per_shard
@@ -795,7 +886,9 @@ impl<const D: usize, E: SnapshotEngine<D>> GlobalSnapshotGuard<D, E> {
                         .collect(),
                 )
             })
-            .collect()
+            .collect();
+        msp.items(out.len() as u64);
+        out
     }
 
     /// Structural validation of every shard tree in the pinned vector;
@@ -1041,6 +1134,72 @@ mod tests {
         assert_eq!(snap.search_batch(&[q]), vec![snap.search(&q)]);
         let p = Point::new([200.0, 268.0]);
         assert_eq!(snap.stab_batch(&[p]), vec![snap.stab(&p)]);
+        index.shutdown();
+    }
+
+    #[test]
+    fn traced_read_and_commit_span_the_whole_stack() {
+        use segidx_obs::trace::OpClass;
+
+        let r = router(4);
+        let trees = (0..4)
+            .map(|_| Tree::<2>::new(IndexConfig::srtree()))
+            .collect();
+        let index = ShardedIndex::builder(r, trees).start().unwrap();
+        let tracer = Arc::new(Tracer::with_config(1, 4, 4096));
+
+        // Traced write: the ticket wait attributes the writer's commit
+        // phases to the submitter's trace.
+        {
+            let _g = tracer.force(OpClass::Insert, "sharded_insert").unwrap();
+            let ticket = index
+                .submit(IndexOp::Insert {
+                    rect: Rect::new([10.0, 10.0], [30.0, 12.0]),
+                    record: RecordId(0),
+                })
+                .unwrap();
+            let receipt = ticket.wait().unwrap();
+            assert!(receipt.epoch >= 1);
+            let phases = ticket.phases().expect("writer reported phases");
+            assert!(phases.total_nanos() > 0);
+            assert_eq!(phases.checkpoint_nanos, 0, "memory-only index");
+        }
+        let t = tracer.last_completed().unwrap();
+        assert_eq!(t.check_well_formed(), Vec::<String>::new());
+        assert!(t.spans.iter().any(|s| s.name == "commit.wait"));
+        assert!(t.spans.iter().any(|s| s.name == "commit.apply"));
+        assert!(t.profile.dim(Dim::ApplyNanos) > 0);
+
+        for i in 1..200u64 {
+            let x = ((i * 131) % 950) as f64;
+            let y = ((i * 67) % 950) as f64;
+            index
+                .submit(IndexOp::Insert {
+                    rect: Rect::new([x, y], [x + 20.0, y + 4.0]),
+                    record: RecordId(i),
+                })
+                .unwrap();
+        }
+        index.flush().unwrap();
+
+        // Traced batched read: scatter workers adopt the submitting
+        // thread's trace, so one trace spans all four shard threads.
+        {
+            let _g = tracer.force(OpClass::Search, "sharded_search").unwrap();
+            let snap = index.snapshot();
+            let q = Rect::new([0.0, 0.0], [1_000.0, 1_000.0]);
+            let got = snap.search_batch(&[q]);
+            assert_eq!(got[0].len(), 200);
+        }
+        let t = tracer.last_completed().unwrap();
+        assert_eq!(t.check_well_formed(), Vec::<String>::new());
+        assert!(t.spans.iter().any(|s| s.name == "sharded.scatter"));
+        assert!(t.spans.iter().any(|s| s.name.starts_with("shard.")));
+        assert!(
+            t.spans.iter().any(|s| s.name == "tree.search"),
+            "per-shard engine work is part of the same trace"
+        );
+        assert_eq!(t.profile.dim(Dim::ShardFanout), 4);
         index.shutdown();
     }
 

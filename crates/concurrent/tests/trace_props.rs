@@ -1,0 +1,204 @@
+//! Property tests for the tracing layer: every recorded trace must be a
+//! well-formed span tree — unique ids, a single root, children nested
+//! strictly inside their parents' intervals — no matter which engine
+//! answered the query or how many threads participated in recording.
+//!
+//! Two angles:
+//!
+//! 1. **Every engine**: random op sequences against all four paper
+//!    variants plus HINT and the hybrid router, each query forced through
+//!    a fresh trace.
+//! 2. **The sharded service under concurrent load**: reader threads run
+//!    traced scatter/gather searches while a writer streams traced
+//!    inserts; every trace the flight recorder retained must still be
+//!    well-formed even though worker threads appended spans concurrently.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segidx_concurrent::{IndexOp, ShardedIndex, SubmitError, ZOrderRouter};
+use segidx_core::{
+    HintIndex, HybridIndex, IntervalIndex, RTree, RecordId, SRTree, SkeletonRTree, SkeletonSRTree,
+};
+use segidx_geom::{Point, Rect};
+use segidx_obs::trace::{OpClass, Tracer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DOMAIN: f64 = 1000.0;
+
+/// Every query engine in the workspace, empty, as trait objects. The bool
+/// says whether a query always emits an engine span — the skeletons
+/// linear-scan a plain buffer until their build threshold, so small
+/// sequences legitimately record only the root.
+fn engines_2d() -> Vec<(&'static str, bool, Box<dyn IntervalIndex<2>>)> {
+    let domain = Rect::new([-10.0, -10.0], [DOMAIN * 1.6, DOMAIN * 1.6]);
+    vec![
+        ("r-tree", true, Box::new(RTree::<2>::new())),
+        ("sr-tree", true, Box::new(SRTree::<2>::new())),
+        (
+            "skeleton-r-tree",
+            false,
+            Box::new(SkeletonRTree::<2>::with_prediction(domain, 256, 32)),
+        ),
+        (
+            "skeleton-sr-tree",
+            false,
+            Box::new(SkeletonSRTree::<2>::with_prediction(domain, 256, 32)),
+        ),
+        ("hint", true, Box::new(HintIndex::<2>::new())),
+        ("hybrid", true, Box::new(HybridIndex::<2>::new())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Forced traces around search and stab stay well-formed on every
+    /// engine, across every storage regime a random insert stream drives
+    /// them into.
+    #[test]
+    fn every_engine_records_well_formed_traces(
+        items in vec((0.0..DOMAIN, 0.0..DOMAIN, 0.0..120.0f64, 0.0..120.0f64), 1..80),
+        queries in vec((0.0..DOMAIN, 0.0..DOMAIN, 0.0..150.0f64, 0.0..150.0f64), 1..8),
+    ) {
+        let tracer = Arc::new(Tracer::with_config(1, 4, 4096));
+        for (name, always_spans, mut engine) in engines_2d() {
+            for (i, (x, y, w, h)) in items.iter().enumerate() {
+                engine.insert(
+                    Rect::new([*x, *y], [*x + *w, *y + *h]),
+                    RecordId(i as u64),
+                );
+            }
+            for (x, y, w, h) in &queries {
+                let q = Rect::new([*x, *y], [*x + *w, *y + *h]);
+                {
+                    let _g = tracer.force(OpClass::Search, "prop_search");
+                    let _ = engine.search(&q);
+                }
+                let t = tracer.last_completed().expect("search trace completed");
+                let problems = t.check_well_formed();
+                prop_assert!(problems.is_empty(), "{name} search: {problems:?}");
+                prop_assert!(
+                    !always_spans || t.spans.len() >= 2,
+                    "{name} search recorded no engine span"
+                );
+
+                {
+                    let _g = tracer.force(OpClass::Stab, "prop_stab");
+                    let _ = engine.stab(&Point::new([*x, *y]));
+                }
+                let t = tracer.last_completed().expect("stab trace completed");
+                let problems = t.check_well_formed();
+                prop_assert!(problems.is_empty(), "{name} stab: {problems:?}");
+                prop_assert!(
+                    !always_spans || t.spans.len() >= 2,
+                    "{name} stab recorded no engine span"
+                );
+            }
+        }
+        prop_assert_eq!(tracer.sampled(), tracer.completed());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        ..ProptestConfig::default()
+    })]
+
+    /// Traces recorded while reader threads scatter across shards and the
+    /// writers stream group commits stay well-formed: cross-thread span
+    /// adoption never produces orphans, duplicate ids, or children that
+    /// escape their parents.
+    #[test]
+    fn sharded_service_traces_survive_concurrent_load(
+        inserts in vec((0.0..DOMAIN, 0.0..DOMAIN), 40..120),
+        windows in vec((0.0..DOMAIN, 0.0..DOMAIN, 20.0..400.0f64), 2..6),
+    ) {
+        let tracer = Arc::new(Tracer::with_config(1, 16, 4096));
+        let domain = Rect::new([-10.0, -10.0], [DOMAIN * 1.6, DOMAIN * 1.6]);
+        let engines = vec![HybridIndex::<2>::new(), HybridIndex::<2>::new()];
+        let index = ShardedIndex::builder(ZOrderRouter::new(domain, 2), engines)
+            .max_batch(16)
+            .tracer(Arc::clone(&tracer))
+            .start()
+            .expect("memory-only start cannot fail");
+
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            // Readers: traced scatter/gather searches until the writer is done.
+            for _ in 0..2 {
+                let handle = index.handle();
+                let tracer = Arc::clone(&tracer);
+                let done = Arc::clone(&done);
+                let windows = windows.clone();
+                scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        for (x, y, extent) in &windows {
+                            let _g = tracer.force(OpClass::Search, "prop_window");
+                            let snap = handle.snapshot();
+                            let q = Rect::new([*x, *y], [*x + *extent, *y + *extent]);
+                            let _ = snap.search_batch(std::slice::from_ref(&q));
+                        }
+                    }
+                });
+            }
+            // Writer: traced inserts, each waiting for its group commit so
+            // the commit phases land inside the trace.
+            for (i, (x, y)) in inserts.iter().enumerate() {
+                let _g = tracer.force(OpClass::Insert, "prop_insert");
+                let rect = Rect::new([*x, *y], [*x + 5.0, *y + 5.0]);
+                let record = RecordId(i as u64);
+                let ticket = loop {
+                    match index.submit(IndexOp::Insert { rect, record }) {
+                        Ok(t) => break t,
+                        Err(SubmitError::Overloaded { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                };
+                ticket.wait().expect("memory-only commit cannot fail");
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        index.shutdown();
+
+        let retained = tracer.flight().all();
+        prop_assert!(!retained.is_empty(), "flight recorder retained nothing");
+        let mut saw_search = false;
+        let mut saw_insert = false;
+        for t in &retained {
+            let problems = t.check_well_formed();
+            prop_assert!(
+                problems.is_empty(),
+                "trace #{} ({}): {problems:?}",
+                t.id,
+                t.name
+            );
+            match t.class {
+                OpClass::Search => {
+                    saw_search = true;
+                    prop_assert!(
+                        t.spans.iter().any(|s| s.name.starts_with("sharded.")),
+                        "search trace #{} never crossed the sharded layer",
+                        t.id
+                    );
+                }
+                OpClass::Insert => {
+                    saw_insert = true;
+                    prop_assert!(
+                        t.spans.iter().any(|s| s.name == "commit.wait"),
+                        "insert trace #{} has no commit.wait span",
+                        t.id
+                    );
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(saw_search, "no search trace retained");
+        prop_assert!(saw_insert, "no insert trace retained");
+        prop_assert_eq!(tracer.sampled(), tracer.completed());
+    }
+}

@@ -57,6 +57,7 @@
 //! almost comparison-free — the HINT result this engine reproduces.
 
 use segidx_geom::{scan_hi_ge, scan_intersects, scan_lo_le, Rect};
+use segidx_obs::trace::{self, Dim};
 use std::sync::Arc;
 
 /// Best-effort read prefetch. The per-level walk touches one partition per
@@ -551,8 +552,43 @@ impl Hint1D {
         out: &mut Vec<u32>,
         scratch: &mut Vec<u32>,
     ) -> u64 {
+        // Monomorphized tracing split (see `Tree::search_kernel`): one
+        // `trace::active()` check per query; the untraced instantiation is
+        // bit-identical to the uninstrumented walk.
+        if trace::active() {
+            self.query_impl::<true>(qs, qe, out, scratch)
+        } else {
+            self.query_impl::<false>(qs, qe, out, scratch)
+        }
+    }
+
+    /// The uninstrumented query instantiation, for the `trace_profile`
+    /// overhead gate's no-telemetry baseline.
+    #[allow(dead_code)]
+    pub(crate) fn query_untraced(
+        &self,
+        qs: f64,
+        qe: f64,
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<u32>,
+    ) -> u64 {
+        self.query_impl::<false>(qs, qe, out, scratch)
+    }
+
+    fn query_impl<const TRACED: bool>(
+        &self,
+        qs: f64,
+        qe: f64,
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<u32>,
+    ) -> u64 {
         let (qa, qb) = (self.cell(qs), self.cell(qe));
         let mut touched = 0u64;
+        // When traced: levels walked and results emitted comparison-free
+        // (middle-partition originals + delta `aft` lists), flushed to the
+        // active trace's profile once at the end.
+        let mut level_walks = 0u64;
+        let mut elided = 0u64;
         // Overlap the per-level offset-table misses: every level's visited
         // partition index is known before any level is processed, so the
         // loads can all be in flight together instead of forming a serial
@@ -573,15 +609,26 @@ impl Hint1D {
                 let bl = &self.base[k as usize];
                 let shift = (self.bits - k) as usize;
                 let (a, b) = ((qa >> shift) as usize, (qb >> shift) as usize);
+                if TRACED {
+                    level_walks += 1;
+                }
                 if a == b {
                     touched += u64::from(bl.emit_covering(a, qs, qe, out, scratch));
                 } else {
                     touched += u64::from(bl.emit_first(a, qs, out, scratch));
+                    let mid0 = if TRACED { out.len() } else { 0 };
                     for p in a + 1..b {
                         touched += u64::from(bl.emit_middle(p, out));
                     }
+                    if TRACED {
+                        elided += (out.len() - mid0) as u64;
+                    }
                     touched += u64::from(bl.emit_last(b, qe, out, scratch));
                 }
+            }
+            if TRACED {
+                trace::add(Dim::HintLevelWalks, level_walks);
+                trace::add(Dim::HintElidedCmp, elided);
             }
             return touched;
         }
@@ -593,6 +640,9 @@ impl Hint1D {
             }
             let shift = self.bits as usize - k;
             let (a, b) = ((qa >> shift) as usize, (qb >> shift) as usize);
+            if TRACED {
+                level_walks += 1;
+            }
             if a == b {
                 let mut hit = false;
                 if let Some(bl) = bl {
@@ -665,6 +715,7 @@ impl Hint1D {
                 }
                 touched += u64::from(hit);
                 // Middle partitions: originals comparison-free.
+                let mid0 = if TRACED { out.len() } else { 0 };
                 for p in a + 1..b {
                     let mut hit = false;
                     if let Some(bl) = bl {
@@ -679,6 +730,9 @@ impl Hint1D {
                         }
                     }
                     touched += u64::from(hit);
+                }
+                if TRACED {
+                    elided += (out.len() - mid0) as u64;
                 }
                 // Last partition `b`.
                 let mut hit = false;
@@ -709,6 +763,10 @@ impl Hint1D {
                 }
                 touched += u64::from(hit);
             }
+        }
+        if TRACED {
+            trace::add(Dim::HintLevelWalks, level_walks);
+            trace::add(Dim::HintElidedCmp, elided);
         }
         touched
     }

@@ -30,7 +30,7 @@
 mod hint1d;
 mod router;
 
-pub use router::HybridIndex;
+pub use router::{query_shape, HybridIndex, QueryShape, RoutingCounters, QUERY_SHAPES};
 
 use crate::id::RecordId;
 use crate::stats::{StatsSnapshot, TreeStats};
@@ -38,7 +38,7 @@ use crate::telemetry::TreeTelemetry;
 use crate::tree::Neighbor;
 use hint1d::{Hint1D, MAX_LEVEL_BITS, MIN_LEVEL_BITS};
 use segidx_geom::{Point, Rect};
-use segidx_obs::LatencyHistogram;
+use segidx_obs::{trace, LatencyHistogram};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -389,9 +389,23 @@ impl<const D: usize> HintIndex<D> {
             );
             return accesses;
         };
+        // Static names so per-dimension spans stay allocation-free.
+        const DIM_SPANS: [&str; 8] = [
+            "hint.dim0",
+            "hint.dim1",
+            "hint.dim2",
+            "hint.dim3",
+            "hint.dim4",
+            "hint.dim5",
+            "hint.dim6",
+            "hint.dim7",
+        ];
         for (d, hier) in dims.iter().enumerate() {
+            let sp = trace::span(DIM_SPANS[d.min(DIM_SPANS.len() - 1)]);
             s.out.clear();
             accesses += hier.query(query.lo(d), query.hi(d), &mut s.out, &mut s.scratch);
+            sp.items(s.out.len() as u64);
+            drop(sp);
             if D == 1 {
                 // Single dimension: nothing to intersect, so the candidate
                 // set needs no handle-order sort (the caller sorts by
@@ -440,11 +454,15 @@ impl<const D: usize> HintIndex<D> {
     /// All records intersecting `query`, sorted by id.
     pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
         let start = self.obs_start();
+        let sp = trace::span("hint.search");
         let (ids, accesses) = with_query_scratch(|s| {
             let accesses = self.query_handles(query, s);
             (self.ids_of(&s.acc), accesses)
         });
         self.stats.flush_search(accesses, ids.len() as u64);
+        sp.items(ids.len() as u64);
+        trace::add(trace::Dim::ResultRecords, ids.len() as u64);
+        drop(sp);
         self.obs_record(|t| &t.search, start);
         ids
     }
@@ -453,12 +471,16 @@ impl<const D: usize> HintIndex<D> {
     /// window query, which the hierarchy answers almost comparison-free.
     pub fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
         let start = self.obs_start();
+        let sp = trace::span("hint.stab");
         let query = Rect::from_point(*p);
         let (ids, accesses) = with_query_scratch(|s| {
             let accesses = self.query_handles(&query, s);
             (self.ids_of(&s.acc), accesses)
         });
         self.stats.flush_search(accesses, ids.len() as u64);
+        sp.items(ids.len() as u64);
+        trace::add(trace::Dim::ResultRecords, ids.len() as u64);
+        drop(sp);
         self.obs_record(|t| &t.stab, start);
         ids
     }

@@ -26,20 +26,117 @@ use crate::stats::StatsSnapshot;
 use crate::telemetry::TreeTelemetry;
 use crate::tree::{Neighbor, Tree};
 use segidx_geom::{Point, Rect};
+use segidx_obs::{trace, Metric, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The query-shape classes the router distinguishes. Each routing decision
+/// is counted per shape, so the HINT/tree split is observable by shape in
+/// the metrics exports (not just as two grand totals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum QueryShape {
+    /// One-dimensional window (`D == 1`).
+    OneD = 0,
+    /// Point stab (degenerate in every dimension).
+    Stab = 1,
+    /// Window degenerate in all but one dimension.
+    Slab = 2,
+    /// Genuinely multi-dimensional window.
+    Window = 3,
+    /// Nearest-neighbor query.
+    Nearest = 4,
+}
+
+/// Number of [`QueryShape`] classes.
+pub const QUERY_SHAPES: usize = 5;
+
+impl QueryShape {
+    /// Stable lowercase name used as the `shape` metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryShape::OneD => "one_d",
+            QueryShape::Stab => "stab",
+            QueryShape::Slab => "slab",
+            QueryShape::Window => "window",
+            QueryShape::Nearest => "nearest",
+        }
+    }
+
+    /// Every shape, in display order.
+    pub const ALL: [QueryShape; QUERY_SHAPES] = [
+        QueryShape::OneD,
+        QueryShape::Stab,
+        QueryShape::Slab,
+        QueryShape::Window,
+        QueryShape::Nearest,
+    ];
+}
+
+/// Classifies a window query's shape (stabs and nearest queries are
+/// classified at their call sites).
+pub fn query_shape<const D: usize>(query: &Rect<D>) -> QueryShape {
+    if D == 1 {
+        return QueryShape::OneD;
+    }
+    match (0..D).filter(|&d| query.lo(d) < query.hi(d)).count() {
+        0 => QueryShape::Stab,
+        1 => QueryShape::Slab,
+        _ => QueryShape::Window,
+    }
+}
+
+/// Per-shape routing counters, shared across clones of a [`HybridIndex`]
+/// (a snapshot's queries count toward the same totals).
+#[derive(Debug, Default)]
+pub struct RoutingCounters {
+    hint: [AtomicU64; QUERY_SHAPES],
+    tree: [AtomicU64; QUERY_SHAPES],
+}
+
+impl RoutingCounters {
+    /// Queries routed to (HINT, tree) for `shape`.
+    pub fn by_shape(&self, shape: QueryShape) -> (u64, u64) {
+        (
+            self.hint[shape as usize].load(Ordering::Relaxed),
+            self.tree[shape as usize].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total queries routed to (HINT, tree) across all shapes.
+    pub fn totals(&self) -> (u64, u64) {
+        let sum = |a: &[AtomicU64]| a.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        (sum(&self.hint), sum(&self.tree))
+    }
+
+    fn bump(&self, shape: QueryShape, to_hint: bool, n: u64) {
+        let side = if to_hint { &self.hint } else { &self.tree };
+        side[shape as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
 
 /// A dual-engine index: every record lives in both an SR-Tree and a
 /// [`HintIndex`]; each query is routed to the engine its shape favors.
 ///
-/// Routing decisions are counted ([`routed_counts`](Self::routed_counts))
-/// so benchmarks and tests can observe the split.
+/// Routing decisions are counted per [`QueryShape`]
+/// ([`routing_counters`](Self::routing_counters),
+/// [`register_metrics`](Self::register_metrics)) so benchmarks, tests, and
+/// the metrics exports can observe the split. Clones share the counters.
 #[derive(Debug)]
 pub struct HybridIndex<const D: usize> {
     tree: Tree<D>,
     hint: HintIndex<D>,
-    hint_routed: AtomicU64,
-    tree_routed: AtomicU64,
+    routed: Arc<RoutingCounters>,
+}
+
+impl<const D: usize> Clone for HybridIndex<D> {
+    fn clone(&self) -> Self {
+        Self {
+            tree: self.tree.clone(),
+            hint: self.hint.clone(),
+            routed: Arc::clone(&self.routed),
+        }
+    }
 }
 
 impl<const D: usize> Default for HybridIndex<D> {
@@ -70,8 +167,7 @@ impl<const D: usize> HybridIndex<D> {
         Self {
             tree: Tree::new(config),
             hint: HintIndex::new(),
-            hint_routed: AtomicU64::new(0),
-            tree_routed: AtomicU64::new(0),
+            routed: Arc::new(RoutingCounters::default()),
         }
     }
 
@@ -85,21 +181,56 @@ impl<const D: usize> HybridIndex<D> {
         &self.hint
     }
 
-    /// Queries routed to (HINT, tree) so far.
+    /// Queries routed to (HINT, tree) so far, across all shapes.
     pub fn routed_counts(&self) -> (u64, u64) {
-        (
-            self.hint_routed.load(Ordering::Relaxed),
-            self.tree_routed.load(Ordering::Relaxed),
-        )
+        self.routed.totals()
+    }
+
+    /// The per-shape routing counters (shared across clones).
+    pub fn routing_counters(&self) -> &Arc<RoutingCounters> {
+        &self.routed
+    }
+
+    /// Registers the per-shape routing counters as labeled metrics:
+    /// `segidx_hybrid_routed_total{engine="hint"|"tree", shape=...}`, one
+    /// series per (engine, shape) pair with at least one decision.
+    /// Zero-valued pairs are still exported so dashboards see the full
+    /// shape matrix.
+    pub fn register_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        let routed = Arc::clone(&self.routed);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        registry.register(Box::new(move |out| {
+            for shape in QueryShape::ALL {
+                let (hint, tree) = routed.by_shape(shape);
+                for (engine, count) in [("hint", hint), ("tree", tree)] {
+                    let mut pairs: Vec<(&str, &str)> = labels
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.as_str()))
+                        .collect();
+                    pairs.push(("engine", engine));
+                    pairs.push(("shape", shape.name()));
+                    out.push(Metric::counter("segidx_hybrid_routed_total", &pairs, count));
+                }
+            }
+        }));
     }
 
     fn route(&self, query: &Rect<D>) -> bool {
+        let _sp = trace::span("router");
+        let shape = query_shape(query);
         let to_hint = hint_favored(query);
-        if to_hint {
-            self.hint_routed.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.tree_routed.fetch_add(1, Ordering::Relaxed);
-        }
+        self.routed.bump(shape, to_hint, 1);
+        trace::add(
+            if to_hint {
+                trace::Dim::RoutedHint
+            } else {
+                trace::Dim::RoutedTree
+            },
+            1,
+        );
         to_hint
     }
 }
@@ -122,12 +253,22 @@ impl<const D: usize> IntervalIndex<D> for HybridIndex<D> {
         // Route the whole batch by its first query's shape when uniform;
         // otherwise fall back to per-query routing (still exact).
         if queries.iter().all(hint_favored) {
-            self.hint_routed
-                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            {
+                let _sp = trace::span("router");
+                for q in queries {
+                    self.routed.bump(query_shape(q), true, 1);
+                }
+                trace::add(trace::Dim::RoutedHint, queries.len() as u64);
+            }
             self.hint.search_batch(queries)
         } else if !queries.iter().any(hint_favored) {
-            self.tree_routed
-                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            {
+                let _sp = trace::span("router");
+                for q in queries {
+                    self.routed.bump(query_shape(q), false, 1);
+                }
+                trace::add(trace::Dim::RoutedTree, queries.len() as u64);
+            }
             self.tree.search_batch(queries)
         } else {
             queries.iter().map(|q| self.search(q)).collect()
@@ -135,18 +276,21 @@ impl<const D: usize> IntervalIndex<D> for HybridIndex<D> {
     }
 
     fn stab(&self, p: &Point<D>) -> Vec<RecordId> {
-        self.hint_routed.fetch_add(1, Ordering::Relaxed);
+        self.routed.bump(QueryShape::Stab, true, 1);
+        trace::add(trace::Dim::RoutedHint, 1);
         self.hint.stab(p)
     }
 
     fn stab_batch(&self, points: &[Point<D>]) -> Vec<Vec<RecordId>> {
-        self.hint_routed
-            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        self.routed
+            .bump(QueryShape::Stab, true, points.len() as u64);
+        trace::add(trace::Dim::RoutedHint, points.len() as u64);
         self.hint.stab_batch(points)
     }
 
     fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
-        self.tree_routed.fetch_add(1, Ordering::Relaxed);
+        self.routed.bump(QueryShape::Nearest, false, 1);
+        trace::add(trace::Dim::RoutedTree, 1);
         self.tree.nearest(p, k)
     }
 
@@ -283,6 +427,50 @@ mod tests {
         h.stab(&Point::new([100.0, 100.0]));
         let (hint, tree) = h.routed_counts();
         assert_eq!((hint, tree), (2, 1));
+    }
+
+    #[test]
+    fn per_shape_counters_and_metrics_export() {
+        use segidx_obs::{MetricValue, MetricsRegistry};
+        let mut h = HybridIndex::<2>::new();
+        h.bulk_load(dataset(1_000));
+        let registry = MetricsRegistry::new();
+        h.register_metrics(&registry, &[("component", "hybrid")]);
+        h.search(&Rect::new([0.0, 0.0], [5_000.0, 5_000.0])); // window → tree
+        h.search(&Rect::new([0.0, 100.0], [5_000.0, 100.0])); // slab → hint
+        h.search(&Rect::new([10.0, 10.0], [10.0, 10.0])); // degenerate → stab → hint
+        h.stab(&Point::new([100.0, 100.0])); // stab → hint
+        h.nearest(&Point::new([0.0, 0.0]), 2); // nearest → tree
+        assert_eq!(h.routing_counters().by_shape(QueryShape::Window), (0, 1));
+        assert_eq!(h.routing_counters().by_shape(QueryShape::Slab), (1, 0));
+        assert_eq!(h.routing_counters().by_shape(QueryShape::Stab), (2, 0));
+        assert_eq!(h.routing_counters().by_shape(QueryShape::Nearest), (0, 1));
+        assert_eq!(h.routed_counts(), (3, 2));
+        // Clones share the counters (a snapshot's queries count together).
+        let snap = h.clone();
+        snap.search(&Rect::new([0.0, 0.0], [100.0, 100.0]));
+        assert_eq!(h.routing_counters().by_shape(QueryShape::Window), (0, 2));
+        let snap = registry.snapshot();
+        let get = |engine: &str, shape: &str| {
+            let labels: &[(&str, &str)] = &[
+                ("component", "hybrid"),
+                ("engine", engine),
+                ("shape", shape),
+            ];
+            match snap
+                .get("segidx_hybrid_routed_total", labels)
+                .unwrap()
+                .value
+            {
+                MetricValue::Counter(v) => v,
+                ref other => panic!("unexpected value {other:?}"),
+            }
+        };
+        assert_eq!(get("tree", "window"), 2);
+        assert_eq!(get("hint", "slab"), 1);
+        assert_eq!(get("hint", "stab"), 2);
+        assert_eq!(get("tree", "nearest"), 1);
+        assert_eq!(get("hint", "window"), 0, "full shape matrix exported");
     }
 
     #[test]

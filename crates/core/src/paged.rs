@@ -90,10 +90,13 @@ impl<'a, const D: usize> PagedSearcher<'a, D> {
     /// identical semantics (and identical logical node accesses) to
     /// [`crate::tree::Tree::search`], but executed page-by-page.
     pub fn search(&self, query: &Rect<D>) -> Result<Vec<RecordId>> {
+        let sp = segidx_obs::trace::span("paged.search");
+        let mut visited = 0u64;
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(page_id) = stack.pop() {
             self.logical_accesses.set(self.logical_accesses.get() + 1);
+            visited += 1;
             let node = self.read_node(page_id)?;
             if node.is_leaf {
                 for (rect, record) in &node.entries {
@@ -116,6 +119,7 @@ impl<'a, const D: usize> PagedSearcher<'a, D> {
         }
         out.sort_unstable();
         out.dedup();
+        sp.items(visited);
         Ok(out)
     }
 

@@ -25,6 +25,7 @@ impl<const D: usize> Tree<D> {
     /// All physical portions (spanning and remnant) are removed in one call.
     pub fn delete(&mut self, rect: &Rect<D>, record: RecordId) -> bool {
         let t0 = self.obs_start();
+        let _sp = segidx_obs::trace::span("tree.delete");
         self.reinsert_armed = self.config.forced_reinsert.is_some();
         let mut removed = 0usize;
         let mut touched_leaves: Vec<NodeId> = Vec::new();

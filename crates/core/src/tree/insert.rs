@@ -16,6 +16,7 @@ impl<const D: usize> Tree<D> {
     /// it descends to a leaf by Guttman's least-enlargement rule.
     pub fn insert(&mut self, rect: Rect<D>, record: RecordId) {
         let t0 = self.obs_start();
+        let _sp = segidx_obs::trace::span("tree.insert");
         self.len += 1;
         self.reinsert_armed = self.config.forced_reinsert.is_some();
         self.insert_portion(rect, record);

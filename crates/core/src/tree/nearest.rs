@@ -73,6 +73,7 @@ impl<const D: usize> Tree<D> {
     /// accesses like a search.
     pub fn nearest(&self, p: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
         let t0 = self.obs_start();
+        let sp = segidx_obs::trace::span("tree.nearest");
         let mut out: Vec<Neighbor<D>> = Vec::with_capacity(k);
         if k == 0 {
             self.stats.flush_search(0, 0);
@@ -116,6 +117,7 @@ impl<const D: usize> Tree<D> {
                 HeapItem::Node { id, .. } => {
                     accesses += 1;
                     let node = self.node(id);
+                    segidx_obs::trace::level_visit(node.level, 1);
                     // Score the whole node with one branchless MINDIST pass
                     // over its coordinate planes, then gather.
                     match &node.kind {
@@ -154,6 +156,8 @@ impl<const D: usize> Tree<D> {
             }
         }
         self.stats.flush_search(accesses, out.len() as u64);
+        sp.items(out.len() as u64);
+        drop(sp);
         self.obs_record(|o| &o.nearest, t0);
         out
     }

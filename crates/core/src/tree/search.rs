@@ -21,6 +21,7 @@ use super::Tree;
 use crate::id::{NodeId, RecordId};
 use crate::node::NodeKind;
 use segidx_geom::{scan_intersects, scan_stab, Point, Rect};
+use segidx_obs::trace::{self, Dim, MAX_LEVELS};
 
 /// Reusable scratch state for the search kernels.
 ///
@@ -82,19 +83,53 @@ impl<const D: usize> Tree<D> {
     /// Each node is tested with [`scan_intersects`] over its contiguous
     /// coordinate planes — one branchless pass per store — and only the
     /// matching indexes gather rectangles and payloads afterwards.
+    ///
+    /// Tracing is monomorphized out: one [`trace::active`] check per call
+    /// dispatches to a `TRACED = false` instantiation that is bit-identical
+    /// to the uninstrumented kernel, so untraced searches pay no per-node
+    /// cost (the PR 3 "one null check" contract, extended to traces).
     pub(crate) fn search_kernel(&self, query: &Rect<D>, cursor: &mut SearchCursor<D>) -> u64 {
+        if trace::active() {
+            self.search_kernel_impl::<true>(query, cursor)
+        } else {
+            self.search_kernel_impl::<false>(query, cursor)
+        }
+    }
+
+    /// The uninstrumented kernel instantiation, exposed for the
+    /// `trace_profile` overhead gate's no-telemetry baseline.
+    #[doc(hidden)]
+    pub fn search_kernel_untraced(&self, query: &Rect<D>, cursor: &mut SearchCursor<D>) -> u64 {
+        self.search_kernel_impl::<false>(query, cursor)
+    }
+
+    fn search_kernel_impl<const TRACED: bool>(
+        &self,
+        query: &Rect<D>,
+        cursor: &mut SearchCursor<D>,
+    ) -> u64 {
         cursor.entries.clear();
         cursor.stack.clear();
         cursor.stack.push(self.root);
         let mut accesses: u64 = 0;
+        let mut level_visits = [0u64; MAX_LEVELS];
+        let mut kernel_calls: u64 = 0;
+        let mut scanned: u64 = 0;
         while let Some(n) = cursor.stack.pop() {
             accesses += 1;
             let node = self.node(n);
+            if TRACED {
+                level_visits[(node.level as usize).min(MAX_LEVELS - 1)] += 1;
+            }
             match &node.kind {
                 NodeKind::Leaf { entries } => {
                     cursor.matches.clear();
                     let (los, his) = entries.planes();
                     scan_intersects(query, los, his, &mut cursor.matches);
+                    if TRACED {
+                        kernel_calls += 1;
+                        scanned += entries.len() as u64;
+                    }
                     for &i in &cursor.matches {
                         let i = i as usize;
                         cursor.entries.push((entries.rect(i), entries.record(i)));
@@ -111,11 +146,20 @@ impl<const D: usize> Tree<D> {
                     cursor.matches.clear();
                     let (los, his) = branches.planes();
                     scan_intersects(query, los, his, &mut cursor.matches);
+                    if TRACED {
+                        kernel_calls += 2;
+                        scanned += (spanning.len() + branches.len()) as u64;
+                    }
                     for &i in &cursor.matches {
                         cursor.stack.push(branches.child(i as usize));
                     }
                 }
             }
+        }
+        if TRACED {
+            trace::level_visits(&level_visits);
+            trace::add(Dim::KernelInvocations, kernel_calls);
+            trace::add(Dim::KernelEntriesScanned, scanned);
         }
         accesses
     }
@@ -123,20 +167,49 @@ impl<const D: usize> Tree<D> {
     /// Stabbing-query kernel: like [`Tree::search_kernel`] with the
     /// degenerate rectangle at `p`, but driven by [`scan_stab`] so no
     /// rectangle is materialized and each plane is tested against a single
-    /// coordinate.
+    /// coordinate. Same monomorphized tracing split as the search kernel.
     pub(crate) fn stab_kernel(&self, p: &Point<D>, cursor: &mut SearchCursor<D>) -> u64 {
+        if trace::active() {
+            self.stab_kernel_impl::<true>(p, cursor)
+        } else {
+            self.stab_kernel_impl::<false>(p, cursor)
+        }
+    }
+
+    /// The uninstrumented stab kernel, exposed for the `trace_profile`
+    /// overhead gate's no-telemetry baseline.
+    #[doc(hidden)]
+    pub fn stab_kernel_untraced(&self, p: &Point<D>, cursor: &mut SearchCursor<D>) -> u64 {
+        self.stab_kernel_impl::<false>(p, cursor)
+    }
+
+    fn stab_kernel_impl<const TRACED: bool>(
+        &self,
+        p: &Point<D>,
+        cursor: &mut SearchCursor<D>,
+    ) -> u64 {
         cursor.entries.clear();
         cursor.stack.clear();
         cursor.stack.push(self.root);
         let mut accesses: u64 = 0;
+        let mut level_visits = [0u64; MAX_LEVELS];
+        let mut kernel_calls: u64 = 0;
+        let mut scanned: u64 = 0;
         while let Some(n) = cursor.stack.pop() {
             accesses += 1;
             let node = self.node(n);
+            if TRACED {
+                level_visits[(node.level as usize).min(MAX_LEVELS - 1)] += 1;
+            }
             match &node.kind {
                 NodeKind::Leaf { entries } => {
                     cursor.matches.clear();
                     let (los, his) = entries.planes();
                     scan_stab(p, los, his, &mut cursor.matches);
+                    if TRACED {
+                        kernel_calls += 1;
+                        scanned += entries.len() as u64;
+                    }
                     for &i in &cursor.matches {
                         let i = i as usize;
                         cursor.entries.push((entries.rect(i), entries.record(i)));
@@ -153,11 +226,20 @@ impl<const D: usize> Tree<D> {
                     cursor.matches.clear();
                     let (los, his) = branches.planes();
                     scan_stab(p, los, his, &mut cursor.matches);
+                    if TRACED {
+                        kernel_calls += 2;
+                        scanned += (spanning.len() + branches.len()) as u64;
+                    }
                     for &i in &cursor.matches {
                         cursor.stack.push(branches.child(i as usize));
                     }
                 }
             }
+        }
+        if TRACED {
+            trace::level_visits(&level_visits);
+            trace::add(Dim::KernelInvocations, kernel_calls);
+            trace::add(Dim::KernelEntriesScanned, scanned);
         }
         accesses
     }
@@ -206,12 +288,31 @@ impl<const D: usize> Tree<D> {
         query: &Rect<D>,
     ) -> &'c [RecordId] {
         let t0 = self.obs_start();
+        let sp = trace::span("tree.search");
         let accesses = self.search_kernel(query, cursor);
         self.stats
             .flush_search(accesses, cursor.entries.len() as u64);
         let ids = self.finish_ids(cursor);
+        sp.items(ids.len() as u64);
+        trace::add(Dim::ResultRecords, ids.len() as u64);
+        drop(sp);
         self.obs_record(|o| &o.search, t0);
         ids
+    }
+
+    /// [`Tree::search_with`] minus every telemetry touch point — the
+    /// no-telemetry baseline the `trace_profile` overhead gate compares
+    /// the instrumented path against. Not part of the public API.
+    #[doc(hidden)]
+    pub fn bench_search_untraced<'c>(
+        &self,
+        cursor: &'c mut SearchCursor<D>,
+        query: &Rect<D>,
+    ) -> &'c [RecordId] {
+        let accesses = self.search_kernel_untraced(query, cursor);
+        self.stats
+            .flush_search(accesses, cursor.entries.len() as u64);
+        self.finish_ids(cursor)
     }
 
     /// Like [`Tree::search`], but returns the raw matching index records
@@ -230,9 +331,12 @@ impl<const D: usize> Tree<D> {
         query: &Rect<D>,
     ) -> &'c [(Rect<D>, RecordId)] {
         let t0 = self.obs_start();
+        let sp = trace::span("tree.search_entries");
         let accesses = self.search_kernel(query, cursor);
         self.stats
             .flush_search(accesses, cursor.entries.len() as u64);
+        sp.items(cursor.entries.len() as u64);
+        drop(sp);
         self.obs_record(|o| &o.search, t0);
         &cursor.entries
     }
@@ -249,12 +353,30 @@ impl<const D: usize> Tree<D> {
     /// allocation after warm-up.
     pub fn stab_with<'c>(&self, cursor: &'c mut SearchCursor<D>, p: &Point<D>) -> &'c [RecordId] {
         let t0 = self.obs_start();
+        let sp = trace::span("tree.stab");
         let accesses = self.stab_kernel(p, cursor);
         self.stats
             .flush_search(accesses, cursor.entries.len() as u64);
         let ids = self.finish_ids(cursor);
+        sp.items(ids.len() as u64);
+        trace::add(Dim::ResultRecords, ids.len() as u64);
+        drop(sp);
         self.obs_record(|o| &o.stab, t0);
         ids
+    }
+
+    /// [`Tree::stab_with`] minus every telemetry touch point (see
+    /// [`Tree::bench_search_untraced`]).
+    #[doc(hidden)]
+    pub fn bench_stab_untraced<'c>(
+        &self,
+        cursor: &'c mut SearchCursor<D>,
+        p: &Point<D>,
+    ) -> &'c [RecordId] {
+        let accesses = self.stab_kernel_untraced(p, cursor);
+        self.stats
+            .flush_search(accesses, cursor.entries.len() as u64);
+        self.finish_ids(cursor)
     }
 
     /// Number of index nodes a search for `query` accesses, without

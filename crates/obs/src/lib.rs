@@ -19,6 +19,11 @@
 //!    and histogram behind one [`MetricsRegistry::snapshot`] /
 //!    [`MetricsSnapshot::diff`] API, exporting pretty text, JSON, and
 //!    Prometheus text exposition format.
+//! 4. [`trace`] — sampled hierarchical query traces: RAII spans with
+//!    parent ids, a per-trace [`QueryProfile`] access breakdown, a
+//!    [`FlightRecorder`] slow-op log, and exporters to text trees and
+//!    Chrome `trace_event` JSON. Sampling defaults to off; untraced paths
+//!    cost one thread-local boolean check.
 //!
 //! Because the workspace builds offline against compile-only serde shims,
 //! the [`json`] module carries its own small JSON renderer/parser used by
@@ -31,7 +36,12 @@ mod hist;
 pub mod json;
 mod registry;
 mod sink;
+pub mod trace;
 
 pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use registry::{Collector, Metric, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use sink::{Event, EventKind, NullSink, ObsSink, RingBufferSink, Span};
+pub use trace::{
+    chrome_trace_json, CompletedTrace, FlightRecorder, OpClass, QueryProfile, SpanRecord,
+    TraceContext, TraceGuard, Tracer,
+};

@@ -167,6 +167,47 @@ impl MetricsRegistry {
         }));
     }
 
+    /// Registers a collector exposing a [`Tracer`](crate::Tracer)'s health:
+    /// operations offered / traces recorded and completed (counters), spans
+    /// dropped to the per-trace buffer cap (counter **and** gauge, so the
+    /// current loss level is visible without diffing), and how many slow
+    /// traces the flight recorder currently retains (gauge).
+    pub fn register_tracer(&self, tracer: &std::sync::Arc<crate::Tracer>, labels: &[(&str, &str)]) {
+        let tracer = std::sync::Arc::clone(tracer);
+        let labels = own_labels(labels);
+        self.register(Box::new(move |out| {
+            let borrowed: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            out.push(Metric::counter(
+                "segidx_trace_started_total",
+                &borrowed,
+                tracer.started(),
+            ));
+            out.push(Metric::counter(
+                "segidx_trace_sampled_total",
+                &borrowed,
+                tracer.sampled(),
+            ));
+            out.push(Metric::counter(
+                "segidx_trace_spans_dropped_total",
+                &borrowed,
+                tracer.spans_dropped(),
+            ));
+            out.push(Metric::gauge(
+                "segidx_trace_spans_dropped",
+                &borrowed,
+                tracer.spans_dropped() as f64,
+            ));
+            out.push(Metric::gauge(
+                "segidx_trace_flight_retained",
+                &borrowed,
+                tracer.flight().retained() as f64,
+            ));
+        }));
+    }
+
     /// Runs every collector and returns the combined metrics.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut metrics = Vec::new();

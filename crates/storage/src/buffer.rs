@@ -228,11 +228,13 @@ impl BufferPool {
                 let clock = bump(&mut inner.clock);
                 inner.frames.get_mut(&id).unwrap().last_used = clock;
                 self.stats.record_hit();
+                segidx_obs::trace::add(segidx_obs::trace::Dim::BufferPoolHits, 1);
                 return Ok(());
             }
         }
         // Miss: fault in from disk (outside the lock), then insert.
         self.stats.record_miss();
+        segidx_obs::trace::add(segidx_obs::trace::Dim::BufferPoolMisses, 1);
         let page = self.disk.read_page(id)?;
         let mut inner = self.inner.lock();
         let entry = inner.frames.entry(id);

@@ -349,6 +349,7 @@ impl DiskManager {
             });
         }
         let bytes = page.to_disk_bytes();
+        let sp = segidx_obs::trace::span("disk.write_page");
         let t0 = std::time::Instant::now();
         write_extent(
             &mut inner.file,
@@ -358,6 +359,8 @@ impl DiskManager {
         )?;
         self.latency.write.record_duration(t0.elapsed());
         self.stats.record_write(bytes.len());
+        sp.items(bytes.len() as u64);
+        segidx_obs::trace::add(segidx_obs::trace::Dim::PageWrites, 1);
         Ok(())
     }
 
@@ -370,6 +373,7 @@ impl DiskManager {
             .ok_or(StorageError::PageNotFound(id))?;
         let size = loc.size_class.page_size();
         let mut buf = vec![0u8; size];
+        let sp = segidx_obs::trace::span("disk.read_page");
         let t0 = std::time::Instant::now();
         inner
             .file
@@ -377,6 +381,8 @@ impl DiskManager {
         inner.file.read_exact(&mut buf)?;
         self.latency.read.record_duration(t0.elapsed());
         self.stats.record_read(size);
+        sp.items(size as u64);
+        segidx_obs::trace::add(segidx_obs::trace::Dim::PageReads, 1);
         Page::from_disk_bytes(id, loc.size_class, &buf)
     }
 
