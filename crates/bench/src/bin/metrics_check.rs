@@ -28,20 +28,38 @@
 //! `retained` count and a `slowest` trace with duration, span count, and
 //! profile.
 //!
-//! Usage: `metrics_check <path/to/metrics.json>`. Exits non-zero with a
-//! description of the first problem found.
+//! With `--server`, the file is instead a `segidx_server` `METRICS`
+//! snapshot (what `loadgen --metrics-out` saves): every
+//! `segidx_server_*` per-connection family must be present —
+//! `requests_total` across all nine ops, `frames_total` for both framing
+//! modes, the connection/error/byte counters, and non-empty read *and*
+//! write latency histograms — alongside the full index-service family of
+//! the backend it fronts (`component="concurrent"` or `"sharded"`).
+//!
+//! Usage: `metrics_check <path/to/metrics.json>` or
+//! `metrics_check --server <path/to/server_metrics.json>`. Exits
+//! non-zero with a description of the first problem found.
 
 use segidx_obs::json::{self, Value};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: metrics_check <metrics.json>");
-        return ExitCode::from(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (server_mode, path) = match args.as_slice() {
+        [path] => (false, path.clone()),
+        [flag, path] if flag == "--server" => (true, path.clone()),
+        _ => {
+            eprintln!("usage: metrics_check [--server] <metrics.json>");
+            return ExitCode::from(2);
+        }
     };
-    match check(&path) {
+    let checked = if server_mode {
+        check_server_file(&path)
+    } else {
+        check(&path)
+    };
+    match checked {
         Ok(summary) => {
             println!("{summary}");
             ExitCode::SUCCESS
@@ -124,6 +142,26 @@ const TRACE_GAUGES: [&str; 2] = ["segidx_trace_spans_dropped", "segidx_trace_fli
 /// `component="hybrid"`.
 const HYBRID_ENGINES: [&str; 2] = ["hint", "tree"];
 const HYBRID_SHAPES: [&str; 5] = ["one_d", "stab", "slab", "window", "nearest"];
+
+/// The per-connection server families (`--server` mode), all labeled
+/// `component="server"`.
+const SERVER_OPS: [&str; 9] = [
+    "search", "stab", "nearest", "insert", "delete", "flush", "ping", "stats", "metrics",
+];
+const SERVER_MODES: [&str; 2] = ["binary", "line"];
+const SERVER_COUNTERS: [&str; 6] = [
+    "segidx_server_connections_total",
+    "segidx_server_parse_errors_total",
+    "segidx_server_protocol_errors_total",
+    "segidx_server_busy_total",
+    "segidx_server_bytes_read_total",
+    "segidx_server_bytes_written_total",
+];
+const SERVER_GAUGES: [&str; 1] = ["segidx_server_connections_active"];
+const SERVER_HISTOGRAMS: [&str; 2] = [
+    "segidx_server_read_latency_nanos",
+    "segidx_server_write_latency_nanos",
+];
 
 fn is_gauge(name: &str) -> bool {
     SERVICE_GAUGES.contains(&name)
@@ -231,6 +269,136 @@ fn check(path: &str) -> Result<String, String> {
         components.len(),
         shard_scopes,
         flight_classes
+    ))
+}
+
+/// `--server` mode: a `segidx_server` `METRICS` snapshot. Every
+/// per-connection family must be present and typed correctly, the
+/// request counter must cover all nine ops and the frame counter both
+/// framing modes, both latency histograms must be non-empty (the smoke
+/// workload always performs reads *and* writes), and the index service
+/// behind the wire must have exported its own family.
+fn check_server_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let metrics = value
+        .get("metrics")
+        .and_then(Value::as_array)
+        .ok_or("missing top-level \"metrics\" array")?;
+    if metrics.is_empty() {
+        return Err("\"metrics\" array is empty".into());
+    }
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut ops: BTreeSet<String> = BTreeSet::new();
+    let mut modes: BTreeSet<String> = BTreeSet::new();
+    let mut components: BTreeSet<String> = BTreeSet::new();
+    let mut service_seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for m in metrics {
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("metric without a \"name\"")?;
+        let labels = m.get("labels").ok_or("metric without \"labels\"")?;
+        let component = labels
+            .get("component")
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        components.insert(component.to_string());
+        if name.starts_with("segidx_server_") {
+            if component != "server" {
+                return Err(format!("{name}: expected component=\"server\" label"));
+            }
+            let kind = m.get("type").and_then(Value::as_str).unwrap_or("");
+            if SERVER_HISTOGRAMS.contains(&name) {
+                if kind != "histogram" {
+                    return Err(format!("{name}: expected histogram, got {kind}"));
+                }
+                let count = m.get("count").and_then(Value::as_i64).unwrap_or(0);
+                if count <= 0 {
+                    return Err(format!("{name}: empty histogram"));
+                }
+            } else if SERVER_GAUGES.contains(&name) && kind != "gauge" {
+                return Err(format!("{name}: expected gauge, got {kind}"));
+            } else if (SERVER_COUNTERS.contains(&name)
+                || name == "segidx_server_requests_total"
+                || name == "segidx_server_frames_total")
+                && kind != "counter"
+            {
+                return Err(format!("{name}: expected counter, got {kind}"));
+            }
+            match name {
+                "segidx_server_requests_total" => {
+                    let op = labels.get("op").and_then(Value::as_str).unwrap_or("");
+                    if op.is_empty() {
+                        return Err(format!("{name}: missing op label"));
+                    }
+                    ops.insert(op.to_string());
+                }
+                "segidx_server_frames_total" => {
+                    let mode = labels.get("mode").and_then(Value::as_str).unwrap_or("");
+                    if mode.is_empty() {
+                        return Err(format!("{name}: missing mode label"));
+                    }
+                    modes.insert(mode.to_string());
+                }
+                _ => {}
+            }
+            seen.insert(name.to_string());
+        } else if component == "concurrent" || component == "sharded" {
+            let shard = labels.get("shard").and_then(Value::as_str).unwrap_or("");
+            service_seen.insert((shard.to_string(), name.to_string()));
+        }
+    }
+
+    for name in SERVER_COUNTERS
+        .iter()
+        .chain(&SERVER_GAUGES)
+        .chain(&SERVER_HISTOGRAMS)
+    {
+        if !seen.contains(*name) {
+            return Err(format!("missing {name}"));
+        }
+    }
+    for op in SERVER_OPS {
+        if !ops.contains(op) {
+            return Err(format!(
+                "segidx_server_requests_total: missing op=\"{op}\" \
+                 (all nine statement forms must be exported, zeros included)"
+            ));
+        }
+    }
+    for mode in SERVER_MODES {
+        if !modes.contains(mode) {
+            return Err(format!(
+                "segidx_server_frames_total: missing mode=\"{mode}\""
+            ));
+        }
+    }
+
+    // The backend's own service family must ride along in the same
+    // snapshot (the rollup scope for sharded backends, unlabeled for the
+    // unsharded one).
+    let (backend, scope) = if components.contains("sharded") {
+        ("sharded", "all")
+    } else if components.contains("concurrent") {
+        ("concurrent", "")
+    } else {
+        return Err(
+            "missing index-service metrics (component=\"concurrent\" or \"sharded\")".into(),
+        );
+    };
+    for name in SERVICE_GAUGES.iter().chain(&SERVICE_COUNTERS) {
+        if !service_seen.contains(&(scope.to_string(), name.to_string())) {
+            return Err(format!("backend {backend}: missing {name}"));
+        }
+    }
+
+    Ok(format!(
+        "ok: {} metrics, {} server families, {} ops, backend \"{backend}\"",
+        metrics.len(),
+        seen.len() + 2,
+        ops.len()
     ))
 }
 

@@ -168,6 +168,24 @@ impl<const D: usize, E> Shared<D, E> {
         }
     }
 
+    fn submit_batch(&self, ops: Vec<IndexOp<D>>) -> Vec<Result<CommitTicket, SubmitError>> {
+        let _sp = trace::span("index.submit_batch");
+        self.queue
+            .push_ops(ops)
+            .into_iter()
+            .map(|r| match r {
+                Ok(state) => Ok(CommitTicket { state }),
+                Err(err) => {
+                    if let SubmitError::Overloaded { depth } = &err {
+                        self.telemetry.overloads.fetch_add(1, SeqCst);
+                        self.emit(Event::new(EventKind::WriterStalled).detail(*depth as u64));
+                    }
+                    Err(err)
+                }
+            })
+            .collect()
+    }
+
     fn flush(&self) -> Result<CommitReceipt, CommitError> {
         let state = Arc::new(TicketState::default());
         match self.queue.push_barrier(Arc::clone(&state)) {
@@ -538,6 +556,12 @@ impl<const D: usize, E> ConcurrentIndex<D, E> {
         self.shared.submit(op)
     }
 
+    /// Submits a run of mutations under one queue lock; see
+    /// [`IndexHandle::submit_batch`].
+    pub fn submit_batch(&self, ops: Vec<IndexOp<D>>) -> Vec<Result<CommitTicket, SubmitError>> {
+        self.shared.submit_batch(ops)
+    }
+
     /// Blocks until everything submitted before this call is committed and
     /// published, returning that commit's receipt.
     pub fn flush(&self) -> Result<CommitReceipt, CommitError> {
@@ -634,6 +658,20 @@ impl<const D: usize, E> IndexHandle<D, E> {
     /// *not* enqueued) or [`SubmitError::Closed`].
     pub fn submit(&self, op: IndexOp<D>) -> Result<CommitTicket, SubmitError> {
         self.shared.submit(op)
+    }
+
+    /// Submits a run of mutations under **one** queue lock acquisition,
+    /// with per-op admission: each element is either a [`CommitTicket`]
+    /// or a typed rejection, in input order, and an
+    /// [`Overloaded`](SubmitError::Overloaded) op does not prevent later
+    /// ops in the run from being admitted.
+    ///
+    /// Combined with [`CommitTicket::on_complete`] this is the
+    /// backpressure-aware path a pipelined front-end uses: one lock and
+    /// one writer wakeup per pipeline flush, zero parked threads per
+    /// in-flight write.
+    pub fn submit_batch(&self, ops: Vec<IndexOp<D>>) -> Vec<Result<CommitTicket, SubmitError>> {
+        self.shared.submit_batch(ops)
     }
 
     /// Convenience: submit an insert.

@@ -241,6 +241,66 @@ mod tests {
     }
 
     #[test]
+    fn batch_submission_commits_in_order_with_callbacks() {
+        let index = start_empty();
+        let ops: Vec<IndexOp<2>> = (0..64u64)
+            .map(|i| IndexOp::Insert {
+                rect: rect(i),
+                record: RecordId(i),
+            })
+            .collect();
+        let results = index.submit_batch(ops);
+        assert_eq!(results.len(), 64);
+        let completions = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for r in &results {
+            let done = Arc::clone(&completions);
+            r.as_ref()
+                .expect("queue capacity 1024 admits the whole batch")
+                .on_complete(move |outcome| {
+                    assert!(outcome.is_ok());
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+        }
+        index.flush().unwrap();
+        assert_eq!(
+            completions.load(Ordering::SeqCst),
+            64,
+            "every ticket's callback fired without any thread parking on it"
+        );
+        let snap = index.snapshot();
+        assert_eq!(snap.len(), 64);
+        // Epochs across the batch's tickets are monotone in input order.
+        let mut last = 0;
+        for r in results {
+            let epoch = r.unwrap().try_receipt().unwrap().unwrap().epoch;
+            assert!(epoch >= last);
+            last = epoch;
+        }
+    }
+
+    #[test]
+    fn sharded_batch_submission_routes_and_commits() {
+        use segidx_geom::Rect as GRect;
+        let domain = GRect::new([0.0, 0.0], [2_000.0, 2_000.0]);
+        let router = ZOrderRouter::new(domain, 4);
+        let trees: Vec<Tree<2>> = (0..4).map(|_| Tree::new(IndexConfig::srtree())).collect();
+        let index = ShardedIndex::builder(router, trees).start().unwrap();
+        let ops: Vec<IndexOp<2>> = (0..256u64)
+            .map(|i| IndexOp::Insert {
+                rect: rect(i),
+                record: RecordId(i),
+            })
+            .collect();
+        let results = index.submit_batch(ops);
+        assert!(results.iter().all(Result::is_ok));
+        index.flush().unwrap();
+        assert_eq!(index.snapshot().len(), 256);
+        let stats = index.routing_stats();
+        assert_eq!(stats.total, 256, "routed counters cover the whole batch");
+        index.shutdown();
+    }
+
+    #[test]
     fn submissions_after_shutdown_are_closed() {
         let index = start_empty();
         let handle = index.handle();

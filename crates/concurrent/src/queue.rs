@@ -130,10 +130,42 @@ impl CommitPhases {
     }
 }
 
+/// A completion callback registered on a pending ticket; runs exactly once
+/// on the writer thread when the commit resolves (see
+/// [`CommitTicket::on_complete`]).
+type CompletionFn = Box<dyn FnOnce(&Result<CommitReceipt, CommitError>) + Send>;
+
+/// Something waiting for a ticket to resolve without parking a thread.
+enum Waiter {
+    /// Run a closure with the outcome.
+    Callback(CompletionFn),
+    /// Wake a task so it re-polls ([`CommitTicket::register_waker`] /
+    /// the ticket's `Future` impl).
+    Waker(std::task::Waker),
+}
+
+impl Waiter {
+    fn fire(self, result: &Result<CommitReceipt, CommitError>) {
+        match self {
+            Waiter::Callback(f) => f(result),
+            Waiter::Waker(w) => w.wake(),
+        }
+    }
+}
+
+/// The result slot plus everything waiting on it. One mutex guards both so
+/// a waiter registered concurrently with `complete` either sees the result
+/// (and fires inline) or is drained by `complete` — never lost.
+#[derive(Default)]
+struct Completion {
+    result: Option<Result<CommitReceipt, CommitError>>,
+    waiters: Vec<Waiter>,
+}
+
 /// Shared completion state behind a [`CommitTicket`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub(crate) struct TicketState {
-    result: Mutex<Option<Result<CommitReceipt, CommitError>>>,
+    completion: Mutex<Completion>,
     done: Condvar,
     /// Phase breakdown, set by the writer just before `complete`. A side
     /// channel rather than receipt fields so [`CommitReceipt`] stays a
@@ -141,12 +173,31 @@ pub(crate) struct TicketState {
     phases: Mutex<Option<CommitPhases>>,
 }
 
+impl std::fmt::Debug for TicketState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.completion.lock().unwrap();
+        f.debug_struct("TicketState")
+            .field("result", &c.result)
+            .field("waiters", &c.waiters.len())
+            .finish()
+    }
+}
+
 impl TicketState {
     pub(crate) fn complete(&self, result: Result<CommitReceipt, CommitError>) {
-        let mut slot = self.result.lock().unwrap();
-        if slot.is_none() {
-            *slot = Some(result);
+        let waiters = {
+            let mut c = self.completion.lock().unwrap();
+            if c.result.is_some() {
+                return;
+            }
+            c.result = Some(result.clone());
             self.done.notify_all();
+            std::mem::take(&mut c.waiters)
+        };
+        // Callbacks run outside the lock: they may clone the ticket and
+        // inspect it (try_receipt / phases) without deadlocking.
+        for w in waiters {
+            w.fire(&result);
         }
     }
 
@@ -154,33 +205,75 @@ impl TicketState {
         *self.phases.lock().unwrap() = Some(phases);
     }
 
-    fn wait(&self) -> Result<CommitReceipt, CommitError> {
-        let mut slot = self.result.lock().unwrap();
-        while slot.is_none() {
-            slot = self.done.wait(slot).unwrap();
+    fn on_complete(&self, f: CompletionFn) {
+        let ready = {
+            let mut c = self.completion.lock().unwrap();
+            match &c.result {
+                Some(r) => r.clone(),
+                None => {
+                    c.waiters.push(Waiter::Callback(f));
+                    return;
+                }
+            }
+        };
+        f(&ready);
+    }
+
+    /// Registers `waker` unless the result is already known; returns
+    /// `true` if the ticket is ready (caller should read the result now).
+    fn register_waker(&self, waker: &std::task::Waker) -> bool {
+        let mut c = self.completion.lock().unwrap();
+        if c.result.is_some() {
+            return true;
         }
-        slot.clone().unwrap()
+        // A task re-polling with the same waker keeps its single entry;
+        // distinct tasks polling clones of one ticket each get their own
+        // (replacing another task's waker would lose its wakeup).
+        let registered = c
+            .waiters
+            .iter()
+            .any(|w| matches!(w, Waiter::Waker(e) if e.will_wake(waker)));
+        if !registered {
+            c.waiters.push(Waiter::Waker(waker.clone()));
+        }
+        false
+    }
+
+    fn wait(&self) -> Result<CommitReceipt, CommitError> {
+        let mut c = self.completion.lock().unwrap();
+        while c.result.is_none() {
+            c = self.done.wait(c).unwrap();
+        }
+        c.result.clone().unwrap()
     }
 
     fn wait_timeout(&self, timeout: Duration) -> Option<Result<CommitReceipt, CommitError>> {
-        let deadline = Instant::now() + timeout;
-        let mut slot = self.result.lock().unwrap();
-        while slot.is_none() {
-            let now = Instant::now();
-            if now >= deadline {
+        // An unrepresentable deadline (e.g. `Duration::MAX`) degrades to an
+        // untimed wait instead of overflowing.
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            return Some(self.wait());
+        };
+        let mut c = self.completion.lock().unwrap();
+        while c.result.is_none() {
+            // Recompute the remaining budget from the *absolute* deadline
+            // on every pass, so spurious condvar wakeups near the deadline
+            // never extend the wait (each wakeup re-waits only for what is
+            // left, not the original timeout).
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
                 return None;
             }
-            let (next, timed_out) = self.done.wait_timeout(slot, deadline - now).unwrap();
-            slot = next;
-            if timed_out.timed_out() && slot.is_none() {
+            let (next, timed_out) = self.done.wait_timeout(c, remaining).unwrap();
+            c = next;
+            if timed_out.timed_out() && c.result.is_none() {
                 return None;
             }
         }
-        slot.clone()
+        c.result.clone()
     }
 
     fn peek(&self) -> Option<Result<CommitReceipt, CommitError>> {
-        self.result.lock().unwrap().clone()
+        self.completion.lock().unwrap().result.clone()
     }
 }
 
@@ -239,6 +332,36 @@ impl CommitTicket {
         self.state.peek()
     }
 
+    /// Registers `f` to run exactly once with the commit outcome, without
+    /// parking any thread.
+    ///
+    /// If the commit has already resolved, `f` runs inline on the calling
+    /// thread. Otherwise it runs **on the writer thread** during the
+    /// completion of this operation's group commit, so it must be quick
+    /// and must not block — hand the result off (fill a slot, push to a
+    /// queue, wake a reactor) rather than doing work in place. This is
+    /// the completion surface a server event loop uses to keep thousands
+    /// of writes in flight with zero parked threads.
+    pub fn on_complete(
+        &self,
+        f: impl FnOnce(&Result<CommitReceipt, CommitError>) + Send + 'static,
+    ) {
+        self.state.on_complete(Box::new(f));
+    }
+
+    /// Registers a [`std::task::Waker`] to be woken when the commit
+    /// resolves. Returns `true` if the result is already available (the
+    /// caller should read it via [`try_receipt`](Self::try_receipt) now
+    /// instead of sleeping). Tickets also implement [`Future`](std::future::Future), which is
+    /// built on this.
+    ///
+    /// Distinct tasks polling clones of one ticket are all woken;
+    /// re-registering a waker that [`will_wake`](std::task::Waker::will_wake)
+    /// an already-registered one is a no-op.
+    pub fn register_waker(&self, waker: &std::task::Waker) -> bool {
+        self.state.register_waker(waker)
+    }
+
     /// The commit's phase breakdown, if the writer has completed it.
     pub fn phases(&self) -> Option<CommitPhases> {
         *self.state.phases.lock().unwrap()
@@ -267,6 +390,31 @@ impl CommitTicket {
                 ctx.record_interval(name, t, t.saturating_add(dur), 0);
             }
             t = t.saturating_add(dur);
+        }
+    }
+}
+
+/// `CommitTicket` is a future: polling returns the commit outcome, waking
+/// the task when the writer resolves it. The ticket stays usable after
+/// completion — re-polling (or a clone's poll) yields the same result, so
+/// a ticket can back both an async wait and a later synchronous
+/// [`try_receipt`](CommitTicket::try_receipt).
+impl std::future::Future for CommitTicket {
+    type Output = Result<CommitReceipt, CommitError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        // Register first, then read: if completion raced between the
+        // registration and the peek, `register_waker` returned `true` and
+        // the result is guaranteed visible.
+        if self.state.register_waker(cx.waker()) {
+            return std::task::Poll::Ready(self.state.peek().expect("ready ticket has a result"));
+        }
+        match self.state.peek() {
+            Some(result) => std::task::Poll::Ready(result),
+            None => std::task::Poll::Pending,
         }
     }
 }
@@ -344,6 +492,48 @@ impl<const D: usize> SubmissionQueue<D> {
         drop(inner);
         self.nonempty.notify_one();
         Ok(())
+    }
+
+    /// Enqueues a run of operations under **one** lock acquisition,
+    /// applying admission control per operation: each op is either
+    /// admitted (its fresh ticket state is returned) or rejected typed,
+    /// and a rejection does not stop later ops in the run from being
+    /// admitted. One condvar signal covers the whole run — this is the
+    /// batch half of backpressure-aware submission, amortizing the
+    /// per-op lock/notify cost a pipelined front-end would otherwise pay.
+    pub(crate) fn push_ops(
+        &self,
+        ops: impl IntoIterator<Item = IndexOp<D>>,
+    ) -> Vec<Result<Arc<TicketState>, SubmitError>> {
+        let mut inner = self.inner.lock().unwrap();
+        let now = Instant::now();
+        let mut admitted = 0usize;
+        let out: Vec<Result<Arc<TicketState>, SubmitError>> = ops
+            .into_iter()
+            .map(|op| {
+                if inner.closed {
+                    return Err(SubmitError::Closed);
+                }
+                if inner.ops >= self.capacity {
+                    return Err(SubmitError::Overloaded { depth: inner.ops });
+                }
+                let ticket = Arc::new(TicketState::default());
+                inner.items.push_back(QueueItem::Op {
+                    op,
+                    ticket: Arc::clone(&ticket),
+                    enqueued: now,
+                });
+                inner.ops += 1;
+                admitted += 1;
+                Ok(ticket)
+            })
+            .collect();
+        self.depth.store(inner.ops, SeqCst);
+        drop(inner);
+        if admitted > 0 {
+            self.nonempty.notify_one();
+        }
+        out
     }
 
     /// Enqueues a flush barrier (not subject to the capacity limit).
@@ -526,6 +716,182 @@ mod tests {
         };
         state.complete(Ok(receipt.clone()));
         assert_eq!(waiter.join().unwrap(), Some(Ok(receipt)));
+    }
+
+    /// Regression: spurious condvar wakeups near the deadline must not
+    /// extend (or truncate) the wait. A hammer thread fires `notify_all`
+    /// on the ticket's condvar in a tight loop *without completing it*;
+    /// every wakeup re-enters the wait loop, which must recompute the
+    /// remaining budget from the absolute deadline. Before the
+    /// deadline-recomputation hardening, a wakeup storm could drift the
+    /// effective deadline; this pins the observable contract: `None` is
+    /// returned, and not meaningfully later than the requested timeout.
+    #[test]
+    fn wait_timeout_is_immune_to_spurious_wakeups_near_the_deadline() {
+        let state = Arc::new(TicketState::default());
+        let ticket = CommitTicket {
+            state: Arc::clone(&state),
+        };
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hammer = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(SeqCst) {
+                    // Wake every waiter without resolving the ticket: to a
+                    // waiter this is indistinguishable from a spurious
+                    // condvar wakeup.
+                    state.done.notify_all();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let timeout = Duration::from_millis(60);
+        let started = Instant::now();
+        let result = ticket.wait_timeout(timeout);
+        let waited = started.elapsed();
+        stop.store(true, SeqCst);
+        hammer.join().unwrap();
+        assert_eq!(result, None, "ticket was never completed");
+        assert!(
+            waited >= timeout,
+            "returned {waited:?} before the {timeout:?} deadline"
+        );
+        assert!(
+            waited < timeout + Duration::from_secs(5),
+            "wakeup storm drifted the deadline: waited {waited:?}"
+        );
+        // The ticket survived the storm: completion still resolves it.
+        state.complete(Ok(CommitReceipt {
+            epoch: 3,
+            durable_epoch: None,
+            ops_in_commit: 1,
+        }));
+        assert!(matches!(ticket.try_receipt(), Some(Ok(_))));
+    }
+
+    /// `Duration::MAX` must not overflow the deadline computation — it
+    /// degrades to an untimed wait that completion resolves.
+    #[test]
+    fn wait_timeout_with_unrepresentable_deadline_waits_untimed() {
+        let state = Arc::new(TicketState::default());
+        let ticket = CommitTicket {
+            state: Arc::clone(&state),
+        };
+        let waiter = std::thread::spawn(move || ticket.wait_timeout(Duration::MAX));
+        std::thread::sleep(Duration::from_millis(20));
+        let receipt = CommitReceipt {
+            epoch: 1,
+            durable_epoch: None,
+            ops_in_commit: 1,
+        };
+        state.complete(Ok(receipt.clone()));
+        assert_eq!(waiter.join().unwrap(), Some(Ok(receipt)));
+    }
+
+    #[test]
+    fn on_complete_fires_on_completion_and_inline_when_late() {
+        let state = Arc::new(TicketState::default());
+        let ticket = CommitTicket {
+            state: Arc::clone(&state),
+        };
+        let fired = Arc::new(AtomicUsize::new(0));
+        let early = Arc::clone(&fired);
+        ticket.on_complete(move |r| {
+            assert!(r.is_ok());
+            early.fetch_add(1, SeqCst);
+        });
+        assert_eq!(fired.load(SeqCst), 0, "pending ticket defers callbacks");
+        let receipt = CommitReceipt {
+            epoch: 2,
+            durable_epoch: None,
+            ops_in_commit: 1,
+        };
+        state.complete(Ok(receipt.clone()));
+        assert_eq!(fired.load(SeqCst), 1, "completion fires the callback");
+        // A second complete is ignored and re-fires nothing.
+        state.complete(Err(CommitError::WriterExited));
+        assert_eq!(fired.load(SeqCst), 1);
+        // Late registration runs inline with the known result.
+        let late = Arc::clone(&fired);
+        ticket.on_complete(move |r| {
+            assert_eq!(r, &Ok(receipt.clone()));
+            late.fetch_add(1, SeqCst);
+        });
+        assert_eq!(fired.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn ticket_future_wakes_and_resolves() {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+        // A waker that counts wakes through an Arc<AtomicUsize>.
+        fn counting_waker(count: Arc<AtomicUsize>) -> Waker {
+            unsafe fn clone(data: *const ()) -> RawWaker {
+                let arc = unsafe { Arc::from_raw(data as *const AtomicUsize) };
+                let cloned = Arc::clone(&arc);
+                std::mem::forget(arc);
+                RawWaker::new(Arc::into_raw(cloned) as *const (), &VTABLE)
+            }
+            unsafe fn wake(data: *const ()) {
+                let arc = unsafe { Arc::from_raw(data as *const AtomicUsize) };
+                arc.fetch_add(1, SeqCst);
+            }
+            unsafe fn wake_by_ref(data: *const ()) {
+                unsafe { (*(data as *const AtomicUsize)).fetch_add(1, SeqCst) };
+            }
+            unsafe fn drop_raw(data: *const ()) {
+                drop(unsafe { Arc::from_raw(data as *const AtomicUsize) });
+            }
+            static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_raw);
+            let raw = RawWaker::new(Arc::into_raw(count) as *const (), &VTABLE);
+            unsafe { Waker::from_raw(raw) }
+        }
+
+        let state = Arc::new(TicketState::default());
+        let mut ticket = CommitTicket {
+            state: Arc::clone(&state),
+        };
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let waker = counting_waker(Arc::clone(&wakes));
+        let mut cx = Context::from_waker(&waker);
+        assert!(Pin::new(&mut ticket).poll(&mut cx).is_pending());
+        // Re-polling with the same waker does not double-register.
+        assert!(Pin::new(&mut ticket).poll(&mut cx).is_pending());
+        let receipt = CommitReceipt {
+            epoch: 5,
+            durable_epoch: None,
+            ops_in_commit: 2,
+        };
+        state.complete(Ok(receipt.clone()));
+        assert_eq!(wakes.load(SeqCst), 1, "completion woke the task once");
+        match Pin::new(&mut ticket).poll(&mut cx) {
+            Poll::Ready(r) => assert_eq!(r, Ok(receipt)),
+            Poll::Pending => panic!("completed ticket still pending"),
+        }
+    }
+
+    #[test]
+    fn push_ops_admits_per_op_under_one_lock() {
+        let q: SubmissionQueue<2> = SubmissionQueue::new(2);
+        let results = q.push_ops((0..4).map(op));
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert_eq!(
+            results[2].as_ref().unwrap_err(),
+            &SubmitError::Overloaded { depth: 2 }
+        );
+        assert_eq!(
+            results[3].as_ref().unwrap_err(),
+            &SubmitError::Overloaded { depth: 2 }
+        );
+        assert_eq!(q.depth(), 2, "rejected ops were not enqueued");
+        // Draining frees capacity for a later batch.
+        let (batch, _) = q.drain(16);
+        assert_eq!(batch.len(), 2);
+        assert!(q.push_ops((0..1).map(op)).pop().unwrap().is_ok());
     }
 
     #[test]

@@ -366,6 +366,17 @@ impl<const D: usize, E: SnapshotEngine<D>> ShardedIndex<D, E> {
         })
     }
 
+    /// Routes a run of operations to their shards, submitting each
+    /// shard's portion under one queue lock (see
+    /// [`IndexHandle::submit_batch`]). Outcomes come back in input order;
+    /// backpressure stays per shard — a hot shard's rejections leave ops
+    /// routed to cold shards admitted.
+    pub fn submit_batch(&self, ops: Vec<IndexOp<D>>) -> Vec<Result<CommitTicket, SubmitError>> {
+        submit_routed_batch(&self.router, &self.routed, ops, |shard, ops| {
+            self.shards[shard].submit_batch(ops)
+        })
+    }
+
     /// The shard `op` would route to.
     pub fn route(&self, op: &IndexOp<D>) -> usize {
         self.router.route(op_rect(op))
@@ -633,6 +644,14 @@ impl<const D: usize, E> ShardedHandle<D, E> {
         })
     }
 
+    /// Routes and submits a run of operations (see
+    /// [`ShardedIndex::submit_batch`]).
+    pub fn submit_batch(&self, ops: Vec<IndexOp<D>>) -> Vec<Result<CommitTicket, SubmitError>> {
+        submit_routed_batch(&self.router, &self.routed, ops, |shard, ops| {
+            self.handles[shard].submit_batch(ops)
+        })
+    }
+
     /// Flushes every shard (see [`ShardedIndex::flush`]).
     pub fn flush(&self) -> Result<Vec<CommitReceipt>, CommitError> {
         self.handles.iter().map(IndexHandle::flush).collect()
@@ -674,6 +693,47 @@ fn submit_routed<const D: usize>(
     let ticket = submit(shard, op)?;
     routed[shard].fetch_add(1, SeqCst);
     Ok(ticket)
+}
+
+/// Scatters `ops` to their shards, submits each shard's portion as one
+/// batch, and reassembles the per-op outcomes in input order. Routed
+/// counters count admitted ops only, matching [`submit_routed`].
+fn submit_routed_batch<const D: usize>(
+    router: &ZOrderRouter<D>,
+    routed: &[AtomicU64],
+    ops: Vec<IndexOp<D>>,
+    submit: impl Fn(usize, Vec<IndexOp<D>>) -> Vec<Result<CommitTicket, SubmitError>>,
+) -> Vec<Result<CommitTicket, SubmitError>> {
+    let total = ops.len();
+    let mut by_shard: Vec<(Vec<usize>, Vec<IndexOp<D>>)> =
+        vec![(Vec::new(), Vec::new()); routed.len()];
+    for (i, op) in ops.into_iter().enumerate() {
+        let shard = router.route(op_rect(&op));
+        by_shard[shard].0.push(i);
+        by_shard[shard].1.push(op);
+    }
+    let mut out: Vec<Option<Result<CommitTicket, SubmitError>>> = Vec::new();
+    out.resize_with(total, || None);
+    for (shard, (indices, shard_ops)) in by_shard.into_iter().enumerate() {
+        if shard_ops.is_empty() {
+            continue;
+        }
+        let results = submit(shard, shard_ops);
+        debug_assert_eq!(results.len(), indices.len());
+        let mut admitted = 0u64;
+        for (i, r) in indices.into_iter().zip(results) {
+            if r.is_ok() {
+                admitted += 1;
+            }
+            out[i] = Some(r);
+        }
+        if admitted > 0 {
+            routed[shard].fetch_add(admitted, SeqCst);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every op was routed to exactly one shard"))
+        .collect()
 }
 
 fn acquire_guard<const D: usize, E>(

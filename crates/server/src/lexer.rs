@@ -1,0 +1,207 @@
+//! Hand-rolled lexer for the query language: keywords, numbers and
+//! punctuation, each token carrying its byte span for error reporting.
+
+use std::fmt;
+
+/// Half-open byte range into the statement text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the token.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A bare word (keyword candidate), uppercased for matching.
+    Word(String),
+    /// A numeric literal (integer or float, optional sign/exponent).
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+}
+
+impl TokenKind {
+    /// Short human name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => format!("word `{w}`"),
+            TokenKind::Number(_) => "number".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Semi => "`;`".to_string(),
+        }
+    }
+}
+
+/// One lexed token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The classified token.
+    pub kind: TokenKind,
+    /// Where it sits in the statement text.
+    pub span: Span,
+}
+
+/// A lex-level failure (unexpected byte, malformed number).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// The offending bytes.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Lexes a whole statement into tokens. Whitespace separates tokens and
+/// is otherwise insignificant.
+pub fn lex(text: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'+' | b'-' | b'.' | b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    // `+`/`-` continue a number only right after an exponent
+                    // marker; otherwise they would swallow the next token.
+                    if matches!(bytes[i], b'+' | b'-') && !matches!(bytes[i - 1], b'e' | b'E') {
+                        break;
+                    }
+                    i += 1;
+                }
+                let raw = &text[start..i];
+                let value: f64 = raw.parse().map_err(|_| LexError {
+                    span: Span::new(start, i),
+                    message: format!("malformed number `{raw}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(text[start..i].to_ascii_uppercase()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Report the whole (possibly multi-byte) char, not one byte.
+                let ch_len = text[i..].chars().next().map_or(1, char::len_utf8);
+                return Err(LexError {
+                    span: Span::new(i, i + ch_len),
+                    message: format!("unexpected character `{}`", &text[i..i + ch_len]),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive_and_spanned() {
+        let toks = lex("insert Rect (1.0, 2.0)").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Word("INSERT".into()));
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert_eq!(toks[1].kind, TokenKind::Word("RECT".into()));
+        assert_eq!(toks[2].kind, TokenKind::LParen);
+        assert_eq!(toks[3].kind, TokenKind::Number(1.0));
+        assert_eq!(toks[3].span, Span::new(13, 16));
+    }
+
+    #[test]
+    fn numbers_cover_signs_and_exponents() {
+        let toks = lex("-1.5 +2 3e-4 .25").unwrap();
+        let vals: Vec<f64> = toks
+            .iter()
+            .map(|t| match t.kind {
+                TokenKind::Number(v) => v,
+                _ => panic!("expected number"),
+            })
+            .collect();
+        assert_eq!(vals, vec![-1.5, 2.0, 3e-4, 0.25]);
+    }
+
+    #[test]
+    fn minus_after_digits_does_not_extend_the_number() {
+        // `1-2` is two numbers (no infix operators in this grammar).
+        let toks = lex("1-2").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::Number(1.0));
+        assert_eq!(toks[1].kind, TokenKind::Number(-2.0));
+    }
+
+    #[test]
+    fn bad_bytes_are_rejected_with_spans() {
+        let err = lex("SEARCH @ WINDOW").unwrap_err();
+        assert_eq!(err.span, Span::new(7, 8));
+        let err = lex("PING é").unwrap_err();
+        assert_eq!(err.span, Span::new(5, 7));
+    }
+}

@@ -1,0 +1,45 @@
+//! `segidx-server`: a pipelined TCP front-end over the concurrent segment
+//! index service.
+//!
+//! The library the rest of the workspace exposes is embeddable; this crate
+//! is the network story. A [`Server`] binds a TCP listener, and every
+//! accepted connection speaks a small textual query language
+//! (`INSERT RECT … ID …`, `DELETE ID … RECT …`, `SEARCH WINDOW …`,
+//! `STAB POINT …`, `NEAREST POINT … K …`, plus `FLUSH`/`PING`/`STATS`/
+//! `METRICS`) carried in length-prefixed binary frames — or bare
+//! newline-terminated lines, so a human with `netcat` can drive it.
+//!
+//! The design goal is *pipelining without parked threads*: reads run in
+//! batches against one epoch snapshot, and writes are admitted in batches
+//! whose responses are produced by [`CommitTicket::on_complete`] callbacks
+//! firing on the index writer thread. A connection with thousands of
+//! in-flight writes costs exactly two threads (reader + response flusher),
+//! never one per write. See the `conn` module for the ordered-outbox machinery and
+//! [`frame`] for the wire format.
+//!
+//! [`CommitTicket::on_complete`]: segidx_concurrent::CommitTicket::on_complete
+//!
+//! ```no_run
+//! use segidx_server::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! // …point clients (or `netcat`) at it…
+//! server.shutdown();
+//! ```
+
+pub mod backend;
+pub(crate) mod conn;
+pub mod frame;
+pub mod lexer;
+pub mod parser;
+pub mod server;
+pub mod telemetry;
+
+pub use backend::{Backend, BackendConfig, DIMS};
+pub use frame::{
+    encode_request, encode_response, Frame, FrameDecoder, FrameError, Mode, DEFAULT_MAX_FRAME,
+};
+pub use parser::{parse, ParseError, Statement};
+pub use server::{Server, ServerConfig};
+pub use telemetry::{ConnStats, ServerStats};

@@ -1,0 +1,514 @@
+//! Recursive-descent parser for the query language.
+//!
+//! # Grammar
+//!
+//! ```text
+//! statement := insert | delete | search | stab | nearest
+//!            | "FLUSH" | "PING" | "STATS" | "METRICS"            [";"]
+//! insert    := "INSERT" "RECT" point point "ID" integer
+//! delete    := "DELETE" "ID" integer "RECT" point point
+//! search    := "SEARCH" "WINDOW" point point
+//! stab      := "STAB" "POINT" point
+//! nearest   := "NEAREST" "POINT" point "K" integer
+//! point     := "(" number { "," number } ")"
+//! ```
+//!
+//! Keywords are case-insensitive; an optional trailing `;` is accepted.
+//! Points are dimension-agnostic at parse time (`Vec<f64>`); arity is
+//! validated when the statement is executed against a `D`-dimensional
+//! index, so the same parser serves every instantiation.
+
+use crate::lexer::{lex, Span, Token, TokenKind};
+use std::fmt;
+
+/// A parsed point: one coordinate per dimension.
+pub type Point = Vec<f64>;
+
+/// One parsed statement of the query language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `INSERT RECT (lo…) (hi…) ID n`
+    Insert {
+        /// Low corner of the rectangle.
+        lo: Point,
+        /// High corner of the rectangle.
+        hi: Point,
+        /// Caller-assigned record id.
+        id: u64,
+    },
+    /// `DELETE ID n RECT (lo…) (hi…)`
+    Delete {
+        /// Record id to delete.
+        id: u64,
+        /// Low corner the record was inserted with.
+        lo: Point,
+        /// High corner the record was inserted with.
+        hi: Point,
+    },
+    /// `SEARCH WINDOW (lo…) (hi…)`
+    Search {
+        /// Low corner of the query window.
+        lo: Point,
+        /// High corner of the query window.
+        hi: Point,
+    },
+    /// `STAB POINT (p…)`
+    Stab {
+        /// The stabbing point.
+        point: Point,
+    },
+    /// `NEAREST POINT (p…) K n`
+    Nearest {
+        /// The query point.
+        point: Point,
+        /// How many neighbours to return.
+        k: usize,
+    },
+    /// `FLUSH` — wait until every submitted write is applied.
+    Flush,
+    /// `PING` — liveness check.
+    Ping,
+    /// `STATS` — one-line server counters.
+    Stats,
+    /// `METRICS` — full metrics registry as JSON.
+    Metrics,
+}
+
+impl Statement {
+    /// Stable lowercase operation name for metrics labels.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Statement::Insert { .. } => "insert",
+            Statement::Delete { .. } => "delete",
+            Statement::Search { .. } => "search",
+            Statement::Stab { .. } => "stab",
+            Statement::Nearest { .. } => "nearest",
+            Statement::Flush => "flush",
+            Statement::Ping => "ping",
+            Statement::Stats => "stats",
+            Statement::Metrics => "metrics",
+        }
+    }
+
+    /// Whether this statement mutates the index.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Statement::Insert { .. } | Statement::Delete { .. })
+    }
+}
+
+fn write_point(f: &mut fmt::Formatter<'_>, p: &[f64]) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, c) in p.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        // `{:?}` prints the shortest representation that round-trips the
+        // f64 exactly, which the proptest print→parse test relies on.
+        write!(f, "{c:?}")?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for Statement {
+    /// Prints the canonical form, which re-parses to an equal statement.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Insert { lo, hi, id } => {
+                write!(f, "INSERT RECT ")?;
+                write_point(f, lo)?;
+                write!(f, " ")?;
+                write_point(f, hi)?;
+                write!(f, " ID {id}")
+            }
+            Statement::Delete { id, lo, hi } => {
+                write!(f, "DELETE ID {id} RECT ")?;
+                write_point(f, lo)?;
+                write!(f, " ")?;
+                write_point(f, hi)
+            }
+            Statement::Search { lo, hi } => {
+                write!(f, "SEARCH WINDOW ")?;
+                write_point(f, lo)?;
+                write!(f, " ")?;
+                write_point(f, hi)
+            }
+            Statement::Stab { point } => {
+                write!(f, "STAB POINT ")?;
+                write_point(f, point)
+            }
+            Statement::Nearest { point, k } => {
+                write!(f, "NEAREST POINT ")?;
+                write_point(f, point)?;
+                write!(f, " K {k}")
+            }
+            Statement::Flush => write!(f, "FLUSH"),
+            Statement::Ping => write!(f, "PING"),
+            Statement::Stats => write!(f, "STATS"),
+            Statement::Metrics => write!(f, "METRICS"),
+        }
+    }
+}
+
+/// A parse (or lex) failure with the byte span it points at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Byte range of the offending text (empty span at end-of-input for
+    /// truncated statements).
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    pos: usize,
+    eof: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == kw => Ok(()),
+            Some(t) => Err(ParseError {
+                span: t.span,
+                message: format!("expected `{kw}`, found {}", t.kind.describe()),
+            }),
+            None => Err(ParseError {
+                span: Span::new(self.eof, self.eof),
+                message: format!("expected `{kw}`, found end of statement"),
+            }),
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<&'a Token, ParseError> {
+        match self.next() {
+            Some(t) if t.kind == *kind => Ok(t),
+            Some(t) => Err(ParseError {
+                span: t.span,
+                message: format!("expected {what}, found {}", t.kind.describe()),
+            }),
+            None => Err(ParseError {
+                span: Span::new(self.eof, self.eof),
+                message: format!("expected {what}, found end of statement"),
+            }),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<(f64, Span), ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number(v),
+                span,
+            }) => Ok((*v, *span)),
+            Some(t) => Err(ParseError {
+                span: t.span,
+                message: format!("expected {what}, found {}", t.kind.describe()),
+            }),
+            None => Err(ParseError {
+                span: Span::new(self.eof, self.eof),
+                message: format!("expected {what}, found end of statement"),
+            }),
+        }
+    }
+
+    fn integer(&mut self, what: &str) -> Result<u64, ParseError> {
+        let (v, span) = self.number(what)?;
+        // The token value is an f64, which loses precision above 2^53;
+        // plain decimal literals re-parse from the raw digits so every
+        // u64 id round-trips exactly. Exponent/decimal forms (`1e3`,
+        // `5.0`) fall through to the f64 path.
+        if let Ok(exact) = self.src[span.start..span.end].parse::<u64>() {
+            return Ok(exact);
+        }
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(ParseError {
+                span,
+                message: format!("expected non-negative integer for {what}, found `{v}`"),
+            });
+        }
+        Ok(v as u64)
+    }
+
+    fn point(&mut self) -> Result<Point, ParseError> {
+        self.expect_kind(&TokenKind::LParen, "`(`")?;
+        let mut coords = Vec::new();
+        loop {
+            let (v, span) = self.number("coordinate")?;
+            if !v.is_finite() {
+                return Err(ParseError {
+                    span,
+                    message: "coordinates must be finite".to_string(),
+                });
+            }
+            coords.push(v);
+            match self.next() {
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => continue,
+                Some(Token {
+                    kind: TokenKind::RParen,
+                    ..
+                }) => break,
+                Some(t) => {
+                    return Err(ParseError {
+                        span: t.span,
+                        message: format!("expected `,` or `)`, found {}", t.kind.describe()),
+                    })
+                }
+                None => {
+                    return Err(ParseError {
+                        span: Span::new(self.eof, self.eof),
+                        message: "expected `,` or `)`, found end of statement".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(coords)
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        let head = match self.next() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                span,
+            }) => (w.as_str(), *span),
+            Some(t) => {
+                return Err(ParseError {
+                    span: t.span,
+                    message: format!("expected a statement keyword, found {}", t.kind.describe()),
+                })
+            }
+            None => {
+                return Err(ParseError {
+                    span: Span::new(0, 0),
+                    message: "empty statement".to_string(),
+                })
+            }
+        };
+        let stmt = match head.0 {
+            "INSERT" => {
+                self.expect_word("RECT")?;
+                let lo = self.point()?;
+                let hi = self.point()?;
+                self.expect_word("ID")?;
+                let id = self.integer("record id")?;
+                Statement::Insert { lo, hi, id }
+            }
+            "DELETE" => {
+                self.expect_word("ID")?;
+                let id = self.integer("record id")?;
+                self.expect_word("RECT")?;
+                let lo = self.point()?;
+                let hi = self.point()?;
+                Statement::Delete { id, lo, hi }
+            }
+            "SEARCH" => {
+                self.expect_word("WINDOW")?;
+                let lo = self.point()?;
+                let hi = self.point()?;
+                Statement::Search { lo, hi }
+            }
+            "STAB" => {
+                self.expect_word("POINT")?;
+                let point = self.point()?;
+                Statement::Stab { point }
+            }
+            "NEAREST" => {
+                self.expect_word("POINT")?;
+                let point = self.point()?;
+                self.expect_word("K")?;
+                let k = self.integer("neighbour count")? as usize;
+                Statement::Nearest { point, k }
+            }
+            "FLUSH" => Statement::Flush,
+            "PING" => Statement::Ping,
+            "STATS" => Statement::Stats,
+            "METRICS" => Statement::Metrics,
+            other => {
+                return Err(ParseError {
+                    span: head.1,
+                    message: format!("unknown statement `{other}`"),
+                })
+            }
+        };
+        // Optional trailing semicolon, then end of input.
+        if let Some(Token {
+            kind: TokenKind::Semi,
+            ..
+        }) = self.peek()
+        {
+            self.pos += 1;
+        }
+        if let Some(t) = self.peek() {
+            return Err(ParseError {
+                span: t.span,
+                message: format!("trailing {} after statement", t.kind.describe()),
+            });
+        }
+        Ok(stmt)
+    }
+}
+
+/// Parses one statement of the query language.
+pub fn parse(text: &str) -> Result<Statement, ParseError> {
+    let tokens = lex(text).map_err(|e| ParseError {
+        span: e.span,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        src: text,
+        tokens: &tokens,
+        pos: 0,
+        eof: text.len(),
+    };
+    p.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_statement_form_parses() {
+        assert_eq!(
+            parse("INSERT RECT (1.0, 2.0) (3.0, 4.0) ID 7").unwrap(),
+            Statement::Insert {
+                lo: vec![1.0, 2.0],
+                hi: vec![3.0, 4.0],
+                id: 7
+            }
+        );
+        assert_eq!(
+            parse("delete id 7 rect (1, 2) (3, 4);").unwrap(),
+            Statement::Delete {
+                id: 7,
+                lo: vec![1.0, 2.0],
+                hi: vec![3.0, 4.0]
+            }
+        );
+        assert_eq!(
+            parse("SEARCH WINDOW (0,0) (10,10)").unwrap(),
+            Statement::Search {
+                lo: vec![0.0, 0.0],
+                hi: vec![10.0, 10.0]
+            }
+        );
+        assert_eq!(
+            parse("STAB POINT (5.5, -2e3)").unwrap(),
+            Statement::Stab {
+                point: vec![5.5, -2e3]
+            }
+        );
+        assert_eq!(
+            parse("NEAREST POINT (1, 1) K 3").unwrap(),
+            Statement::Nearest {
+                point: vec![1.0, 1.0],
+                k: 3
+            }
+        );
+        assert_eq!(parse("FLUSH").unwrap(), Statement::Flush);
+        assert_eq!(parse("ping;").unwrap(), Statement::Ping);
+        assert_eq!(parse("STATS").unwrap(), Statement::Stats);
+        assert_eq!(parse("METRICS").unwrap(), Statement::Metrics);
+    }
+
+    #[test]
+    fn error_spans_point_at_the_offending_token() {
+        let err = parse("INSERT RECT (1,2) (3,4) IDX 7").unwrap_err();
+        assert_eq!(err.span, Span::new(24, 27));
+        assert!(err.message.contains("expected `ID`"), "{}", err.message);
+
+        let err = parse("SEARCH WINDOW (1,2)").unwrap_err();
+        assert_eq!(err.span, Span::new(19, 19));
+        assert!(err.message.contains("end of statement"), "{}", err.message);
+
+        let err = parse("NEAREST POINT (1,1) K -2").unwrap_err();
+        assert_eq!(err.span, Span::new(22, 24));
+        assert!(
+            err.message.contains("non-negative integer"),
+            "{}",
+            err.message
+        );
+
+        let err = parse("SEARCH WINDOW (1e999, 0) (1, 1)").unwrap_err();
+        assert!(err.message.contains("finite"), "{}", err.message);
+
+        let err = parse("BOGUS 1 2 3").unwrap_err();
+        assert_eq!(err.span, Span::new(0, 5));
+    }
+
+    #[test]
+    fn large_u64_ids_keep_full_precision() {
+        // Above 2^53 the lexer's f64 token value rounds; the parser must
+        // recover the exact id from the raw digits.
+        let id = u64::MAX - 1403;
+        let stmt = parse(&format!("DELETE ID {id} RECT (0) (1)")).unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Delete {
+                id,
+                lo: vec![0.0],
+                hi: vec![1.0]
+            }
+        );
+        // Non-literal integer forms still go through the f64 path.
+        assert_eq!(
+            parse("NEAREST POINT (0) K 1e3").unwrap(),
+            Statement::Nearest {
+                point: vec![0.0],
+                k: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        let err = parse("PING PING").unwrap_err();
+        assert_eq!(err.span, Span::new(5, 9));
+        assert!(err.message.contains("trailing"), "{}", err.message);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "INSERT RECT (1.25, -3.5) (2.0, 4.0) ID 42",
+            "DELETE ID 9 RECT (0.0, 0.0) (1.0, 1.0)",
+            "SEARCH WINDOW (-5.0, -5.0) (5.0, 5.0)",
+            "STAB POINT (0.1, 0.2)",
+            "NEAREST POINT (7.0, 8.0) K 12",
+            "FLUSH",
+            "PING",
+            "STATS",
+            "METRICS",
+        ] {
+            let stmt = parse(text).unwrap();
+            let printed = stmt.to_string();
+            assert_eq!(parse(&printed).unwrap(), stmt, "via `{printed}`");
+        }
+    }
+}

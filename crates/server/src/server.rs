@@ -1,0 +1,228 @@
+//! The listener: binds TCP, accepts connections, and owns everything the
+//! connections share (backend, telemetry, metrics registry, tracer).
+
+use crate::backend::{Backend, BackendConfig};
+use crate::conn;
+use crate::frame::DEFAULT_MAX_FRAME;
+use crate::telemetry::ServerStats;
+use segidx_obs::{MetricsRegistry, RingBufferSink, Tracer};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Everything a connection needs, shared by reference.
+pub(crate) struct Shared {
+    /// The index service behind the wire.
+    pub backend: Backend,
+    /// Server-lifetime connection telemetry.
+    pub stats: Arc<ServerStats>,
+    /// The registry `METRICS` snapshots (server + index + tracer families).
+    pub registry: MetricsRegistry,
+    /// Samples slow operations into the flight recorder.
+    pub tracer: Arc<Tracer>,
+    /// Per-connection inbound frame-size cap.
+    pub max_frame: usize,
+}
+
+/// Construction parameters for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind; port `0` picks a free one (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Backend sizing (shard count, queue capacity, routing domain).
+    pub backend: BackendConfig,
+    /// Inbound frame-size cap per connection.
+    pub max_frame: usize,
+    /// Trace 1-in-N operations into the flight recorder (`0` disables
+    /// sampling; forced traces still work).
+    pub trace_sample: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            backend: BackendConfig::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+            trace_sample: 0,
+        }
+    }
+}
+
+/// A running server: an accept loop plus two threads per live connection
+/// (reader and response flusher). Dropping the handle does **not** stop
+/// the server; call [`shutdown`](Self::shutdown).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr`, starts the backend writer thread(s), registers
+    /// every metric family (server, index service, tracer, event ring) on
+    /// one registry, and spawns the accept loop.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let tracer = Arc::new(Tracer::with_config(config.trace_sample, 8, 4096));
+        let ring = Arc::new(RingBufferSink::new(4096));
+        let backend = Backend::start(&config.backend, Arc::clone(&tracer), ring)?;
+
+        let registry = MetricsRegistry::new();
+        let stats = Arc::new(ServerStats::new());
+        stats.register_metrics(&registry, &[]);
+        backend.register_metrics(&registry, &[]);
+
+        let shared = Arc::new(Shared {
+            backend,
+            stats,
+            registry,
+            tracer,
+            max_frame: config.max_frame,
+        });
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("segidx-accept".to_string())
+                .spawn(move || accept_loop(listener, shared, stop))?
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-lifetime telemetry (shared with live connections).
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.shared.stats
+    }
+
+    /// The registry behind the `METRICS` statement.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// Stops accepting new connections and joins the accept loop. Live
+    /// connections keep being served until their clients hang up; the
+    /// backend writer threads stay up for them (they are detached with the
+    /// process, exactly like a real server draining on SIGTERM).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; if that
+        // fails the listener is already dead and accept() has errored.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("segidx-conn".to_string())
+                    .spawn(move || conn::serve(stream, shared));
+                if spawned.is_err() {
+                    // Out of threads: shed the connection rather than die.
+                    continue;
+                }
+            }
+            // Transient per-connection failures (ECONNABORTED etc.) leave
+            // the listener usable; keep accepting.
+            Err(_) => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_request, FrameDecoder, Mode};
+    use std::io::{Read, Write};
+
+    fn read_line(stream: &mut TcpStream) -> String {
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            let n = stream.read(&mut byte).unwrap();
+            assert!(n > 0, "server closed before newline");
+            if byte[0] == b'\n' {
+                break;
+            }
+            line.push(byte[0]);
+        }
+        String::from_utf8(line).unwrap()
+    }
+
+    #[test]
+    fn netcat_style_session() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        c.write_all(b"PING\r\n").unwrap();
+        assert_eq!(read_line(&mut c), "PONG");
+        c.write_all(b"INSERT RECT (1, 1) (2, 2) ID 7\n").unwrap();
+        assert!(read_line(&mut c).starts_with("OK epoch="));
+        c.write_all(b"FLUSH\n").unwrap();
+        assert!(read_line(&mut c).starts_with("OK epoch="));
+        c.write_all(b"SEARCH WINDOW (0, 0) (3, 3)\n").unwrap();
+        assert_eq!(read_line(&mut c), "ROWS 1 7");
+        c.write_all(b"SEARCH WINDOW (5, 5) (6, 6)\n").unwrap();
+        assert_eq!(read_line(&mut c), "ROWS 0");
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_frames_pipeline() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        let mut out = Vec::new();
+        for i in 0..32 {
+            encode_request(&format!("INSERT RECT ({i}, 0) ({i}.5, 1) ID {i}"), &mut out);
+        }
+        encode_request("FLUSH", &mut out);
+        encode_request("STAB POINT (10.25, 0.5)", &mut out);
+        c.write_all(&out).unwrap();
+
+        let mut dec = FrameDecoder::new();
+        let mut responses = Vec::new();
+        let mut buf = [0u8; 4096];
+        while responses.len() < 34 {
+            let n = c.read(&mut buf).unwrap();
+            assert!(n > 0);
+            dec.feed(&buf[..n]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                assert_eq!(f.mode, Mode::Binary);
+                responses.push(f.text);
+            }
+        }
+        for r in &responses[..33] {
+            assert!(r.starts_with("OK epoch="), "{r}");
+        }
+        assert_eq!(responses[33], "ROWS 1 10");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,340 @@
+//! Per-connection server telemetry, merged into `segidx_server_*` metric
+//! families.
+//!
+//! Each connection owns an [`ConnStats`] (wait-free atomics + two
+//! [`LatencyHistogram`]s). The server keeps weak references to live
+//! connections and folds the counters of closed connections into a
+//! retired accumulator, so the exported families always cover the full
+//! lifetime of the server: `live + retired`.
+
+use segidx_obs::{HistogramSnapshot, LatencyHistogram, Metric, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Operations counted in `segidx_server_requests_total{op=…}`, in export
+/// order.
+pub const OPS: [&str; 9] = [
+    "search", "stab", "nearest", "insert", "delete", "flush", "ping", "stats", "metrics",
+];
+
+fn op_index(op: &str) -> usize {
+    OPS.iter().position(|&o| o == op).unwrap_or(OPS.len() - 1)
+}
+
+/// Wait-free counters for one connection.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    /// Time from frame decode to response enqueued, reads (search / stab /
+    /// nearest / admin), nanoseconds.
+    pub read_latency: LatencyHistogram,
+    /// Time from frame decode to commit callback, writes, nanoseconds.
+    pub write_latency: LatencyHistogram,
+    requests: [AtomicU64; OPS.len()],
+    frames_binary: AtomicU64,
+    frames_line: AtomicU64,
+    parse_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    busy: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl ConnStats {
+    /// Fresh, zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request of operation `op` (see [`OPS`]).
+    pub fn count_request(&self, op: &str) {
+        self.requests[op_index(op)].fetch_add(1, Relaxed);
+    }
+
+    /// Counts one decoded frame in `mode`.
+    pub fn count_frame(&self, mode: crate::frame::Mode) {
+        match mode {
+            crate::frame::Mode::Binary => self.frames_binary.fetch_add(1, Relaxed),
+            crate::frame::Mode::Line => self.frames_line.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Counts one statement the parser rejected.
+    pub fn count_parse_error(&self) {
+        self.parse_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one framing-level error (connection is closed after).
+    pub fn count_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one write rejected with `BUSY` by admission control.
+    pub fn count_busy(&self) {
+        self.busy.fetch_add(1, Relaxed);
+    }
+
+    /// Adds to the inbound byte counter.
+    pub fn add_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Relaxed);
+    }
+
+    /// Adds to the outbound byte counter.
+    pub fn add_bytes_written(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Relaxed);
+    }
+}
+
+/// Scalar + histogram totals folded out of [`ConnStats`].
+#[derive(Debug, Default, Clone)]
+struct Totals {
+    requests: [u64; OPS.len()],
+    frames_binary: u64,
+    frames_line: u64,
+    parse_errors: u64,
+    protocol_errors: u64,
+    busy: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    read_latency: HistogramSnapshot,
+    write_latency: HistogramSnapshot,
+}
+
+impl Totals {
+    fn absorb(&mut self, stats: &ConnStats) {
+        for (t, c) in self.requests.iter_mut().zip(stats.requests.iter()) {
+            *t += c.load(Relaxed);
+        }
+        self.frames_binary += stats.frames_binary.load(Relaxed);
+        self.frames_line += stats.frames_line.load(Relaxed);
+        self.parse_errors += stats.parse_errors.load(Relaxed);
+        self.protocol_errors += stats.protocol_errors.load(Relaxed);
+        self.busy += stats.busy.load(Relaxed);
+        self.bytes_read += stats.bytes_read.load(Relaxed);
+        self.bytes_written += stats.bytes_written.load(Relaxed);
+        self.read_latency.merge(&stats.read_latency.snapshot());
+        self.write_latency.merge(&stats.write_latency.snapshot());
+    }
+}
+
+/// Server-lifetime telemetry: connection registry + retired totals.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections_total: AtomicU64,
+    live: Mutex<Vec<Weak<ConnStats>>>,
+    retired: Mutex<Totals>,
+}
+
+impl ServerStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new connection and returns its stats handle.
+    pub fn open_connection(self: &Arc<Self>) -> Arc<ConnStats> {
+        self.connections_total.fetch_add(1, Relaxed);
+        let stats = Arc::new(ConnStats::new());
+        self.live.lock().unwrap().push(Arc::downgrade(&stats));
+        stats
+    }
+
+    /// Folds a closed connection into the retired totals. The caller must
+    /// drop its `Arc<ConnStats>` afterwards (the weak registry entry is
+    /// pruned on the next export).
+    pub fn close_connection(&self, stats: &Arc<ConnStats>) {
+        self.retired.lock().unwrap().absorb(stats);
+        let ptr = Arc::as_ptr(stats);
+        self.live
+            .lock()
+            .unwrap()
+            .retain(|w| !std::ptr::eq(w.as_ptr(), ptr) && w.strong_count() > 0);
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn connections_total(&self) -> u64 {
+        self.connections_total.load(Relaxed)
+    }
+
+    /// Currently open connections.
+    pub fn connections_active(&self) -> usize {
+        self.live
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+
+    /// `live + retired` totals across every connection ever opened.
+    fn totals(&self) -> Totals {
+        let mut t = self.retired.lock().unwrap().clone();
+        let live: Vec<Arc<ConnStats>> = self
+            .live
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(Weak::upgrade)
+            .collect();
+        for stats in &live {
+            t.absorb(stats);
+        }
+        t
+    }
+
+    /// One-line human summary for the `STATS` statement.
+    pub fn summary_line(&self) -> String {
+        let t = self.totals();
+        let requests: u64 = t.requests.iter().sum();
+        format!(
+            "connections={} active={} requests={} busy={} parse_errors={} protocol_errors={} bytes_in={} bytes_out={}",
+            self.connections_total(),
+            self.connections_active(),
+            requests,
+            t.busy,
+            t.parse_errors,
+            t.protocol_errors,
+            t.bytes_read,
+            t.bytes_written,
+        )
+    }
+
+    /// Registers the `segidx_server_*` families on `registry`, labeled
+    /// `component="server"` (plus any extra labels given).
+    pub fn register_metrics(self: &Arc<Self>, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        let stats = Arc::clone(self);
+        let mut base: Vec<(String, String)> = vec![("component".to_string(), "server".to_string())];
+        base.extend(labels.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+        registry.register(Box::new(move |out| {
+            let l: Vec<(&str, &str)> = base.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            let t = stats.totals();
+            out.push(Metric::counter(
+                "segidx_server_connections_total",
+                &l,
+                stats.connections_total(),
+            ));
+            out.push(Metric::gauge(
+                "segidx_server_connections_active",
+                &l,
+                stats.connections_active() as f64,
+            ));
+            for (op, n) in OPS.iter().zip(t.requests.iter()) {
+                let mut with_op = l.clone();
+                with_op.push(("op", op));
+                out.push(Metric::counter(
+                    "segidx_server_requests_total",
+                    &with_op,
+                    *n,
+                ));
+            }
+            for (mode, n) in [("binary", t.frames_binary), ("line", t.frames_line)] {
+                let mut with_mode = l.clone();
+                with_mode.push(("mode", mode));
+                out.push(Metric::counter("segidx_server_frames_total", &with_mode, n));
+            }
+            out.push(Metric::counter(
+                "segidx_server_parse_errors_total",
+                &l,
+                t.parse_errors,
+            ));
+            out.push(Metric::counter(
+                "segidx_server_protocol_errors_total",
+                &l,
+                t.protocol_errors,
+            ));
+            out.push(Metric::counter("segidx_server_busy_total", &l, t.busy));
+            out.push(Metric::counter(
+                "segidx_server_bytes_read_total",
+                &l,
+                t.bytes_read,
+            ));
+            out.push(Metric::counter(
+                "segidx_server_bytes_written_total",
+                &l,
+                t.bytes_written,
+            ));
+            out.push(Metric::histogram(
+                "segidx_server_read_latency_nanos",
+                &l,
+                t.read_latency,
+            ));
+            out.push(Metric::histogram(
+                "segidx_server_write_latency_nanos",
+                &l,
+                t.write_latency,
+            ));
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Mode;
+
+    #[test]
+    fn retired_connections_keep_counting() {
+        let server = Arc::new(ServerStats::new());
+        let a = server.open_connection();
+        a.count_request("search");
+        a.count_request("insert");
+        a.count_frame(Mode::Binary);
+        a.read_latency.record(1_000);
+        server.close_connection(&a);
+        drop(a);
+
+        let b = server.open_connection();
+        b.count_request("search");
+        b.count_frame(Mode::Line);
+        b.count_busy();
+
+        let registry = MetricsRegistry::new();
+        server.register_metrics(&registry, &[]);
+        let snap = registry.snapshot();
+        let l = [("component", "server")];
+        let with = |extra: (&'static str, &'static str)| -> Vec<(&str, &str)> { vec![l[0], extra] };
+        assert_eq!(
+            snap.get("segidx_server_requests_total", &with(("op", "search")))
+                .unwrap()
+                .value,
+            segidx_obs::MetricValue::Counter(2),
+            "one live + one retired search"
+        );
+        assert_eq!(
+            snap.get("segidx_server_requests_total", &with(("op", "insert")))
+                .unwrap()
+                .value,
+            segidx_obs::MetricValue::Counter(1)
+        );
+        assert_eq!(
+            snap.get("segidx_server_frames_total", &with(("mode", "line")))
+                .unwrap()
+                .value,
+            segidx_obs::MetricValue::Counter(1)
+        );
+        assert_eq!(
+            snap.get("segidx_server_busy_total", &l).unwrap().value,
+            segidx_obs::MetricValue::Counter(1)
+        );
+        assert_eq!(
+            snap.get("segidx_server_connections_total", &l)
+                .unwrap()
+                .value,
+            segidx_obs::MetricValue::Counter(2)
+        );
+        assert_eq!(
+            snap.get("segidx_server_connections_active", &l)
+                .unwrap()
+                .value,
+            segidx_obs::MetricValue::Gauge(1.0)
+        );
+        match &snap
+            .get("segidx_server_read_latency_nanos", &l)
+            .unwrap()
+            .value
+        {
+            segidx_obs::MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert!(server.summary_line().contains("requests=3"));
+    }
+}

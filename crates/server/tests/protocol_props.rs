@@ -1,0 +1,110 @@
+//! Property tests for the wire layer: the query language's canonical
+//! print form must re-parse to an equal statement for *arbitrary*
+//! statements (exact f64 round-tripping included), and the frame codec
+//! must reassemble arbitrary pipelines under arbitrary chunking.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segidx_server::frame::{encode_request, encode_response, FrameDecoder, Mode};
+use segidx_server::parser::{parse, Statement};
+
+/// Finite, non-NaN coordinates across the full exponent range so the
+/// shortest-round-trip printing (`{:?}`) is genuinely exercised.
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e9..1e9f64,
+        -1.0..1.0f64,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE),
+        any::<i32>().prop_map(|v| v as f64 * 1e-6),
+    ]
+}
+
+/// Any statement of the language, over 1–4 dimensional points (the
+/// grammar is dimension-agnostic; arity is checked at execution). Two
+/// coordinate pools are drawn at maximum width and truncated to the
+/// drawn dimensionality, which sidesteps the need for a dependent
+/// (`flat_map`) strategy.
+fn statement() -> impl Strategy<Value = Statement> {
+    (
+        0usize..9,          // which statement form
+        1usize..5,          // dimensionality of the points
+        vec(coord(), 4..5), // low corner / point pool
+        vec(coord(), 4..5), // high corner pool
+        any::<u64>(),       // record id
+        0usize..1000,       // NEAREST's K
+    )
+        .prop_map(|(form, dims, a, b, id, k)| {
+            let lo: Vec<f64> = a[..dims].to_vec();
+            let hi: Vec<f64> = b[..dims].to_vec();
+            match form {
+                0 => Statement::Insert { lo, hi, id },
+                1 => Statement::Delete { id, lo, hi },
+                2 => Statement::Search { lo, hi },
+                3 => Statement::Stab { point: lo },
+                4 => Statement::Nearest { point: lo, k },
+                5 => Statement::Flush,
+                6 => Statement::Ping,
+                7 => Statement::Stats,
+                _ => Statement::Metrics,
+            }
+        })
+}
+
+/// Printable-ASCII payload text (frames carry arbitrary statement text;
+/// the codec never inspects it beyond the line terminator).
+fn text(max_len: usize) -> impl Strategy<Value = String> {
+    vec(0x20u8..0x7f, 1..max_len).prop_map(|bytes| String::from_utf8(bytes).unwrap())
+}
+
+proptest! {
+    /// Display prints a canonical form that parses back to an equal
+    /// statement — including every f64 bit pattern the strategy produces
+    /// (`{:?}` prints the shortest exactly-round-tripping decimal).
+    #[test]
+    fn print_then_parse_round_trips(stmt in statement()) {
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to re-parse: {e}"));
+        prop_assert_eq!(reparsed, stmt, "via `{}`", printed);
+    }
+
+    /// A pipeline of binary frames survives any chunking of the byte
+    /// stream: the decoder yields exactly the texts encoded, in order,
+    /// regardless of where the transport split the bytes.
+    #[test]
+    fn frame_pipeline_survives_arbitrary_chunking(
+        texts in vec(text(65), 1..20),
+        chunk in 1usize..17,
+    ) {
+        let mut wire = Vec::new();
+        for t in &texts {
+            encode_request(t, &mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(f) = dec.next_frame().unwrap() {
+                prop_assert_eq!(f.mode, Mode::Binary);
+                decoded.push(f.text);
+            }
+        }
+        prop_assert_eq!(decoded, texts);
+    }
+
+    /// Response encoding in a frame's own mode decodes back to the
+    /// payload (modulo line mode's documented newline flattening).
+    #[test]
+    fn response_encoding_round_trips(payload in text(129)) {
+        for mode in [Mode::Binary, Mode::Line] {
+            let mut wire = Vec::new();
+            encode_response(mode, &payload, &mut wire);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&wire);
+            let f = dec.next_frame().unwrap().unwrap();
+            prop_assert_eq!(&f.text, &payload);
+        }
+    }
+}

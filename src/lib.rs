@@ -23,15 +23,18 @@
 //! [`storage`] (paged files with variable page sizes and a buffer pool),
 //! [`concurrent`] (epoch-based snapshot reads over a single-writer
 //! group-commit service), [`workloads`] (the paper's data and query
-//! distributions), and [`temporal`] (a valid-time table layer). The
-//! `segidx-bench` crate provides the `reproduce` binary that regenerates
-//! the paper's Graphs 1–6.
+//! distributions), [`temporal`] (a valid-time table layer), and
+//! [`server`] (a pipelined TCP front-end with a textual query language —
+//! the `segidx_server` and `loadgen` binaries). The `segidx-bench` crate
+//! provides the `reproduce` binary that regenerates the paper's
+//! Graphs 1–6.
 
 #![warn(missing_docs)]
 
 pub use segidx_concurrent as concurrent;
 pub use segidx_core as core;
 pub use segidx_geom as geom;
+pub use segidx_server as server;
 pub use segidx_storage as storage;
 pub use segidx_temporal as temporal;
 pub use segidx_workloads as workloads;
