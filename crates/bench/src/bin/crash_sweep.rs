@@ -6,11 +6,16 @@
 //! report (seed, cut index, detail) under `--out` so the artifact upload
 //! carries everything needed to reproduce with `--seed <n>`.
 //!
+//! With `--temporal`, the sweep instead power-cuts the tiered temporal
+//! index's seal-and-merge commits ([`segidx_bench::temporal_crash`]) and
+//! checks recovery to exactly the last committed tier set.
+//!
 //! Usage:
 //!   crash_sweep [--seeds N] [--seed S] [--ops N] [--checkpoint-every N]
-//!               [--corruption-trials N] [--out DIR]
+//!               [--corruption-trials N] [--temporal] [--out DIR]
 
 use segidx_bench::crash::{corruption_trials, crash_sweep, SweepFailure, TraceConfig};
+use segidx_bench::temporal_crash::{temporal_crash_sweep, TemporalTraceConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,6 +24,7 @@ struct Args {
     single_seed: Option<u64>,
     trace: TraceConfig,
     corruption_trials: usize,
+    temporal: bool,
     out: PathBuf,
 }
 
@@ -28,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         single_seed: None,
         trace: TraceConfig::default(),
         corruption_trials: 4,
+        temporal: false,
         out: PathBuf::from("results/crash_sweep"),
     };
     let mut it = std::env::args().skip(1);
@@ -49,10 +56,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--temporal" => args.temporal = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
                 return Err("usage: crash_sweep [--seeds N] [--seed S] [--ops N] \
-                     [--checkpoint-every N] [--corruption-trials N] [--out DIR]"
+                     [--checkpoint-every N] [--corruption-trials N] [--temporal] [--out DIR]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -91,6 +99,39 @@ fn main() -> ExitCode {
     };
     let mut total_cuts = 0u64;
     let mut failed_seeds = 0u64;
+    if args.temporal {
+        let cfg = TemporalTraceConfig {
+            ops: args.trace.ops,
+            seal_every: args.trace.checkpoint_every,
+            delete_fraction: args.trace.delete_fraction,
+        };
+        for &seed in &seeds {
+            let outcome = temporal_crash_sweep(seed, &scratch, &cfg);
+            total_cuts += outcome.writes + 1;
+            if outcome.failures.is_empty() {
+                println!("seed {seed:>3}: ok ({} cuts, temporal)", outcome.writes + 1);
+            } else {
+                failed_seeds += 1;
+                report_failures(&args.out, seed, "temporal", &outcome.failures);
+                println!(
+                    "seed {seed:>3}: FAILED ({} temporal power-cut mismatches)",
+                    outcome.failures.len()
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+        println!(
+            "crash_sweep --temporal: {} seeds, {} cut points, {} failing seeds",
+            seeds.len(),
+            total_cuts,
+            failed_seeds
+        );
+        return if failed_seeds > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     for &seed in &seeds {
         let outcome = crash_sweep(seed, &scratch, &args.trace);
         total_cuts += outcome.writes + 1;

@@ -31,13 +31,23 @@
 //! With `--server`, the file is instead a `segidx_server` `METRICS`
 //! snapshot (what `loadgen --metrics-out` saves): every
 //! `segidx_server_*` per-connection family must be present —
-//! `requests_total` across all nine ops, `frames_total` for both framing
-//! modes, the connection/error/byte counters, and non-empty read *and*
-//! write latency histograms — alongside the full index-service family of
-//! the backend it fronts (`component="concurrent"` or `"sharded"`).
+//! `requests_total` across all twelve statement forms, `frames_total`
+//! for both framing modes, the connection/error/byte counters, and
+//! non-empty read *and* write latency histograms — alongside the full
+//! index-service family of the backend it fronts
+//! (`component="concurrent"` or `"sharded"`) and the temporal tier's
+//! gauges/counters (`component="temporal"`, which the server registers
+//! for its `RECORD`/`AS OF`/`WITHIN` table).
 //!
-//! Usage: `metrics_check <path/to/metrics.json>` or
-//! `metrics_check --server <path/to/server_metrics.json>`. Exits
+//! With `--temporal`, the file is a registry snapshot from an ingest
+//! run (`temporal_bench --metrics-out`): the full `segidx_temporal_*`
+//! family must be present and typed — the four tier-state gauges, the
+//! six lifecycle counters, and non-empty seal *and* merge latency
+//! histograms (the ingest is sized so both fire).
+//!
+//! Usage: `metrics_check <path/to/metrics.json>`,
+//! `metrics_check --server <path/to/server_metrics.json>`, or
+//! `metrics_check --temporal <path/to/temporal_metrics.json>`. Exits
 //! non-zero with a description of the first problem found.
 
 use segidx_obs::json::{self, Value};
@@ -46,18 +56,18 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (server_mode, path) = match args.as_slice() {
-        [path] => (false, path.clone()),
-        [flag, path] if flag == "--server" => (true, path.clone()),
+    let (mode, path) = match args.as_slice() {
+        [path] => ("", path.clone()),
+        [flag, path] if flag == "--server" || flag == "--temporal" => (flag.as_str(), path.clone()),
         _ => {
-            eprintln!("usage: metrics_check [--server] <metrics.json>");
+            eprintln!("usage: metrics_check [--server | --temporal] <metrics.json>");
             return ExitCode::from(2);
         }
     };
-    let checked = if server_mode {
-        check_server_file(&path)
-    } else {
-        check(&path)
+    let checked = match mode {
+        "--server" => check_server_file(&path),
+        "--temporal" => check_temporal_file(&path),
+        _ => check(&path),
     };
     match checked {
         Ok(summary) => {
@@ -145,8 +155,9 @@ const HYBRID_SHAPES: [&str; 5] = ["one_d", "stab", "slab", "window", "nearest"];
 
 /// The per-connection server families (`--server` mode), all labeled
 /// `component="server"`.
-const SERVER_OPS: [&str; 9] = [
-    "search", "stab", "nearest", "insert", "delete", "flush", "ping", "stats", "metrics",
+const SERVER_OPS: [&str; 12] = [
+    "search", "stab", "nearest", "insert", "delete", "record", "as_of", "within", "flush", "ping",
+    "stats", "metrics",
 ];
 const SERVER_MODES: [&str; 2] = ["binary", "line"];
 const SERVER_COUNTERS: [&str; 6] = [
@@ -161,6 +172,27 @@ const SERVER_GAUGES: [&str; 1] = ["segidx_server_connections_active"];
 const SERVER_HISTOGRAMS: [&str; 2] = [
     "segidx_server_read_latency_nanos",
     "segidx_server_write_latency_nanos",
+];
+
+/// The tiered temporal index's family (`component="temporal"`): tier-state
+/// gauges, lifecycle counters, and seal/merge latency histograms.
+const TEMPORAL_GAUGES: [&str; 4] = [
+    "segidx_temporal_tiers",
+    "segidx_temporal_memtable_entries",
+    "segidx_temporal_sealed_entries",
+    "segidx_temporal_tombstones",
+];
+const TEMPORAL_COUNTERS: [&str; 6] = [
+    "segidx_temporal_seals_total",
+    "segidx_temporal_merges_total",
+    "segidx_temporal_sealed_entries_total",
+    "segidx_temporal_merged_entries_total",
+    "segidx_temporal_merge_dropped_total",
+    "segidx_temporal_exports_total",
+];
+const TEMPORAL_HISTOGRAMS: [&str; 2] = [
+    "segidx_temporal_seal_latency_nanos",
+    "segidx_temporal_merge_latency_nanos",
 ];
 
 fn is_gauge(name: &str) -> bool {
@@ -294,6 +326,7 @@ fn check_server_file(path: &str) -> Result<String, String> {
     let mut modes: BTreeSet<String> = BTreeSet::new();
     let mut components: BTreeSet<String> = BTreeSet::new();
     let mut service_seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut temporal_seen: BTreeSet<String> = BTreeSet::new();
     for m in metrics {
         let name = m
             .get("name")
@@ -348,6 +381,8 @@ fn check_server_file(path: &str) -> Result<String, String> {
         } else if component == "concurrent" || component == "sharded" {
             let shard = labels.get("shard").and_then(Value::as_str).unwrap_or("");
             service_seen.insert((shard.to_string(), name.to_string()));
+        } else if component == "temporal" {
+            temporal_seen.insert(name.to_string());
         }
     }
 
@@ -364,7 +399,7 @@ fn check_server_file(path: &str) -> Result<String, String> {
         if !ops.contains(op) {
             return Err(format!(
                 "segidx_server_requests_total: missing op=\"{op}\" \
-                 (all nine statement forms must be exported, zeros included)"
+                 (all twelve statement forms must be exported, zeros included)"
             ));
         }
     }
@@ -394,11 +429,105 @@ fn check_server_file(path: &str) -> Result<String, String> {
         }
     }
 
+    // The temporal tier behind RECORD/AS OF/WITHIN registers its family on
+    // the same registry; histograms may be empty (a smoke workload need
+    // not seal) but every name must be exported.
+    for name in TEMPORAL_GAUGES
+        .iter()
+        .chain(&TEMPORAL_COUNTERS)
+        .chain(&TEMPORAL_HISTOGRAMS)
+    {
+        if !temporal_seen.contains(*name) {
+            return Err(format!(
+                "missing temporal-tier metric {name} (component=\"temporal\")"
+            ));
+        }
+    }
+
     Ok(format!(
         "ok: {} metrics, {} server families, {} ops, backend \"{backend}\"",
         metrics.len(),
         seen.len() + 2,
         ops.len()
+    ))
+}
+
+/// `--temporal` mode: a registry snapshot from a tiered ingest run
+/// (`temporal_bench --metrics-out`). The full `segidx_temporal_*` family
+/// must be present under `component="temporal"` and correctly typed, and
+/// both latency histograms non-empty — the gated ingest seals and merges
+/// many times over.
+fn check_temporal_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let metrics = value
+        .get("metrics")
+        .and_then(Value::as_array)
+        .ok_or("missing top-level \"metrics\" array")?;
+    if metrics.is_empty() {
+        return Err("\"metrics\" array is empty".into());
+    }
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for m in metrics {
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("metric without a \"name\"")?;
+        if !name.starts_with("segidx_temporal_") {
+            continue;
+        }
+        let labels = m.get("labels").ok_or("metric without \"labels\"")?;
+        let component = labels
+            .get("component")
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        if component != "temporal" {
+            return Err(format!("{name}: expected component=\"temporal\" label"));
+        }
+        let kind = m.get("type").and_then(Value::as_str).unwrap_or("");
+        if TEMPORAL_HISTOGRAMS.contains(&name) {
+            if kind != "histogram" {
+                return Err(format!("{name}: expected histogram, got {kind}"));
+            }
+            let count = m.get("count").and_then(Value::as_i64).unwrap_or(0);
+            if count <= 0 {
+                return Err(format!(
+                    "{name}: empty histogram (the ingest must seal and merge)"
+                ));
+            }
+        } else if TEMPORAL_COUNTERS.contains(&name) {
+            if kind != "counter" {
+                return Err(format!("{name}: expected counter, got {kind}"));
+            }
+        } else if TEMPORAL_GAUGES.contains(&name) {
+            if kind != "gauge" {
+                return Err(format!("{name}: expected gauge, got {kind}"));
+            }
+            let v = m
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{name}: non-numeric value"))?;
+            if v < 0.0 {
+                return Err(format!("{name}: negative gauge {v}"));
+            }
+        }
+        seen.insert(name.to_string());
+    }
+    for name in TEMPORAL_GAUGES
+        .iter()
+        .chain(&TEMPORAL_COUNTERS)
+        .chain(&TEMPORAL_HISTOGRAMS)
+    {
+        if !seen.contains(*name) {
+            return Err(format!("missing {name}"));
+        }
+    }
+
+    Ok(format!(
+        "ok: {} metrics, {} temporal families (4 gauges, 6 counters, 2 non-empty histograms)",
+        metrics.len(),
+        seen.len()
     ))
 }
 

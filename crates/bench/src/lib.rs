@@ -28,6 +28,7 @@ mod metrics;
 mod report;
 mod runner;
 mod shape;
+pub mod temporal_crash;
 
 pub use experiment::{Experiment, Graph, Variant, PAPER_PREDICTION_BUFFER};
 pub use metrics::{

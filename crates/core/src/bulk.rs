@@ -123,15 +123,18 @@ fn str_chunks<T, const D: usize>(
     }
     items.sort_unstable_by(|a, b| rect_of(a).center()[dim].total_cmp(&rect_of(b).center()[dim]));
     if dim == D - 1 {
-        // Final dimension: fixed-size runs.
+        // Final dimension: fixed-size runs. Consume through the iterator —
+        // `split_off` here would recopy the remainder per run, turning the
+        // pack quadratic in the slab size.
         let mut out = Vec::with_capacity(n.div_ceil(cap));
-        while !items.is_empty() {
-            let take = items.len().min(cap);
-            let rest = items.split_off(take);
-            out.push(items);
-            items = rest;
+        let mut it = items.into_iter();
+        loop {
+            let run: Vec<T> = it.by_ref().take(cap).collect();
+            if run.is_empty() {
+                return out;
+            }
+            out.push(run);
         }
-        return out;
     }
     // Slab count: S = ceil(P^(1/dims_left)) with P = ceil(n/cap).
     let pages = n.div_ceil(cap);
@@ -139,13 +142,14 @@ fn str_chunks<T, const D: usize>(
     let slabs = (pages as f64).powf(1.0 / dims_left).ceil() as usize;
     let slab_size = n.div_ceil(slabs.max(1));
     let mut out = Vec::new();
-    while !items.is_empty() {
-        let take = items.len().min(slab_size);
-        let rest = items.split_off(take);
-        out.extend(str_chunks(items, cap, rect_of, dim + 1));
-        items = rest;
+    let mut it = items.into_iter();
+    loop {
+        let slab: Vec<T> = it.by_ref().take(slab_size).collect();
+        if slab.is_empty() {
+            return out;
+        }
+        out.extend(str_chunks(slab, cap, rect_of, dim + 1));
     }
-    out
 }
 
 #[cfg(test)]

@@ -293,8 +293,10 @@ fn salvage_node<const D: usize>(payload: &[u8], out: &mut Vec<(Rect<D>, RecordId
 /// Best-effort walk freeing every page of the tree rooted at `meta`.
 /// Unreadable subtrees are skipped (their pages leak rather than fail the
 /// caller); dimensionality is read from the metadata page, so this works
-/// for any `D`.
-fn free_tree(disk: &DiskManager, meta: PageId) {
+/// for any `D`. Freed extents recycle only after the next durable commit,
+/// so callers replacing a committed tree (or tier set) may free the old
+/// pages before writing the new ones.
+pub fn free_tree(disk: &DiskManager, meta: PageId) {
     fn free_node(disk: &DiskManager, page_id: PageId, dims: usize) {
         let Ok(page) = disk.read_page(page_id) else {
             return;

@@ -25,7 +25,7 @@ use crate::server::Shared;
 use crate::telemetry::ConnStats;
 use segidx_concurrent::{IndexOp, SubmitError};
 use segidx_core::RecordId;
-use segidx_geom::{Point, Rect};
+use segidx_geom::{Interval, Point, Rect};
 use segidx_obs::OpClass;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -152,6 +152,18 @@ enum Prepared {
     Stab(Point<DIMS>),
     Write(IndexOp<DIMS>),
     Nearest(Point<DIMS>, usize),
+    Record {
+        key: u64,
+        value: f64,
+        at: f64,
+    },
+    AsOf(f64),
+    Within {
+        t1: f64,
+        t2: f64,
+        lo: f64,
+        hi: f64,
+    },
     Flush,
     Stats,
     Metrics,
@@ -205,6 +217,17 @@ fn prepare(text: &str, stats: &ConnStats) -> Prepared {
         Statement::Search { lo, hi } => rect2(&lo, &hi).map(Prepared::Search),
         Statement::Stab { point } => point2(&point).map(Prepared::Stab),
         Statement::Nearest { point, k } => point2(&point).map(|p| Prepared::Nearest(p, k)),
+        Statement::Record { key, value, at } => Ok(Prepared::Record { key, value, at }),
+        Statement::AsOf { t } => Ok(Prepared::AsOf(t)),
+        Statement::Within { t1, t2, lo, hi } => {
+            if t2 < t1 {
+                Err(format!("invalid time window: {t1} > {t2}"))
+            } else if hi < lo {
+                Err(format!("invalid duration band: {lo} > {hi}"))
+            } else {
+                Ok(Prepared::Within { t1, t2, lo, hi })
+            }
+        }
         Statement::Flush => Ok(Prepared::Flush),
         Statement::Ping => Ok(Prepared::Reply("PONG".to_string())),
         Statement::Stats => Ok(Prepared::Stats),
@@ -222,6 +245,21 @@ fn rows_response(mut ids: Vec<RecordId>) -> String {
     for id in ids {
         out.push(' ');
         out.push_str(&id.0.to_string());
+    }
+    out
+}
+
+/// `VERS <n> <id>:<key>=<value>…` with versions sorted by id — like
+/// [`rows_response`], the reply depends only on table contents, never on
+/// the backing tier layout.
+fn vers_response(
+    mut versions: Vec<(segidx_temporal::VersionId, segidx_temporal::Version)>,
+) -> String {
+    versions.sort_unstable_by_key(|(id, _)| id.0);
+    let mut out = format!("VERS {}", versions.len());
+    for (id, v) in versions {
+        out.push(' ');
+        out.push_str(&format!("{}:{}={:?}", id.0, v.key, v.value));
     }
     out
 }
@@ -336,6 +374,42 @@ fn execute_batch(
                     text.push(' ');
                     text.push_str(&format!("{}={dist:?}", id.0));
                 }
+                fill_reply(outbox, items[i].seq, items[i].mode, &text);
+                stats.read_latency.record_duration(items[i].t0.elapsed());
+                i += 1;
+            }
+            Prepared::Record { key, value, at } => {
+                let text = match shared
+                    .temporal
+                    .lock()
+                    .unwrap()
+                    .try_insert(*key, *value, *at)
+                {
+                    Ok(id) => format!("OK version={}", id.0),
+                    Err(e) => format!("ERR exec {e}"),
+                };
+                fill_reply(outbox, items[i].seq, items[i].mode, &text);
+                stats.write_latency.record_duration(items[i].t0.elapsed());
+                i += 1;
+            }
+            Prepared::AsOf(t) => {
+                let text = match shared.temporal.lock().unwrap().try_as_of(*t) {
+                    Ok(versions) => vers_response(versions),
+                    Err(e) => format!("ERR exec {e}"),
+                };
+                fill_reply(outbox, items[i].seq, items[i].mode, &text);
+                stats.read_latency.record_duration(items[i].t0.elapsed());
+                i += 1;
+            }
+            Prepared::Within { t1, t2, lo, hi } => {
+                let text = match shared.temporal.lock().unwrap().try_within(
+                    Interval::new(*t1, *t2),
+                    *lo,
+                    *hi,
+                ) {
+                    Ok(versions) => vers_response(versions),
+                    Err(e) => format!("ERR exec {e}"),
+                };
                 fill_reply(outbox, items[i].seq, items[i].mode, &text);
                 stats.read_latency.record_duration(items[i].t0.elapsed());
                 i += 1;

@@ -4,12 +4,16 @@
 //!
 //! ```text
 //! statement := insert | delete | search | stab | nearest
+//!            | record | asof | within
 //!            | "FLUSH" | "PING" | "STATS" | "METRICS"            [";"]
 //! insert    := "INSERT" "RECT" point point "ID" integer
 //! delete    := "DELETE" "ID" integer "RECT" point point
 //! search    := "SEARCH" "WINDOW" point point
 //! stab      := "STAB" "POINT" point
 //! nearest   := "NEAREST" "POINT" point "K" integer
+//! record    := "RECORD" integer "VALUE" number "AT" number
+//! asof      := "AS" "OF" number
+//! within    := "WITHIN" "(" number "," number ")" "DURATION" number number
 //! point     := "(" number { "," number } ")"
 //! ```
 //!
@@ -64,6 +68,34 @@ pub enum Statement {
         /// How many neighbours to return.
         k: usize,
     },
+    /// `RECORD k VALUE v AT t` — open a new temporal version of key `k`
+    /// (closing its predecessor, paper Figure 1 style).
+    Record {
+        /// The key whose history is extended.
+        key: u64,
+        /// The attribute value the new version carries.
+        value: f64,
+        /// Valid-time start of the new version.
+        at: f64,
+    },
+    /// `AS OF t` — temporal stab: every version valid at time `t`.
+    AsOf {
+        /// The query timestamp.
+        t: f64,
+    },
+    /// `WITHIN (t1, t2) DURATION lo hi` — versions overlapping the time
+    /// window whose lifetime (open versions measured to the horizon)
+    /// falls in `[lo, hi]`.
+    Within {
+        /// Start of the time window.
+        t1: f64,
+        /// End of the time window.
+        t2: f64,
+        /// Minimum version duration (inclusive).
+        lo: f64,
+        /// Maximum version duration (inclusive).
+        hi: f64,
+    },
     /// `FLUSH` — wait until every submitted write is applied.
     Flush,
     /// `PING` — liveness check.
@@ -83,6 +115,9 @@ impl Statement {
             Statement::Search { .. } => "search",
             Statement::Stab { .. } => "stab",
             Statement::Nearest { .. } => "nearest",
+            Statement::Record { .. } => "record",
+            Statement::AsOf { .. } => "as_of",
+            Statement::Within { .. } => "within",
             Statement::Flush => "flush",
             Statement::Ping => "ping",
             Statement::Stats => "stats",
@@ -90,9 +125,12 @@ impl Statement {
         }
     }
 
-    /// Whether this statement mutates the index.
+    /// Whether this statement mutates the index (or the temporal table).
     pub fn is_write(&self) -> bool {
-        matches!(self, Statement::Insert { .. } | Statement::Delete { .. })
+        matches!(
+            self,
+            Statement::Insert { .. } | Statement::Delete { .. } | Statement::Record { .. }
+        )
     }
 }
 
@@ -140,6 +178,13 @@ impl fmt::Display for Statement {
                 write!(f, "NEAREST POINT ")?;
                 write_point(f, point)?;
                 write!(f, " K {k}")
+            }
+            Statement::Record { key, value, at } => {
+                write!(f, "RECORD {key} VALUE {value:?} AT {at:?}")
+            }
+            Statement::AsOf { t } => write!(f, "AS OF {t:?}"),
+            Statement::Within { t1, t2, lo, hi } => {
+                write!(f, "WITHIN ({t1:?}, {t2:?}) DURATION {lo:?} {hi:?}")
             }
             Statement::Flush => write!(f, "FLUSH"),
             Statement::Ping => write!(f, "PING"),
@@ -253,6 +298,18 @@ impl<'a> Parser<'a> {
         Ok(v as u64)
     }
 
+    /// A number that must be finite (timestamps, values, durations).
+    fn finite(&mut self, what: &str) -> Result<f64, ParseError> {
+        let (v, span) = self.number(what)?;
+        if !v.is_finite() {
+            return Err(ParseError {
+                span,
+                message: format!("{what} must be finite"),
+            });
+        }
+        Ok(v)
+    }
+
     fn point(&mut self) -> Result<Point, ParseError> {
         self.expect_kind(&TokenKind::LParen, "`(`")?;
         let mut coords = Vec::new();
@@ -344,6 +401,30 @@ impl<'a> Parser<'a> {
                 self.expect_word("K")?;
                 let k = self.integer("neighbour count")? as usize;
                 Statement::Nearest { point, k }
+            }
+            "RECORD" => {
+                let key = self.integer("key")?;
+                self.expect_word("VALUE")?;
+                let value = self.finite("value")?;
+                self.expect_word("AT")?;
+                let at = self.finite("timestamp")?;
+                Statement::Record { key, value, at }
+            }
+            "AS" => {
+                self.expect_word("OF")?;
+                let t = self.finite("timestamp")?;
+                Statement::AsOf { t }
+            }
+            "WITHIN" => {
+                self.expect_kind(&TokenKind::LParen, "`(`")?;
+                let t1 = self.finite("window start")?;
+                self.expect_kind(&TokenKind::Comma, "`,`")?;
+                let t2 = self.finite("window end")?;
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                self.expect_word("DURATION")?;
+                let lo = self.finite("minimum duration")?;
+                let hi = self.finite("maximum duration")?;
+                Statement::Within { t1, t2, lo, hi }
             }
             "FLUSH" => Statement::Flush,
             "PING" => Statement::Ping,
@@ -438,6 +519,46 @@ mod tests {
     }
 
     #[test]
+    fn temporal_statement_forms_parse() {
+        assert_eq!(
+            parse("RECORD 1 VALUE 30000 AT 1975.0").unwrap(),
+            Statement::Record {
+                key: 1,
+                value: 30_000.0,
+                at: 1975.0
+            }
+        );
+        assert_eq!(
+            parse("as of 1977.5;").unwrap(),
+            Statement::AsOf { t: 1977.5 }
+        );
+        assert_eq!(
+            parse("WITHIN (1975, 1980) DURATION 0 2.5").unwrap(),
+            Statement::Within {
+                t1: 1975.0,
+                t2: 1980.0,
+                lo: 0.0,
+                hi: 2.5
+            }
+        );
+    }
+
+    #[test]
+    fn temporal_error_spans_point_at_the_offending_token() {
+        let err = parse("RECORD 1 VALUE 3 BY 5").unwrap_err();
+        assert_eq!(err.span, Span::new(17, 19));
+        assert!(err.message.contains("expected `AT`"), "{}", err.message);
+
+        let err = parse("AS OF 1e999").unwrap_err();
+        assert_eq!(err.span, Span::new(6, 11));
+        assert!(err.message.contains("finite"), "{}", err.message);
+
+        let err = parse("WITHIN (1, 2) DURATION 0").unwrap_err();
+        assert_eq!(err.span, Span::new(24, 24));
+        assert!(err.message.contains("end of statement"), "{}", err.message);
+    }
+
+    #[test]
     fn error_spans_point_at_the_offending_token() {
         let err = parse("INSERT RECT (1,2) (3,4) IDX 7").unwrap_err();
         assert_eq!(err.span, Span::new(24, 27));
@@ -501,6 +622,9 @@ mod tests {
             "SEARCH WINDOW (-5.0, -5.0) (5.0, 5.0)",
             "STAB POINT (0.1, 0.2)",
             "NEAREST POINT (7.0, 8.0) K 12",
+            "RECORD 3 VALUE 41000.0 AT 1979.5",
+            "AS OF 1977.25",
+            "WITHIN (1975.0, 1980.0) DURATION 0.5 4.0",
             "FLUSH",
             "PING",
             "STATS",

@@ -6,10 +6,11 @@ use crate::conn;
 use crate::frame::DEFAULT_MAX_FRAME;
 use crate::telemetry::ServerStats;
 use segidx_obs::{MetricsRegistry, RingBufferSink, Tracer};
+use segidx_temporal::{TemporalBackend, TemporalConfig, TemporalTable, TieredConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Everything a connection needs, shared by reference.
@@ -24,6 +25,11 @@ pub(crate) struct Shared {
     pub tracer: Arc<Tracer>,
     /// Per-connection inbound frame-size cap.
     pub max_frame: usize,
+    /// The temporal table behind `RECORD` / `AS OF` / `WITHIN`, backed by
+    /// the append-optimized tiered index. Statements execute inline under
+    /// this lock (temporal writes are not routed through the commit
+    /// queue — the tiered memtable absorbs them directly).
+    pub temporal: Mutex<TemporalTable>,
 }
 
 /// Construction parameters for [`Server::start`].
@@ -72,12 +78,24 @@ impl Server {
 
         let tracer = Arc::new(Tracer::with_config(config.trace_sample, 8, 4096));
         let ring = Arc::new(RingBufferSink::new(4096));
-        let backend = Backend::start(&config.backend, Arc::clone(&tracer), ring)?;
+        let backend = Backend::start(&config.backend, Arc::clone(&tracer), Arc::clone(&ring))?;
 
         let registry = MetricsRegistry::new();
         let stats = Arc::new(ServerStats::new());
         stats.register_metrics(&registry, &[]);
         backend.register_metrics(&registry, &[]);
+
+        // The temporal table rides the append-optimized tiered index; its
+        // seal/merge telemetry joins the same registry and event ring.
+        let mut table = TemporalTable::new(TemporalConfig {
+            backend: TemporalBackend::Tiered(TieredConfig::default()),
+            ..TemporalConfig::default()
+        });
+        let temporal_telemetry = Arc::new(segidx_temporal::TieredTelemetry::new());
+        temporal_telemetry.register(&registry, &[]);
+        let tiered = table.tiered_index_mut().expect("tiered backend");
+        tiered.set_telemetry(Some(Arc::clone(&temporal_telemetry)));
+        tiered.set_sink(Some(ring));
 
         let shared = Arc::new(Shared {
             backend,
@@ -85,6 +103,7 @@ impl Server {
             registry,
             tracer,
             max_frame: config.max_frame,
+            temporal: Mutex::new(table),
         });
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -191,6 +210,33 @@ mod tests {
         assert_eq!(read_line(&mut c), "ROWS 1 7");
         c.write_all(b"SEARCH WINDOW (5, 5) (6, 6)\n").unwrap();
         assert_eq!(read_line(&mut c), "ROWS 0");
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn temporal_session() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        c.write_all(b"RECORD 1 VALUE 30000 AT 1975\n").unwrap();
+        assert_eq!(read_line(&mut c), "OK version=0");
+        c.write_all(b"RECORD 1 VALUE 41000 AT 1979.5\n").unwrap();
+        assert_eq!(read_line(&mut c), "OK version=1");
+        c.write_all(b"RECORD 2 VALUE 30000 AT 1974\n").unwrap();
+        assert_eq!(read_line(&mut c), "OK version=2");
+        c.write_all(b"AS OF 1977\n").unwrap();
+        assert_eq!(read_line(&mut c), "VERS 2 0:1=30000.0 2:2=30000.0");
+        c.write_all(b"AS OF 1980\n").unwrap();
+        assert_eq!(read_line(&mut c), "VERS 2 1:1=41000.0 2:2=30000.0");
+        // Versions overlapping [1974, 1980] that lived at most 10 units:
+        // only employee 1's closed versions qualify (2's is still open).
+        c.write_all(b"WITHIN (1974, 1980) DURATION 0 10\n").unwrap();
+        assert_eq!(read_line(&mut c), "VERS 1 0:1=30000.0");
+        // Queries at or past the horizon are typed errors, not empty rows.
+        c.write_all(b"AS OF 1e308\n").unwrap();
+        assert!(read_line(&mut c).starts_with("ERR exec timestamp"));
+        c.write_all(b"RECORD 3 VALUE 1 AT 1e308\n").unwrap();
+        assert!(read_line(&mut c).starts_with("ERR exec"));
         drop(c);
         server.shutdown();
     }

@@ -13,8 +13,9 @@ use std::sync::{Arc, Mutex, Weak};
 
 /// Operations counted in `segidx_server_requests_total{op=…}`, in export
 /// order.
-pub const OPS: [&str; 9] = [
-    "search", "stab", "nearest", "insert", "delete", "flush", "ping", "stats", "metrics",
+pub const OPS: [&str; 12] = [
+    "search", "stab", "nearest", "insert", "delete", "record", "as_of", "within", "flush", "ping",
+    "stats", "metrics",
 ];
 
 fn op_index(op: &str) -> usize {

@@ -28,11 +28,11 @@ fn coord() -> impl Strategy<Value = f64> {
 /// (`flat_map`) strategy.
 fn statement() -> impl Strategy<Value = Statement> {
     (
-        0usize..9,          // which statement form
+        0usize..12,         // which statement form
         1usize..5,          // dimensionality of the points
         vec(coord(), 4..5), // low corner / point pool
         vec(coord(), 4..5), // high corner pool
-        any::<u64>(),       // record id
+        any::<u64>(),       // record id / temporal key
         0usize..1000,       // NEAREST's K
     )
         .prop_map(|(form, dims, a, b, id, k)| {
@@ -44,9 +44,21 @@ fn statement() -> impl Strategy<Value = Statement> {
                 2 => Statement::Search { lo, hi },
                 3 => Statement::Stab { point: lo },
                 4 => Statement::Nearest { point: lo, k },
-                5 => Statement::Flush,
-                6 => Statement::Ping,
-                7 => Statement::Stats,
+                5 => Statement::Record {
+                    key: id,
+                    value: a[0],
+                    at: b[0],
+                },
+                6 => Statement::AsOf { t: a[0] },
+                7 => Statement::Within {
+                    t1: a[0],
+                    t2: a[1],
+                    lo: b[0],
+                    hi: b[1],
+                },
+                8 => Statement::Flush,
+                9 => Statement::Ping,
+                10 => Statement::Stats,
                 _ => Statement::Metrics,
             }
         })

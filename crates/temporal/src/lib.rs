@@ -16,7 +16,12 @@
 //!   [`TemporalTable::range`] the (time window × attribute window) rectangle
 //!   query that the paper's experiments measure;
 //! * the underlying index is the SR-Tree, whose spanning records hold the
-//!   long-lived versions ("employees who seldom received raises").
+//!   long-lived versions ("employees who seldom received raises");
+//! * for append-heavy streams, [`TemporalBackend::Tiered`] swaps the flat
+//!   tree for the [`lsm`] module's LSM of packed trees: a memtable sealed
+//!   into immutable bulk-loaded tiers with crash-consistent checkpoints
+//!   and leveled background merging, answering the same queries
+//!   bit-identically.
 //!
 //! ```
 //! use segidx_temporal::{TemporalTable, TemporalConfig};
@@ -37,6 +42,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod lsm;
 mod table;
 
-pub use table::{TemporalConfig, TemporalTable, Version, VersionId};
+pub use lsm::{MergeMode, TierSnapshot, TieredConfig, TieredTelemetry, TieredTemporalIndex};
+pub use table::{
+    TemporalBackend, TemporalConfig, TemporalError, TemporalTable, Version, VersionId,
+};

@@ -1,0 +1,200 @@
+//! Leveled merge policy and the background merge worker.
+//!
+//! Tiers are kept oldest-first (ascending sequence) with levels monotone
+//! non-increasing toward the tail: seals append level-0 tiers at the tail,
+//! and merging a contiguous run of equal-level tiers replaces it in place
+//! with one tier a level up whose sequence is the run's maximum — both
+//! operations preserve the invariant, so equal-level runs are always
+//! contiguous and the planner only has to scan for them.
+//!
+//! A merge is a pure function of its inputs (immutable trees + a tombstone
+//! snapshot), which is what makes the background mode safe: the worker
+//! packs the surviving entries into a new tree while the foreground keeps
+//! sealing, and the result is spliced in afterwards. Entries dropped here
+//! are exactly those a query would have filtered as shadowed, so merging
+//! never changes query results.
+
+use super::tier::{gather, Tier};
+use segidx_core::{bulk, IndexConfig, RecordId};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// When merges run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MergeMode {
+    /// Merges run synchronously inside [`seal`]. Deterministic; the mode
+    /// the differential and crash harnesses use.
+    ///
+    /// [`seal`]: super::TieredTemporalIndex::seal
+    #[default]
+    Inline,
+    /// Merges run on a dedicated worker thread; results are spliced in by
+    /// [`poll_merges`]/[`flush_merges`] or opportunistically at the next
+    /// seal.
+    ///
+    /// [`poll_merges`]: super::TieredTemporalIndex::poll_merges
+    /// [`flush_merges`]: super::TieredTemporalIndex::flush_merges
+    Background,
+}
+
+/// Everything a merge needs, snapshotted at dispatch time.
+pub(crate) struct MergeJob<const D: usize> {
+    /// Input tiers (cheap `Arc` clones), ascending sequence, contiguous in
+    /// the owner's tier list.
+    pub tiers: Vec<Tier<D>>,
+    /// Tombstone snapshot. Tombstones created after dispatch carry higher
+    /// sequences than the merged tier and still shadow it at query time.
+    pub tombstones: HashMap<RecordId, u64>,
+    /// Level of the output tier.
+    pub level: u32,
+    pub config: IndexConfig,
+}
+
+/// A finished merge, ready to splice into the tier list.
+pub(crate) struct MergeOutcome<const D: usize> {
+    /// Sequences of the tiers this merge consumed.
+    pub input_seqs: Vec<u64>,
+    /// The replacement tier (sequence = max input sequence).
+    pub tier: Tier<D>,
+    /// Entries dropped as shadowed or tombstoned.
+    pub dropped: u64,
+    /// Merge wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Runs a merge to completion: gather, filter stale copies, pack.
+pub(crate) fn run_merge<const D: usize>(job: MergeJob<D>) -> MergeOutcome<D> {
+    let t0 = Instant::now();
+    let input_seqs: Vec<u64> = job.tiers.iter().map(|t| t.seq).collect();
+    let max_seq = *input_seqs.last().expect("merge of at least one tier");
+    let mut items = Vec::new();
+    let mut dropped = 0u64;
+    for (i, tier) in job.tiers.iter().enumerate() {
+        let newer = &job.tiers[i + 1..];
+        for (rect, record) in gather(&tier.tree) {
+            let tombstoned = job.tombstones.get(&record).is_some_and(|&ts| ts > tier.seq);
+            let shadowed = tombstoned || newer.iter().any(|t| t.contains(record));
+            if shadowed {
+                dropped += 1;
+            } else {
+                items.push((rect, record));
+            }
+        }
+    }
+    let tree = bulk::bulk_load(job.config, items);
+    let tier = Tier::new(tree, max_seq, job.level);
+    MergeOutcome {
+        input_seqs,
+        tier,
+        dropped,
+        nanos: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Picks the next run to merge: the lowest-level (newest) maximal run of
+/// equal-level tiers at least `fanout` long. Returns the run's index range
+/// and the output level.
+pub(crate) fn plan_run<const D: usize>(
+    tiers: &[Tier<D>],
+    fanout: usize,
+) -> Option<(Range<usize>, u32)> {
+    if tiers.len() < fanout {
+        return None;
+    }
+    // Levels are monotone non-increasing, so scanning from the tail visits
+    // runs lowest-level first.
+    let mut end = tiers.len();
+    while end > 0 {
+        let level = tiers[end - 1].level;
+        let mut start = end;
+        while start > 0 && tiers[start - 1].level == level {
+            start -= 1;
+        }
+        if end - start >= fanout {
+            return Some((start..end, level + 1));
+        }
+        end = start;
+    }
+    None
+}
+
+/// The single background merge worker. At most one job is in flight.
+pub(crate) struct MergeWorker<const D: usize> {
+    job_tx: Option<mpsc::Sender<MergeJob<D>>>,
+    result_rx: mpsc::Receiver<MergeOutcome<D>>,
+    handle: Option<JoinHandle<()>>,
+    in_flight: bool,
+}
+
+impl<const D: usize> MergeWorker<D> {
+    pub fn spawn() -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<MergeJob<D>>();
+        let (result_tx, result_rx) = mpsc::channel::<MergeOutcome<D>>();
+        let handle = std::thread::Builder::new()
+            .name("segidx-tier-merge".into())
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    if result_tx.send(run_merge(job)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn merge worker");
+        Self {
+            job_tx: Some(job_tx),
+            result_rx,
+            handle: Some(handle),
+            in_flight: false,
+        }
+    }
+
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Submits a job. Callers must ensure nothing is in flight.
+    pub fn submit(&mut self, job: MergeJob<D>) {
+        assert!(!self.in_flight, "one merge in flight at a time");
+        self.job_tx
+            .as_ref()
+            .expect("worker alive")
+            .send(job)
+            .expect("merge worker alive");
+        self.in_flight = true;
+    }
+
+    /// Takes the result if the in-flight merge has finished.
+    pub fn try_take(&mut self) -> Option<MergeOutcome<D>> {
+        if !self.in_flight {
+            return None;
+        }
+        match self.result_rx.try_recv() {
+            Ok(out) => {
+                self.in_flight = false;
+                Some(out)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocks until the in-flight merge (if any) finishes.
+    pub fn wait_take(&mut self) -> Option<MergeOutcome<D>> {
+        if !self.in_flight {
+            return None;
+        }
+        self.in_flight = false;
+        self.result_rx.recv().ok()
+    }
+}
+
+impl<const D: usize> Drop for MergeWorker<D> {
+    fn drop(&mut self) {
+        self.job_tx.take(); // hang up: the worker loop exits
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

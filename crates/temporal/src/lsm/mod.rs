@@ -1,0 +1,1039 @@
+//! Append-optimized tiered storage: an LSM of packed trees.
+//!
+//! The paper observes that historical interval data is append-only
+//! ("historical data indexes only need to support insertion and search
+//! operations", §3.1.1), and monotone-end-time streams make in-place
+//! R-Tree splits wasted work. [`TieredTemporalIndex`] exploits that:
+//!
+//! * **Memtable** — recent intervals accumulate in a bounded mutable
+//!   staging area: a flat O(1)-append buffer by default, or a small tree
+//!   built through the paper's skeleton path when configured for
+//!   query-heavy loads ([`memtable`]).
+//! * **Seal** — at a size threshold (or on demand) the memtable is packed
+//!   into an immutable Sort-Tile-Recursive tree and appended as a level-0
+//!   tier. With a disk attached, every seal commits a manifest page under
+//!   the storage layer's atomic root-pointer flip, so each seal is a
+//!   crash-consistent checkpoint.
+//! * **Merge** — a leveled policy folds runs of equal-level tiers into one
+//!   tier a level up, inline or on a background worker ([`merge`]).
+//! * **Snapshot** — a pinned [`TierSnapshot`] over the sealed tiers
+//!   doubles as online backup: it exports to a separate [`DiskManager`]
+//!   while the writer keeps going.
+//!
+//! Queries scatter across the memtable and every tier, drop shadowed
+//! copies by sequence precedence, and merge record-sorted — bit-identical
+//! to a flat single-tree model holding only the live entries.
+//!
+//! ## Precedence
+//!
+//! Record ids must be unique among *live* entries (the temporal table
+//! guarantees this). Updating a record means deleting its old rectangle
+//! and inserting the new one; if the old copy is already sealed, the
+//! delete becomes a *tombstone* stamped with the next sequence number.
+//! A copy of record `r` in tier sequence `S` is stale iff the memtable
+//! holds `r`, a tier with sequence `> S` holds `r`, or a tombstone for `r`
+//! carries a sequence `> S`. The memtable is always newest.
+
+mod memtable;
+mod merge;
+mod telemetry;
+mod tier;
+
+pub use merge::MergeMode;
+pub use telemetry::TieredTelemetry;
+
+use memtable::Memtable;
+use merge::{plan_run, run_merge, MergeJob, MergeOutcome, MergeWorker};
+use segidx_core::{bulk, persist, IndexConfig, RecordId};
+use segidx_geom::Rect;
+use segidx_obs::{Event, EventKind, ObsSink};
+use segidx_storage::{DiskManager, PageId, Result, StorageError};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use tier::Tier;
+
+/// Tuning for a [`TieredTemporalIndex`].
+#[derive(Clone, Debug)]
+pub struct TieredConfig {
+    /// Index configuration for the memtable skeleton and packed tiers.
+    pub index: IndexConfig,
+    /// Memtable entries that trigger a seal.
+    pub seal_threshold: usize,
+    /// Fraction of `seal_threshold` buffered flat before the memtable
+    /// builds its skeleton tree (the paper's prediction buffer `T`).
+    ///
+    /// `1.0` (the default) keeps the memtable a flat append buffer for its
+    /// whole life — O(1) inserts, linear-scan queries bounded by the seal
+    /// threshold — leaving all structuring to the seal's bulk loader.
+    /// Fractions below one trade per-insert tree maintenance for
+    /// tree-speed memtable queries (query-heavy deployments).
+    pub sample_fraction: f64,
+    /// Number of equal-level tiers that triggers a merge into the next
+    /// level.
+    pub level_fanout: usize,
+    /// Tombstone count that triggers a full compaction (merge of every
+    /// tier), clearing collected tombstones.
+    pub tombstone_limit: usize,
+    /// Whether merges run inline or on the background worker.
+    pub merge_mode: MergeMode,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        Self {
+            index: IndexConfig::srtree(),
+            seal_threshold: 8_192,
+            sample_fraction: 1.0,
+            level_fanout: 4,
+            tombstone_limit: 4_096,
+            merge_mode: MergeMode::Inline,
+        }
+    }
+}
+
+impl TieredConfig {
+    fn validate(&self) {
+        assert!(self.seal_threshold > 0, "seal_threshold must be positive");
+        assert!(self.level_fanout >= 2, "level_fanout must be at least 2");
+        assert!(
+            self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
+            "sample_fraction must be in (0, 1]"
+        );
+    }
+
+    fn sample_target(&self) -> usize {
+        ((self.seal_threshold as f64 * self.sample_fraction).round() as usize)
+            .clamp(1, self.seal_threshold)
+    }
+}
+
+/// An LSM of packed segment-index trees. See the [module docs](self).
+pub struct TieredTemporalIndex<const D: usize> {
+    config: TieredConfig,
+    memtable: Memtable<D>,
+    /// Oldest first (ascending `seq`); levels monotone non-increasing.
+    tiers: Vec<Tier<D>>,
+    tombstones: HashMap<RecordId, u64>,
+    next_seq: u64,
+    /// Live entries (inserts minus deletes) — the flat model's length.
+    len: usize,
+    disk: Option<Arc<DiskManager>>,
+    manifest_page: Option<PageId>,
+    /// Tree metadata pages of tiers consumed by merges, freed at the next
+    /// checkpoint.
+    pending_free: Vec<PageId>,
+    worker: Option<MergeWorker<D>>,
+    telemetry: Option<Arc<TieredTelemetry>>,
+    sink: Option<Arc<dyn ObsSink>>,
+}
+
+impl<const D: usize> TieredTemporalIndex<D> {
+    /// Creates an in-memory tiered index (no durability).
+    pub fn new(config: TieredConfig) -> Self {
+        config.validate();
+        let memtable = Memtable::new(
+            config.index.clone(),
+            config.seal_threshold,
+            config.sample_target(),
+        );
+        let worker = match config.merge_mode {
+            MergeMode::Inline => None,
+            MergeMode::Background => Some(MergeWorker::spawn()),
+        };
+        Self {
+            config,
+            memtable,
+            tiers: Vec::new(),
+            tombstones: HashMap::new(),
+            next_seq: 0,
+            len: 0,
+            disk: None,
+            manifest_page: None,
+            pending_free: Vec::new(),
+            worker,
+            telemetry: None,
+            sink: None,
+        }
+    }
+
+    /// Creates a disk-backed tiered index on a fresh `disk`, committing an
+    /// empty manifest so a reopen before the first seal finds a valid
+    /// (empty) tier set.
+    pub fn create(config: TieredConfig, disk: Arc<DiskManager>) -> Result<Self> {
+        let mut idx = Self::new(config);
+        idx.disk = Some(disk);
+        idx.checkpoint()?;
+        Ok(idx)
+    }
+
+    /// Reopens a disk-backed tiered index from its committed manifest.
+    ///
+    /// After a crash, open the disk with [`DiskManager::open_repair`]
+    /// first; a pure power cut leaves the committed manifest and tier
+    /// pages intact, so this loads exactly the last checkpointed tier set
+    /// (memtable contents since that checkpoint are gone by design — the
+    /// seal is the durability boundary).
+    pub fn open(config: TieredConfig, disk: Arc<DiskManager>) -> Result<Self> {
+        config.validate();
+        let root = disk
+            .root()
+            .ok_or_else(|| StorageError::BadMeta("no committed manifest".into()))?;
+        let manifest = tier::read_manifest(&disk, root, D)?;
+        let tiers: Vec<Tier<D>> = tier::load_tiers(&disk, &manifest)?;
+        let mut idx = Self::new(config);
+        idx.len = Self::live_count(&tiers, &manifest.tombstones);
+        idx.tombstones = manifest.tombstones.into_iter().collect();
+        idx.next_seq = manifest.next_seq;
+        idx.tiers = tiers;
+        idx.disk = Some(disk);
+        idx.manifest_page = Some(root);
+        idx.refresh_gauges();
+        Ok(idx)
+    }
+
+    /// Counts live (unshadowed, untombstoned) entries across `tiers`.
+    fn live_count(tiers: &[Tier<D>], tombstones: &[(RecordId, u64)]) -> usize {
+        let tombs: HashMap<RecordId, u64> = tombstones.iter().copied().collect();
+        let mut live = 0usize;
+        for (i, t) in tiers.iter().enumerate() {
+            let newer = &tiers[i + 1..];
+            for &r in t.ids.iter() {
+                let dead = tombs.get(&r).is_some_and(|&ts| ts > t.seq)
+                    || newer.iter().any(|n| n.contains(r));
+                if !dead {
+                    live += 1;
+                }
+            }
+        }
+        live
+    }
+
+    /// Installs telemetry (shared with the merge worker's outcomes).
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<TieredTelemetry>>) {
+        self.telemetry = telemetry;
+        self.refresh_gauges();
+    }
+
+    /// Installs an event sink for seal/merge/export events.
+    pub fn set_sink(&mut self, sink: Option<Arc<dyn ObsSink>>) {
+        self.sink = sink;
+    }
+
+    /// Live entries — what a flat single-tree model would hold.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sealed tiers currently live.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Entries in the mutable memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Live tombstones shadowing sealed entries.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// `(seq, level, entries)` per tier, oldest first (diagnostics).
+    pub fn tier_profile(&self) -> Vec<(u64, u32, usize)> {
+        self.tiers
+            .iter()
+            .map(|t| (t.seq, t.level, t.entry_count()))
+            .collect()
+    }
+
+    /// Inserts an entry, sealing the memtable if it reaches the threshold.
+    /// Record ids must be unique among live entries.
+    ///
+    /// In-memory indexes cannot fail here; disk-backed ones surface seal
+    /// commit errors.
+    pub fn insert(&mut self, rect: Rect<D>, record: RecordId) -> Result<()> {
+        self.memtable.insert(rect, record);
+        self.len += 1;
+        if self.memtable.len() >= self.config.seal_threshold {
+            self.seal()?;
+        } else {
+            self.refresh_gauges();
+        }
+        Ok(())
+    }
+
+    /// Deletes a live entry. `rect` must be the exact rectangle it was
+    /// inserted with. A memtable hit is removed physically; a sealed copy
+    /// gets a tombstone (durable at the next seal or [`checkpoint`]).
+    /// Returns whether the entry was live.
+    ///
+    /// [`checkpoint`]: TieredTemporalIndex::checkpoint
+    pub fn delete(&mut self, rect: &Rect<D>, record: RecordId) -> Result<bool> {
+        if self.memtable.delete(rect, record) {
+            self.len -= 1;
+            self.refresh_gauges();
+            return Ok(true);
+        }
+        // Newest sealed copy, if it is still visible.
+        let Some(seq) = self
+            .tiers
+            .iter()
+            .rev()
+            .find(|t| t.contains(record))
+            .map(|t| t.seq)
+        else {
+            return Ok(false);
+        };
+        if self.tombstones.get(&record).is_some_and(|&ts| ts > seq) {
+            return Ok(false); // already deleted
+        }
+        self.tombstones.insert(record, self.next_seq);
+        self.next_seq += 1;
+        self.len -= 1;
+        if self.tombstones.len() > self.config.tombstone_limit && !self.tiers.is_empty() {
+            self.compact()?;
+        }
+        self.refresh_gauges();
+        Ok(true)
+    }
+
+    /// Record ids intersecting `query`: scattered across memtable and
+    /// every tier, stale copies dropped, merged sorted ascending and
+    /// deduped — the same contract (and bit-identical results) as
+    /// [`Tree::search`] on a flat tree of the live entries.
+    ///
+    /// [`Tree::search`]: segidx_core::Tree::search
+    pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        let mut out = self.memtable.search(query);
+        for (i, t) in self.tiers.iter().enumerate() {
+            let newer = &self.tiers[i + 1..];
+            for r in t.tree.search(query) {
+                let stale = self.memtable.contains(r)
+                    || self.tombstones.get(&r).is_some_and(|&ts| ts > t.seq)
+                    || newer.iter().any(|n| n.contains(r));
+                if !stale {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Seals the memtable into an immutable level-0 tier, runs the merge
+    /// policy, and (disk-backed) commits the new tier set atomically.
+    /// A no-op when the memtable is empty.
+    pub fn seal(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let entries = self.memtable.drain();
+        let sealed = entries.len();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tree = bulk::bulk_load(self.config.index.clone(), entries);
+        self.tiers.push(Tier::new(tree, seq, 0));
+        self.prune_tombstones();
+        self.run_merge_policy()?;
+        self.checkpoint()?;
+        if let Some(t) = &self.telemetry {
+            t.seals_total.fetch_add(1, Ordering::Relaxed);
+            t.sealed_entries_total
+                .fetch_add(sealed as u64, Ordering::Relaxed);
+            t.seal_latency.record_duration(t0.elapsed());
+        }
+        if let Some(sink) = &self.sink {
+            sink.event(
+                Event::new(EventKind::TierSealed)
+                    .node(seq)
+                    .detail(sealed as u64),
+            );
+        }
+        self.refresh_gauges();
+        Ok(())
+    }
+
+    /// Merges every tier into one (regardless of the leveled policy) and
+    /// clears the tombstones the merge collected. Compacting a single
+    /// tier rewrites it without its tombstoned copies.
+    pub fn compact(&mut self) -> Result<()> {
+        self.finish_in_flight()?;
+        if !self.tiers.is_empty() {
+            let level = self.tiers.iter().map(|t| t.level).max().unwrap_or(0) + 1;
+            let outcome = run_merge(self.make_job(0..self.tiers.len(), level));
+            self.apply_merge(outcome);
+        }
+        self.prune_tombstones();
+        self.checkpoint()?;
+        self.refresh_gauges();
+        Ok(())
+    }
+
+    /// Applies any finished background merge without blocking. Returns
+    /// whether one was applied (and committed, when disk-backed).
+    pub fn poll_merges(&mut self) -> Result<bool> {
+        let Some(outcome) = self.worker.as_mut().and_then(|w| w.try_take()) else {
+            return Ok(false);
+        };
+        self.apply_merge(outcome);
+        self.run_merge_policy()?; // cascade: the splice may enable a run
+        self.checkpoint()?;
+        self.refresh_gauges();
+        Ok(true)
+    }
+
+    /// Drives background merging to quiescence: waits for the in-flight
+    /// merge (if any), applies it, and repeats until the policy finds no
+    /// run. Inline mode is already quiescent after every seal.
+    pub fn flush_merges(&mut self) -> Result<()> {
+        loop {
+            let Some(outcome) = self.worker.as_mut().and_then(|w| w.wait_take()) else {
+                break;
+            };
+            self.apply_merge(outcome);
+            self.run_merge_policy()?;
+        }
+        self.checkpoint()?;
+        self.refresh_gauges();
+        Ok(())
+    }
+
+    /// Commits the current sealed state (tier trees + manifest + tombstone
+    /// table) to the attached disk under one atomic root-pointer flip.
+    /// Returns the manifest page, or `None` for in-memory indexes.
+    ///
+    /// Runs automatically on seal and merge application; call directly to
+    /// make tombstones created since the last seal durable.
+    pub fn checkpoint(&mut self) -> Result<Option<PageId>> {
+        let Some(disk) = self.disk.clone() else {
+            return Ok(None);
+        };
+        // Free replaced pages first: the storage layer quarantines freed
+        // extents until this commit is durable, so a crash anywhere below
+        // reopens on the previous manifest with all its pages intact.
+        for meta in self.pending_free.drain(..) {
+            persist::free_tree(&disk, meta);
+        }
+        if let Some(old) = self.manifest_page.take() {
+            let _ = disk.free(old);
+        }
+        for t in &mut self.tiers {
+            if t.meta.is_none() {
+                t.meta = Some(persist::save(&t.tree, &disk)?);
+            }
+        }
+        let page = tier::write_manifest(&disk, &self.tiers, &self.tombstones, self.next_seq)?;
+        disk.set_root(Some(page));
+        disk.sync()?;
+        self.manifest_page = Some(page);
+        Ok(Some(page))
+    }
+
+    /// Pins the current sealed tier set for reading or export. The writer
+    /// is not paused: tiers are immutable and shared by reference.
+    pub fn snapshot(&self) -> TierSnapshot<D> {
+        TierSnapshot {
+            tiers: self.tiers.clone(),
+            tombstones: self.tombstones.clone(),
+            next_seq: self.next_seq,
+            telemetry: self.telemetry.clone(),
+            sink: self.sink.clone(),
+        }
+    }
+
+    /// Runs the leveled policy: inline mode merges until quiescent;
+    /// background mode applies a finished merge and keeps at most one job
+    /// in flight.
+    fn run_merge_policy(&mut self) -> Result<()> {
+        if let Some(w) = self.worker.as_mut() {
+            if let Some(outcome) = w.try_take() {
+                self.apply_merge(outcome);
+            }
+        }
+        loop {
+            let full =
+                self.tombstones.len() > self.config.tombstone_limit && !self.tiers.is_empty();
+            let plan = if full {
+                let level = self.tiers.iter().map(|t| t.level).max().unwrap_or(0) + 1;
+                Some((0..self.tiers.len(), level))
+            } else {
+                plan_run(&self.tiers, self.config.level_fanout)
+            };
+            let Some((range, level)) = plan else { break };
+            // Move the worker out while building the job so the borrow
+            // checker lets `make_job` read `self.tiers`.
+            match self.worker.take() {
+                None => {
+                    let outcome = run_merge(self.make_job(range, level));
+                    self.apply_merge(outcome);
+                }
+                Some(mut worker) => {
+                    if !worker.in_flight() {
+                        let job = self.make_job(range, level);
+                        worker.submit(job);
+                    }
+                    self.worker = Some(worker);
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until no background merge is in flight (applying its
+    /// result), without dispatching new work.
+    fn finish_in_flight(&mut self) -> Result<()> {
+        if let Some(outcome) = self.worker.as_mut().and_then(|w| w.wait_take()) {
+            self.apply_merge(outcome);
+        }
+        Ok(())
+    }
+
+    fn make_job(&self, range: std::ops::Range<usize>, level: u32) -> MergeJob<D> {
+        MergeJob {
+            tiers: self.tiers[range].to_vec(),
+            tombstones: self.tombstones.clone(),
+            level,
+            config: self.config.index.clone(),
+        }
+    }
+
+    /// Splices a merge result into the tier list, replacing its inputs
+    /// (which are always still present and contiguous: seals only append,
+    /// and only one merge runs at a time).
+    fn apply_merge(&mut self, outcome: MergeOutcome<D>) {
+        let MergeOutcome {
+            input_seqs,
+            tier,
+            dropped,
+            nanos,
+        } = outcome;
+        let start = self
+            .tiers
+            .iter()
+            .position(|t| t.seq == input_seqs[0])
+            .expect("merge inputs present");
+        let end = start + input_seqs.len();
+        debug_assert!(self.tiers[start..end]
+            .iter()
+            .zip(&input_seqs)
+            .all(|(t, &s)| t.seq == s));
+        for old in self.tiers.drain(start..end) {
+            if let Some(meta) = old.meta {
+                self.pending_free.push(meta);
+            }
+        }
+        let merged_entries = tier.entry_count() as u64;
+        let seq = tier.seq;
+        let level = tier.level;
+        self.tiers.insert(start, tier);
+        self.prune_tombstones();
+        if let Some(t) = &self.telemetry {
+            t.merges_total.fetch_add(1, Ordering::Relaxed);
+            t.merged_entries_total
+                .fetch_add(merged_entries, Ordering::Relaxed);
+            t.merge_dropped_total.fetch_add(dropped, Ordering::Relaxed);
+            t.merge_latency.record(nanos);
+        }
+        if let Some(sink) = &self.sink {
+            sink.event(
+                Event::new(EventKind::TierMerged)
+                    .node(seq)
+                    .level(level)
+                    .detail(merged_entries),
+            );
+        }
+    }
+
+    /// Drops tombstones that no longer shadow anything. A tombstone at
+    /// sequence `ts` masks copies of its record in tiers with sequence
+    /// `< ts`; once no such tier holds the record (the copies were merged
+    /// away), no future tier can either — merges only combine existing
+    /// copies and seals get fresh, higher sequences — so it is dead weight.
+    fn prune_tombstones(&mut self) {
+        let tiers = &self.tiers;
+        self.tombstones
+            .retain(|&r, &mut ts| tiers.iter().any(|t| t.seq < ts && t.contains(r)));
+    }
+
+    fn refresh_gauges(&self) {
+        if let Some(t) = &self.telemetry {
+            t.tier_count
+                .store(self.tiers.len() as u64, Ordering::Relaxed);
+            t.memtable_entries
+                .store(self.memtable.len() as u64, Ordering::Relaxed);
+            t.sealed_entries.store(
+                self.tiers.iter().map(|x| x.entry_count() as u64).sum(),
+                Ordering::Relaxed,
+            );
+            t.tombstones
+                .store(self.tombstones.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Internal consistency checks (tests): sequence order, level
+    /// monotonicity, live count.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        for w in self.tiers.windows(2) {
+            assert!(w[0].seq < w[1].seq, "tier seqs ascend");
+            assert!(w[0].level >= w[1].level, "levels non-increasing");
+        }
+        for t in &self.tiers {
+            assert!(t.seq < self.next_seq);
+        }
+        let tombs: Vec<(RecordId, u64)> = self.tombstones.iter().map(|(&r, &s)| (r, s)).collect();
+        let sealed_live = Self::live_count(&self.tiers, &tombs);
+        let mem_live = self.memtable.len();
+        // Memtable ids may shadow sealed copies; recount precisely.
+        let shadowed: usize = self
+            .tiers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let newer = &self.tiers[i + 1..];
+                t.ids
+                    .iter()
+                    .filter(|&&r| {
+                        self.memtable.contains(r)
+                            && !newer.iter().any(|n| n.contains(r))
+                            && !self.tombstones.get(&r).is_some_and(|&ts| ts > t.seq)
+                    })
+                    .count()
+            })
+            .sum();
+        assert_eq!(self.len, sealed_live + mem_live - shadowed, "live count");
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for TieredTemporalIndex<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredTemporalIndex")
+            .field("len", &self.len)
+            .field("memtable", &self.memtable.len())
+            .field("tiers", &self.tier_profile())
+            .field("tombstones", &self.tombstones.len())
+            .finish()
+    }
+}
+
+/// A pinned, immutable view of the sealed tier set at some moment.
+///
+/// Holding one costs a reference count per tier; the writer continues
+/// sealing and merging underneath. [`export_to`] turns it into an online
+/// backup: the pinned set is checkpointed onto a separate disk in the same
+/// format the live index commits, so [`TieredTemporalIndex::open`] reads
+/// the copy back directly.
+///
+/// [`export_to`]: TierSnapshot::export_to
+pub struct TierSnapshot<const D: usize> {
+    tiers: Vec<Tier<D>>,
+    tombstones: HashMap<RecordId, u64>,
+    next_seq: u64,
+    telemetry: Option<Arc<TieredTelemetry>>,
+    sink: Option<Arc<dyn ObsSink>>,
+}
+
+impl<const D: usize> TierSnapshot<D> {
+    /// Sealed tiers pinned by this snapshot.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Entries across the pinned tiers (stale copies included).
+    pub fn entry_count(&self) -> usize {
+        self.tiers.iter().map(|t| t.entry_count()).sum()
+    }
+
+    /// Searches the pinned tier set (no memtable: a snapshot covers the
+    /// sealed, durable half only). Sorted ascending, deduped.
+    pub fn search(&self, query: &Rect<D>) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        for (i, t) in self.tiers.iter().enumerate() {
+            let newer = &self.tiers[i + 1..];
+            for r in t.tree.search(query) {
+                let stale = self.tombstones.get(&r).is_some_and(|&ts| ts > t.seq)
+                    || newer.iter().any(|n| n.contains(r));
+                if !stale {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Writes the pinned tier set to `disk` as a committed manifest — an
+    /// online backup taken without pausing the writer. The target disk
+    /// should be fresh (its previous committed state, if any, is
+    /// replaced). Returns the manifest page on the target.
+    pub fn export_to(&self, disk: &DiskManager) -> Result<PageId> {
+        if let Some(old) = disk.root() {
+            // Replacing a previous export: drop its manifest and trees.
+            if let Ok(manifest) = tier::read_manifest(disk, old, D) {
+                for (meta, _, _) in manifest.tiers {
+                    persist::free_tree(disk, meta);
+                }
+            }
+            let _ = disk.free(old);
+            disk.set_root(None);
+        }
+        let mut exported = Vec::with_capacity(self.tiers.len());
+        for t in &self.tiers {
+            let mut copy = t.clone();
+            copy.meta = Some(persist::save(&t.tree, disk)?);
+            exported.push(copy);
+        }
+        let page = tier::write_manifest(disk, &exported, &self.tombstones, self.next_seq)?;
+        disk.set_root(Some(page));
+        disk.sync()?;
+        if let Some(t) = &self.telemetry {
+            t.exports_total.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(sink) = &self.sink {
+            sink.event(
+                Event::new(EventKind::TierExported)
+                    .node(disk.epoch())
+                    .detail(self.entry_count() as u64),
+            );
+        }
+        Ok(page)
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for TierSnapshot<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierSnapshot")
+            .field("tiers", &self.tiers.len())
+            .field("entries", &self.entry_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segidx_core::Tree;
+    use segidx_obs::RingBufferSink;
+    use segidx_storage::{DiskManagerConfig, ScriptedFault};
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "segidx-lsm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn cfg(seal_threshold: usize) -> TieredConfig {
+        TieredConfig {
+            seal_threshold,
+            level_fanout: 2,
+            ..TieredConfig::default()
+        }
+    }
+
+    /// A monotone-end-time interval stream, the paper's historical regime.
+    fn stream(n: u64) -> impl Iterator<Item = (Rect<2>, RecordId)> {
+        (0..n).map(|i| {
+            let start = i as f64;
+            let len = 1.0 + (i % 37) as f64;
+            let value = (i % 100) as f64;
+            (Rect::new([start, value], [start + len, value]), RecordId(i))
+        })
+    }
+
+    #[test]
+    fn search_is_bit_identical_to_flat_tree() {
+        let mut tiered = TieredTemporalIndex::<2>::new(cfg(32));
+        let mut flat: Tree<2> = Tree::new(IndexConfig::srtree());
+        for (rect, record) in stream(1_000) {
+            tiered.insert(rect, record).unwrap();
+            flat.insert(rect, record);
+        }
+        tiered.assert_invariants();
+        assert!(tiered.tier_count() > 1, "stream crossed several seals");
+        for (lo, hi) in [(0.0, 10.0), (100.0, 400.0), (0.0, 2_000.0), (990.0, 995.5)] {
+            let q = Rect::new([lo, 0.0], [hi, 100.0]);
+            assert_eq!(tiered.search(&q), flat.search(&q), "query [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn updates_and_deletes_shadow_sealed_copies() {
+        let mut tiered = TieredTemporalIndex::<2>::new(cfg(16));
+        let mut flat: Tree<2> = Tree::new(IndexConfig::srtree());
+        for (rect, record) in stream(200) {
+            tiered.insert(rect, record).unwrap();
+            flat.insert(rect, record);
+        }
+        // Update half the records (delete + reinsert with a new rect),
+        // delete a quarter outright; all old copies are sealed by now.
+        for i in (0..200u64).step_by(2) {
+            let start = i as f64;
+            let len = 1.0 + (i % 37) as f64;
+            let value = (i % 100) as f64;
+            let old = Rect::new([start, value], [start + len, value]);
+            assert!(tiered.delete(&old, RecordId(i)).unwrap());
+            assert!(flat.delete(&old, RecordId(i)));
+            if i % 4 == 0 {
+                let moved = Rect::new([start, value + 500.0], [start + len, value + 500.0]);
+                tiered.insert(moved, RecordId(i)).unwrap();
+                flat.insert(moved, RecordId(i));
+            }
+        }
+        tiered.assert_invariants();
+        assert_eq!(tiered.len(), flat.len());
+        for (lo, hi, vlo, vhi) in [
+            (0.0, 300.0, 0.0, 100.0),
+            (0.0, 300.0, 450.0, 700.0),
+            (50.0, 90.0, 0.0, 1_000.0),
+        ] {
+            let q = Rect::new([lo, vlo], [hi, vhi]);
+            assert_eq!(tiered.search(&q), flat.search(&q));
+        }
+        // Double delete reports not-live (record 2 was deleted and never
+        // re-inserted).
+        let gone = Rect::new([2.0, 2.0], [2.0 + 1.0 + 2.0 % 37.0, 2.0]);
+        assert!(!tiered.delete(&gone, RecordId(2)).unwrap());
+    }
+
+    #[test]
+    fn leveled_policy_bounds_tier_count() {
+        let mut tiered = TieredTemporalIndex::<2>::new(cfg(8));
+        for (rect, record) in stream(512) {
+            tiered.insert(rect, record).unwrap();
+        }
+        tiered.assert_invariants();
+        // 64 seals at fanout 2 collapse logarithmically.
+        assert!(
+            tiered.tier_count() <= 8,
+            "tiers: {:?}",
+            tiered.tier_profile()
+        );
+        let max_level = tiered.tier_profile().iter().map(|&(_, l, _)| l).max();
+        assert!(max_level >= Some(3), "merges climbed levels");
+    }
+
+    #[test]
+    fn tombstone_pressure_triggers_full_compaction() {
+        let mut config = cfg(16);
+        config.tombstone_limit = 24;
+        let mut tiered = TieredTemporalIndex::<2>::new(config);
+        let items: Vec<_> = stream(160).collect();
+        for &(rect, record) in &items {
+            tiered.insert(rect, record).unwrap();
+        }
+        for &(rect, record) in items.iter().take(120) {
+            tiered.delete(&rect, record).unwrap();
+        }
+        tiered.assert_invariants();
+        assert!(
+            tiered.tombstone_count() <= 24,
+            "compaction collected tombstones: {}",
+            tiered.tombstone_count()
+        );
+        assert_eq!(tiered.len(), 40);
+        let q = Rect::new([0.0, 0.0], [1_000.0, 1_000.0]);
+        assert_eq!(tiered.search(&q).len(), 40);
+    }
+
+    #[test]
+    fn background_mode_matches_inline() {
+        let mut inline = TieredTemporalIndex::<2>::new(cfg(32));
+        let mut config = cfg(32);
+        config.merge_mode = MergeMode::Background;
+        let mut bg = TieredTemporalIndex::<2>::new(config);
+        for (rect, record) in stream(2_000) {
+            inline.insert(rect, record).unwrap();
+            bg.insert(rect, record).unwrap();
+            // Queries are correct at any moment, merges applied or not.
+            if record.raw() % 509 == 0 {
+                let q = Rect::new([0.0, 0.0], [2_500.0, 100.0]);
+                assert_eq!(bg.search(&q), inline.search(&q));
+            }
+        }
+        bg.flush_merges().unwrap();
+        bg.assert_invariants();
+        inline.assert_invariants();
+        let q = Rect::new([0.0, 0.0], [2_500.0, 100.0]);
+        assert_eq!(bg.search(&q), inline.search(&q));
+        assert_eq!(bg.len(), inline.len());
+    }
+
+    #[test]
+    fn seal_commits_survive_reopen() {
+        let path = temp("reopen.db");
+        let expected_len;
+        {
+            let disk = Arc::new(DiskManager::create(&path).unwrap());
+            let mut tiered = TieredTemporalIndex::<2>::create(cfg(32), disk).unwrap();
+            for (rect, record) in stream(200) {
+                tiered.insert(rect, record).unwrap();
+            }
+            // 6 seals committed; 8 entries still volatile in the memtable.
+            expected_len = tiered.len() - tiered.memtable_len();
+            assert_eq!(expected_len, 192);
+        }
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let back = TieredTemporalIndex::<2>::open(cfg(32), disk).unwrap();
+        back.assert_invariants();
+        assert_eq!(back.len(), expected_len);
+        let q = Rect::new([0.0, 0.0], [500.0, 100.0]);
+        assert_eq!(back.search(&q).len(), expected_len);
+    }
+
+    #[test]
+    fn tombstones_survive_checkpoint_and_reopen() {
+        let path = temp("tombs.db");
+        let items: Vec<_> = stream(64).collect();
+        {
+            let disk = Arc::new(DiskManager::create(&path).unwrap());
+            let mut tiered = TieredTemporalIndex::<2>::create(cfg(16), disk).unwrap();
+            for &(rect, record) in &items {
+                tiered.insert(rect, record).unwrap();
+            }
+            for &(rect, record) in items.iter().take(10) {
+                tiered.delete(&rect, record).unwrap();
+            }
+            // Deletes since the last seal are volatile until checkpointed.
+            tiered.checkpoint().unwrap();
+        }
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let back = TieredTemporalIndex::<2>::open(cfg(16), disk).unwrap();
+        back.assert_invariants();
+        assert_eq!(back.len(), 54);
+        let q = Rect::new([0.0, 0.0], [500.0, 100.0]);
+        assert_eq!(back.search(&q).len(), 54);
+    }
+
+    #[test]
+    fn power_cut_during_seal_reopens_on_previous_tier_set() {
+        // First run the workload cleanly to learn the write count, then
+        // cut power a few writes into the final seal's commit.
+        let path_a = temp("cut-a.db");
+        let observe = Arc::new(ScriptedFault::observer());
+        let committed;
+        {
+            let dcfg = DiskManagerConfig {
+                fault_injector: Some(observe.clone() as Arc<_>),
+                ..DiskManagerConfig::default()
+            };
+            let disk = Arc::new(DiskManager::create_with(&path_a, dcfg).unwrap());
+            let mut tiered = TieredTemporalIndex::<2>::create(cfg(32), disk).unwrap();
+            for (rect, record) in stream(96) {
+                tiered.insert(rect, record).unwrap();
+            }
+            committed = observe.writes_seen();
+        }
+        let path_b = temp("cut-b.db");
+        let expected_sealed;
+        {
+            let cut = Arc::new(ScriptedFault::power_cut(committed + 2, Some(64)));
+            let dcfg = DiskManagerConfig {
+                fault_injector: Some(cut as Arc<_>),
+                ..DiskManagerConfig::default()
+            };
+            let disk = Arc::new(DiskManager::create_with(&path_b, dcfg).unwrap());
+            let mut tiered = TieredTemporalIndex::<2>::create(cfg(32), disk).unwrap();
+            let mut failed = false;
+            for (rect, record) in stream(200) {
+                if tiered.insert(rect, record).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            assert!(failed, "power cut fired mid-seal");
+            expected_sealed = 96; // the three seals the cut run completed
+        }
+        let (disk, report) =
+            DiskManager::open_repair(&path_b, DiskManagerConfig::default(), None).unwrap();
+        assert!(report.is_clean(), "a pure power cut corrupts nothing");
+        let back = TieredTemporalIndex::<2>::open(cfg(32), Arc::new(disk)).unwrap();
+        back.assert_invariants();
+        assert_eq!(back.len(), expected_sealed, "last committed tier set");
+        let q = Rect::new([0.0, 0.0], [500.0, 100.0]);
+        assert_eq!(back.search(&q).len(), expected_sealed);
+    }
+
+    #[test]
+    fn snapshot_export_is_an_online_backup() {
+        let mut tiered = TieredTemporalIndex::<2>::new(cfg(32));
+        let sink = Arc::new(RingBufferSink::new(64));
+        tiered.set_sink(Some(sink.clone() as Arc<dyn ObsSink>));
+        for (rect, record) in stream(160) {
+            tiered.insert(rect, record).unwrap();
+        }
+        let snap = tiered.snapshot();
+        let sealed = snap.entry_count();
+        assert_eq!(sealed, 160, "five seals of 32");
+
+        // Writer keeps going while the snapshot is pinned...
+        for (rect, record) in (200..400).map(|i| {
+            (
+                Rect::new([i as f64, 0.0], [i as f64 + 1.0, 0.0]),
+                RecordId(i),
+            )
+        }) {
+            tiered.insert(rect, record).unwrap();
+        }
+        // ...and the pinned view still answers for its moment.
+        let q = Rect::new([0.0, 0.0], [1_000.0, 100.0]);
+        assert_eq!(snap.search(&q).len(), 160);
+
+        // Export to a separate disk and read it back as a full index.
+        let path = temp("export.db");
+        let target = DiskManager::create(&path).unwrap();
+        snap.export_to(&target).unwrap();
+        drop(target);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let back = TieredTemporalIndex::<2>::open(cfg(32), disk).unwrap();
+        back.assert_invariants();
+        assert_eq!(back.search(&q), snap.search(&q));
+        assert_eq!(sink.events_of(EventKind::TierExported).len(), 1);
+        assert!(!sink.events_of(EventKind::TierSealed).is_empty());
+    }
+
+    #[test]
+    fn telemetry_tracks_the_lifecycle() {
+        let mut tiered = TieredTemporalIndex::<2>::new(cfg(16));
+        let telemetry = Arc::new(TieredTelemetry::new());
+        tiered.set_telemetry(Some(telemetry.clone()));
+        for (rect, record) in stream(160) {
+            tiered.insert(rect, record).unwrap();
+        }
+        assert_eq!(telemetry.seals_total.load(Ordering::Relaxed), 10);
+        assert_eq!(telemetry.sealed_entries_total.load(Ordering::Relaxed), 160);
+        assert!(telemetry.merges_total.load(Ordering::Relaxed) >= 4);
+        assert_eq!(
+            telemetry.tier_count.load(Ordering::Relaxed),
+            tiered.tier_count() as u64
+        );
+        assert!(!telemetry.seal_latency.is_empty());
+        assert!(!telemetry.merge_latency.is_empty());
+
+        let registry = segidx_obs::MetricsRegistry::new();
+        telemetry.register(&registry, &[]);
+        let snap = registry.snapshot();
+        assert!(snap
+            .get("segidx_temporal_tiers", &[("component", "temporal")])
+            .is_some());
+        assert!(snap
+            .get("segidx_temporal_seals_total", &[("component", "temporal")])
+            .is_some());
+    }
+}

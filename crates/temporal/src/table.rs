@@ -1,7 +1,9 @@
 //! The temporal table.
 
+use crate::lsm::{TieredConfig, TieredTemporalIndex};
 use segidx_core::{IndexConfig, RecordId, StatsSnapshot, Tree};
 use segidx_geom::{Interval, Rect};
+use segidx_storage::StorageError;
 use std::collections::HashMap;
 
 /// Identifier of one version of one key.
@@ -35,15 +37,35 @@ impl Version {
     }
 }
 
+/// Which index structure backs a [`TemporalTable`].
+#[derive(Clone, Debug, Default)]
+pub enum TemporalBackend {
+    /// One flat in-place tree — the paper's dynamic SR-Tree.
+    #[default]
+    Flat,
+    /// The append-optimized LSM of packed trees
+    /// ([`TieredTemporalIndex`]): memtable inserts, sealed immutable
+    /// tiers, leveled merging. Queries are bit-identical to [`Flat`].
+    /// The `index` field of the tiered configuration is used as-is.
+    ///
+    /// [`Flat`]: TemporalBackend::Flat
+    Tiered(TieredConfig),
+}
+
 /// Configuration for a [`TemporalTable`].
 #[derive(Clone, Debug)]
 pub struct TemporalConfig {
-    /// Upper bound used to index open (current) versions. Queries beyond
-    /// the horizon see no data, so pick it past any timestamp you will use.
+    /// Upper bound used to index open (current) versions. Writes and
+    /// queries at or beyond the horizon are rejected with
+    /// [`TemporalError::BeyondHorizon`], so pick it past any timestamp
+    /// you will use.
     pub time_horizon: f64,
     /// Configuration of the underlying index; defaults to the paper's
-    /// SR-Tree (spanning records hold the long-lived versions).
+    /// SR-Tree (spanning records hold the long-lived versions). Ignored by
+    /// the tiered backend, which carries its own index configuration.
     pub index: IndexConfig,
+    /// The index structure versions are stored in.
+    pub backend: TemporalBackend,
 }
 
 impl Default for TemporalConfig {
@@ -51,6 +73,94 @@ impl Default for TemporalConfig {
         Self {
             time_horizon: f64::MAX / 2.0,
             index: IndexConfig::srtree(),
+            backend: TemporalBackend::Flat,
+        }
+    }
+}
+
+/// Typed failures of temporal operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemporalError {
+    /// A timestamp fell at or beyond the table's time horizon. Open
+    /// versions are indexed only up to the horizon, so such a query would
+    /// silently see no open versions — rejected instead.
+    BeyondHorizon {
+        /// The offending timestamp.
+        t: f64,
+        /// The table's configured horizon.
+        horizon: f64,
+    },
+    /// A key's history must be appended in nondecreasing time order.
+    OutOfOrder {
+        /// The key being updated.
+        key: u64,
+        /// The offending timestamp.
+        at: f64,
+        /// Start of the key's current version.
+        current_start: f64,
+    },
+    /// The tiered backend failed to persist a seal or checkpoint.
+    Storage(String),
+}
+
+impl std::fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemporalError::BeyondHorizon { t, horizon } => {
+                write!(f, "timestamp {t} at or beyond horizon {horizon}")
+            }
+            TemporalError::OutOfOrder {
+                key,
+                at,
+                current_start,
+            } => write!(
+                f,
+                "out-of-order update for key {key}: {at} < {current_start}"
+            ),
+            TemporalError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+impl From<StorageError> for TemporalError {
+    fn from(e: StorageError) -> Self {
+        TemporalError::Storage(e.to_string())
+    }
+}
+
+#[derive(Debug)]
+// Both variants boxed: a `Tree` header is ~336 bytes and the tiered
+// index (memtable + tier vec + merge worker + telemetry) is larger
+// still, so inline storage would bloat every `TemporalTable`.
+enum IndexBackend {
+    Flat(Box<Tree<2>>),
+    Tiered(Box<TieredTemporalIndex<2>>),
+}
+
+impl IndexBackend {
+    fn insert(&mut self, rect: Rect<2>, record: RecordId) -> Result<(), TemporalError> {
+        match self {
+            IndexBackend::Flat(tree) => {
+                tree.insert(rect, record);
+                Ok(())
+            }
+            IndexBackend::Tiered(t) => t.insert(rect, record).map_err(Into::into),
+        }
+    }
+
+    fn delete(&mut self, rect: &Rect<2>, record: RecordId) -> Result<bool, TemporalError> {
+        match self {
+            IndexBackend::Flat(tree) => Ok(tree.delete(rect, record)),
+            IndexBackend::Tiered(t) => t.delete(rect, record).map_err(Into::into),
+        }
+    }
+
+    fn search(&self, query: &Rect<2>) -> Vec<RecordId> {
+        match self {
+            IndexBackend::Flat(tree) => tree.search(query),
+            IndexBackend::Tiered(t) => t.search(query),
         }
     }
 }
@@ -63,9 +173,12 @@ impl Default for TemporalConfig {
 /// append-only regime the paper designs for ("historical data indexes only
 /// need to support insertion and search operations", §3.1.1 — though
 /// [`TemporalTable::expire`] is provided for retention trimming).
+///
+/// The version index is either one flat tree or the tiered LSM backend
+/// ([`TemporalBackend`]); every query behaves identically on both.
 #[derive(Debug)]
 pub struct TemporalTable {
-    index: Tree<2>,
+    index: IndexBackend,
     versions: Vec<Version>,
     current: HashMap<u64, VersionId>,
     horizon: f64,
@@ -82,8 +195,14 @@ impl TemporalTable {
             config.time_horizon.is_finite() && config.time_horizon > 0.0,
             "time_horizon must be finite and positive"
         );
+        let index = match config.backend {
+            TemporalBackend::Flat => IndexBackend::Flat(Box::new(Tree::new(config.index))),
+            TemporalBackend::Tiered(tiered) => {
+                IndexBackend::Tiered(Box::new(TieredTemporalIndex::new(tiered)))
+            }
+        };
         Self {
-            index: Tree::new(config.index),
+            index,
             versions: Vec::new(),
             current: HashMap::new(),
             horizon: config.time_horizon,
@@ -94,19 +213,46 @@ impl TemporalTable {
     /// previous version (if any). Returns the new version's id.
     ///
     /// # Panics
-    /// Panics if `at` is not before the time horizon, or precedes the
-    /// key's current version start (history must be appended in order
-    /// per key).
+    /// Panics on any [`TemporalError`] — see [`try_insert`] for the
+    /// non-panicking form.
+    ///
+    /// [`try_insert`]: TemporalTable::try_insert
     pub fn insert(&mut self, key: u64, value: f64, at: f64) -> VersionId {
-        assert!(at < self.horizon, "timestamp {at} beyond horizon");
+        match self.try_insert(key, value, at) {
+            Ok(id) => id,
+            Err(TemporalError::BeyondHorizon { t, .. }) => {
+                panic!("timestamp {t} beyond horizon")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Records that `key` took `value` at time `at`, closing the key's
+    /// previous version (if any). Returns the new version's id, or a typed
+    /// error if `at` is at/beyond the horizon or precedes the key's
+    /// current version start (history must be appended in order per key).
+    pub fn try_insert(
+        &mut self,
+        key: u64,
+        value: f64,
+        at: f64,
+    ) -> Result<VersionId, TemporalError> {
+        if at >= self.horizon {
+            return Err(TemporalError::BeyondHorizon {
+                t: at,
+                horizon: self.horizon,
+            });
+        }
         if let Some(&open) = self.current.get(&key) {
             let prev = self.versions[open.0 as usize];
-            assert!(
-                at >= prev.from,
-                "out-of-order update for key {key}: {at} < {}",
-                prev.from
-            );
-            self.close_version(open, at);
+            if at < prev.from {
+                return Err(TemporalError::OutOfOrder {
+                    key,
+                    at,
+                    current_start: prev.from,
+                });
+            }
+            self.close_version(open, at)?;
         }
         let id = VersionId(self.versions.len() as u64);
         self.versions.push(Version {
@@ -115,9 +261,9 @@ impl TemporalTable {
             from: at,
             to: None,
         });
-        self.index.insert(self.rect_of(id), id.record());
+        self.index.insert(self.rect_of(id), id.record())?;
         self.current.insert(key, id);
-        id
+        Ok(id)
     }
 
     /// Deletes `key` at time `at`: closes its current version without
@@ -125,7 +271,7 @@ impl TemporalTable {
     pub fn delete_key(&mut self, key: u64, at: f64) -> bool {
         match self.current.remove(&key) {
             Some(open) => {
-                self.close_version(open, at);
+                self.close_version(open, at).expect("close version");
                 true
             }
             None => false,
@@ -142,7 +288,10 @@ impl TemporalTable {
         if v.to.is_none() || v.from.is_nan() {
             return false;
         }
-        let removed = self.index.delete(&self.rect_of(id), id.record());
+        let removed = self
+            .index
+            .delete(&self.rect_of(id), id.record())
+            .expect("expire");
         if removed {
             // Tombstone the catalog entry.
             self.versions[id.0 as usize].from = f64::NAN;
@@ -150,7 +299,7 @@ impl TemporalTable {
         removed
     }
 
-    fn close_version(&mut self, id: VersionId, at: f64) {
+    fn close_version(&mut self, id: VersionId, at: f64) -> Result<(), TemporalError> {
         let old_rect = self.rect_of(id);
         let v = &mut self.versions[id.0 as usize];
         debug_assert!(v.to.is_none());
@@ -160,9 +309,10 @@ impl TemporalTable {
             Rect::new([v.from, v.value], [v.to.unwrap(), v.value])
         };
         // Re-index with the real end time.
-        let deleted = self.index.delete(&old_rect, id.record());
+        let deleted = self.index.delete(&old_rect, id.record())?;
         debug_assert!(deleted, "open version was indexed");
-        self.index.insert(new_rect, id.record());
+        self.index.insert(new_rect, id.record())?;
+        Ok(())
     }
 
     fn rect_of(&self, id: VersionId) -> Rect<2> {
@@ -190,7 +340,26 @@ impl TemporalTable {
 
     /// All versions valid at time `t` — the temporal stab query
     /// ("what did the world look like at t?").
+    ///
+    /// # Panics
+    /// Panics if `t` is at or beyond the horizon (where open versions are
+    /// not indexed); use [`try_as_of`] for the typed error.
+    ///
+    /// [`try_as_of`]: TemporalTable::try_as_of
     pub fn as_of(&self, t: f64) -> Vec<(VersionId, Version)> {
+        self.try_as_of(t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// All versions valid at time `t`, or [`TemporalError::BeyondHorizon`]
+    /// if `t >= time_horizon` — the query would otherwise silently miss
+    /// every open version.
+    pub fn try_as_of(&self, t: f64) -> Result<Vec<(VersionId, Version)>, TemporalError> {
+        if t >= self.horizon {
+            return Err(TemporalError::BeyondHorizon {
+                t,
+                horizon: self.horizon,
+            });
+        }
         let probe = Rect::new([t, f64::MIN / 2.0], [t, f64::MAX / 2.0]);
         let mut out: Vec<(VersionId, Version)> = self
             .index
@@ -202,12 +371,37 @@ impl TemporalTable {
             .filter(|(_, v)| v.valid_at(t))
             .collect();
         out.sort_by_key(|(id, _)| *id);
-        out
+        Ok(out)
     }
 
     /// All versions whose validity overlaps `time` and whose value lies in
     /// `value` — the paper's rectangle query over historical data.
+    ///
+    /// # Panics
+    /// Panics if `time` starts at or beyond the horizon; use
+    /// [`try_range`] for the typed error.
+    ///
+    /// [`try_range`]: TemporalTable::try_range
     pub fn range(&self, time: Interval, value: Interval) -> Vec<(VersionId, Version)> {
+        self.try_range(time, value)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// All versions whose validity overlaps `time` and whose value lies in
+    /// `value`, or [`TemporalError::BeyondHorizon`] if the whole time
+    /// window lies at/beyond the horizon (open versions are not indexed
+    /// there, so such a window silently drops them).
+    pub fn try_range(
+        &self,
+        time: Interval,
+        value: Interval,
+    ) -> Result<Vec<(VersionId, Version)>, TemporalError> {
+        if time.lo() >= self.horizon {
+            return Err(TemporalError::BeyondHorizon {
+                t: time.lo(),
+                horizon: self.horizon,
+            });
+        }
         let query = Rect::from_intervals([time, value]);
         let mut out: Vec<(VersionId, Version)> = self
             .index
@@ -216,7 +410,27 @@ impl TemporalTable {
             .map(|r| (VersionId(r.raw()), self.versions[r.raw() as usize]))
             .collect();
         out.sort_by_key(|(id, _)| *id);
-        out
+        Ok(out)
+    }
+
+    /// Range × duration query (the streaming shape of the range-duration
+    /// literature): versions overlapping `time` whose validity span lies
+    /// in `[dur_lo, dur_hi]`. Open versions are measured to the horizon —
+    /// effectively "at least this long so far".
+    pub fn try_within(
+        &self,
+        time: Interval,
+        dur_lo: f64,
+        dur_hi: f64,
+    ) -> Result<Vec<(VersionId, Version)>, TemporalError> {
+        let all = self.try_range(time, Interval::new(f64::MIN / 2.0, f64::MAX / 2.0))?;
+        Ok(all
+            .into_iter()
+            .filter(|(_, v)| {
+                let dur = v.to.unwrap_or(self.horizon) - v.from;
+                dur >= dur_lo && dur <= dur_hi
+            })
+            .collect())
     }
 
     /// The full history of one key, oldest first.
@@ -253,14 +467,51 @@ impl TemporalTable {
         self.current.len()
     }
 
-    /// Index statistics (the paper's node-access counters).
-    pub fn index_stats(&self) -> StatsSnapshot {
-        self.index.stats()
+    /// The configured time horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
     }
 
-    /// The underlying index, for inspection.
+    /// Index statistics (the paper's node-access counters).
+    ///
+    /// # Panics
+    /// Panics on the tiered backend, which has no single tree to report.
+    pub fn index_stats(&self) -> StatsSnapshot {
+        match &self.index {
+            IndexBackend::Flat(tree) => tree.stats(),
+            IndexBackend::Tiered(_) => panic!("index_stats: tiered backend"),
+        }
+    }
+
+    /// The underlying flat index, for inspection.
+    ///
+    /// # Panics
+    /// Panics on the tiered backend; use [`tiered_index`].
+    ///
+    /// [`tiered_index`]: TemporalTable::tiered_index
     pub fn index(&self) -> &Tree<2> {
-        &self.index
+        match &self.index {
+            IndexBackend::Flat(tree) => tree,
+            IndexBackend::Tiered(_) => panic!("index(): tiered backend"),
+        }
+    }
+
+    /// The underlying tiered index, when the table uses the tiered
+    /// backend.
+    pub fn tiered_index(&self) -> Option<&TieredTemporalIndex<2>> {
+        match &self.index {
+            IndexBackend::Tiered(t) => Some(t),
+            IndexBackend::Flat(_) => None,
+        }
+    }
+
+    /// Mutable access to the tiered index (sealing, merge draining,
+    /// snapshot export), when the table uses the tiered backend.
+    pub fn tiered_index_mut(&mut self) -> Option<&mut TieredTemporalIndex<2>> {
+        match &mut self.index {
+            IndexBackend::Tiered(t) => Some(t),
+            IndexBackend::Flat(_) => None,
+        }
     }
 }
 
@@ -271,6 +522,18 @@ mod tests {
     fn table() -> TemporalTable {
         TemporalTable::new(TemporalConfig {
             time_horizon: 10_000.0,
+            ..TemporalConfig::default()
+        })
+    }
+
+    fn tiered_table(seal_threshold: usize) -> TemporalTable {
+        TemporalTable::new(TemporalConfig {
+            time_horizon: 10_000.0,
+            backend: TemporalBackend::Tiered(TieredConfig {
+                seal_threshold,
+                level_fanout: 2,
+                ..TieredConfig::default()
+            }),
             ..TemporalConfig::default()
         })
     }
@@ -384,6 +647,52 @@ mod tests {
     }
 
     #[test]
+    fn query_at_horizon_is_a_typed_error() {
+        // Regression: queries at or past the horizon used to silently see
+        // no open versions; they are now rejected with BeyondHorizon.
+        let mut t = table();
+        t.insert(1, 5.0, 100.0); // open version, indexed to the horizon
+        assert_eq!(t.try_as_of(9_999.9).unwrap().len(), 1);
+        let err = t.try_as_of(10_000.0).unwrap_err();
+        assert_eq!(
+            err,
+            TemporalError::BeyondHorizon {
+                t: 10_000.0,
+                horizon: 10_000.0
+            }
+        );
+        assert!(t.try_as_of(12_345.0).is_err());
+        // Writes at the horizon are equally typed.
+        let err = t.try_insert(2, 1.0, 10_000.0).unwrap_err();
+        assert!(matches!(err, TemporalError::BeyondHorizon { .. }));
+        // Range windows entirely past the horizon are rejected; partial
+        // overlap is fine.
+        assert!(t
+            .try_range(Interval::new(10_000.0, 10_001.0), Interval::new(0.0, 10.0))
+            .is_err());
+        assert!(t
+            .try_range(Interval::new(9_999.0, 10_001.0), Interval::new(0.0, 10.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn within_filters_by_duration() {
+        let mut t = table();
+        t.insert(1, 1.0, 0.0);
+        t.delete_key(1, 5.0); // duration 5
+        t.insert(2, 2.0, 0.0);
+        t.delete_key(2, 50.0); // duration 50
+        t.insert(3, 3.0, 0.0); // open: duration to horizon
+        let got = t.try_within(Interval::new(0.0, 100.0), 1.0, 10.0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.key, 1);
+        let got = t
+            .try_within(Interval::new(0.0, 100.0), 1.0, f64::MAX / 2.0)
+            .unwrap();
+        assert_eq!(got.len(), 3, "open version matches an unbounded ceiling");
+    }
+
+    #[test]
     fn long_lived_versions_become_spanning_records() {
         let mut t = table();
         // Many short-lived keys plus a few ancient open versions: the
@@ -421,5 +730,64 @@ mod tests {
             assert_eq!(w.len(), 40, "every key valid at {probe}");
         }
         assert!(t.index().check_invariants().is_empty());
+    }
+
+    #[test]
+    fn tiered_backend_answers_identically_under_churn() {
+        let mut flat = table();
+        let mut tiered = tiered_table(64); // force many seals and merges
+        for round in 0..30u64 {
+            for key in 0..25u64 {
+                let value = ((round * 25 + key) % 97) as f64;
+                let at = round as f64 * 10.0 + (key % 5) as f64;
+                flat.insert(key, value, at);
+                tiered.insert(key, value, at);
+            }
+            if round % 7 == 3 {
+                let key = round % 25;
+                let at = round as f64 * 10.0 + 6.0;
+                assert_eq!(flat.delete_key(key, at), tiered.delete_key(key, at));
+            }
+        }
+        tiered
+            .tiered_index()
+            .expect("tiered backend")
+            .assert_invariants();
+        assert!(tiered.tiered_index().unwrap().tier_count() > 1);
+        for probe in [5.0, 42.0, 123.0, 250.0, 299.0] {
+            assert_eq!(flat.as_of(probe), tiered.as_of(probe), "as_of {probe}");
+        }
+        for (lo, hi) in [(0.0, 300.0), (50.0, 60.0), (120.0, 180.0)] {
+            let time = Interval::new(lo, hi);
+            let value = Interval::new(10.0, 80.0);
+            assert_eq!(flat.range(time, value), tiered.range(time, value));
+            assert_eq!(
+                flat.try_within(time, 2.0, 40.0).unwrap(),
+                tiered.try_within(time, 2.0, 40.0).unwrap()
+            );
+        }
+        assert_eq!(flat.current(), tiered.current());
+    }
+
+    #[test]
+    fn tiered_backend_supports_expire() {
+        let mut t = tiered_table(8);
+        let mut ids = Vec::new();
+        for i in 0..40u64 {
+            ids.push(t.insert(i, i as f64, 0.0));
+            t.delete_key(i, 10.0 + i as f64);
+        }
+        // Everything sealed by now; expire half.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(t.expire(*id), "expire sealed version {i}");
+            }
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(t.version(*id).is_some(), i % 2 != 0);
+        }
+        // Version i is valid over [0, 10 + i): at t = 20 the survivors are
+        // the odd i > 10.
+        assert_eq!(t.as_of(20.0).len(), 15);
     }
 }

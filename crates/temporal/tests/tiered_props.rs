@@ -1,0 +1,157 @@
+//! Differential property tests: the tiered LSM index against the flat
+//! single-tree model, and the tiered-backend table against the flat table.
+//!
+//! Seals and merges are forced mid-stream (tiny thresholds plus explicit
+//! `seal`/`compact` ops) so every query races the full tier lifecycle:
+//! memtable-only, freshly sealed, mid-merge shadowing, post-compaction.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use segidx_core::{IndexConfig, RecordId, Tree};
+use segidx_geom::{Interval, Rect};
+use segidx_temporal::{
+    MergeMode, TemporalBackend, TemporalConfig, TemporalTable, TieredConfig, TieredTemporalIndex,
+};
+
+const HORIZON: f64 = 1_000.0;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Open a new version of `key` (closing its predecessor).
+    Update { key: u64, value: f64, advance: f64 },
+    /// Close a key's open version.
+    Delete { key: u64, advance: f64 },
+    /// Physically expire an old closed version (retention trimming).
+    Expire { slot: usize },
+    /// Force-seal the tiered memtable mid-stream.
+    Seal,
+    /// Force a full compaction mid-stream.
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u64..16, -500.0..500.0f64, 0.0..30.0f64)
+            .prop_map(|(key, value, advance)| Op::Update { key, value, advance }),
+        2 => (0u64..16, 0.0..30.0f64)
+            .prop_map(|(key, advance)| Op::Delete { key, advance }),
+        2 => (0usize..64).prop_map(|slot| Op::Expire { slot }),
+        1 => Just(Op::Seal),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn tiered_config(seal_threshold: usize, merge_mode: MergeMode) -> TieredConfig {
+    TieredConfig {
+        seal_threshold,
+        level_fanout: 2,
+        tombstone_limit: 16,
+        merge_mode,
+        ..TieredConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The raw tiered index returns bit-identical results to one flat
+    /// tree under interleaved inserts and deletes with seals and merges
+    /// forced mid-stream.
+    #[test]
+    fn tiered_index_matches_flat_tree(
+        ops in vec((0u64..200, 0.0..900.0f64, 1.0..80.0f64, 0u8..8), 1..200),
+        queries in vec((0.0..1_000.0f64, 0.0..200.0f64, 0.0..1_000.0f64, 0.0..200.0f64), 1..8),
+        seal_threshold in 4usize..24,
+    ) {
+        let mut flat: Tree<2> = Tree::new(IndexConfig::srtree());
+        let mut tiered = TieredTemporalIndex::<2>::new(
+            tiered_config(seal_threshold, MergeMode::Inline));
+        let mut live: Vec<(Rect<2>, RecordId)> = Vec::new();
+        let mut next_record = 0u64;
+        for &(_, start, len, kind) in &ops {
+            if kind == 0 && !live.is_empty() {
+                // Delete a pseudo-random live record.
+                let idx = (start as usize + len as usize) % live.len();
+                let (rect, record) = live.swap_remove(idx);
+                prop_assert!(flat.delete(&rect, record));
+                prop_assert!(tiered.delete(&rect, record).unwrap());
+            } else if kind == 1 {
+                tiered.seal().unwrap();
+            } else if kind == 2 {
+                tiered.compact().unwrap();
+            } else {
+                let rect = Rect::new([start, len], [start + len, len]);
+                let record = RecordId(next_record);
+                next_record += 1;
+                flat.insert(rect, record);
+                tiered.insert(rect, record).unwrap();
+                live.push((rect, record));
+            }
+        }
+        tiered.assert_invariants();
+        prop_assert_eq!(tiered.len(), flat.len());
+        for &(a, b, c, d) in &queries {
+            let q = Rect::new([a.min(c), b.min(d)], [a.max(c), b.max(d)]);
+            prop_assert_eq!(tiered.search(&q), flat.search(&q));
+        }
+        // Full-domain sweep is the strongest equality check.
+        let all = Rect::new([-10.0, -10.0], [2_000.0, 2_000.0]);
+        prop_assert_eq!(tiered.search(&all), flat.search(&all));
+    }
+
+    /// The tiered-backend table answers `as_of`/`range`/`within` exactly
+    /// like the flat-backend table under version churn, expiry, and forced
+    /// seals/compactions.
+    #[test]
+    fn tiered_table_matches_flat_table(
+        ops in vec(op_strategy(), 1..150),
+        probes in vec(0.0..HORIZON, 1..8),
+        background in any::<bool>(),
+    ) {
+        let mode = if background { MergeMode::Background } else { MergeMode::Inline };
+        let mut flat = TemporalTable::new(TemporalConfig {
+            time_horizon: HORIZON * 10.0,
+            ..TemporalConfig::default()
+        });
+        let mut tiered = TemporalTable::new(TemporalConfig {
+            time_horizon: HORIZON * 10.0,
+            backend: TemporalBackend::Tiered(tiered_config(8, mode)),
+            ..TemporalConfig::default()
+        });
+        let mut clock: std::collections::HashMap<u64, f64> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Update { key, value, advance } => {
+                    let t = clock.get(key).copied().unwrap_or(0.0) + advance;
+                    clock.insert(*key, t);
+                    flat.insert(*key, *value, t);
+                    tiered.insert(*key, *value, t);
+                }
+                Op::Delete { key, advance } => {
+                    let t = clock.get(key).copied().unwrap_or(0.0) + advance;
+                    clock.insert(*key, t);
+                    prop_assert_eq!(flat.delete_key(*key, t), tiered.delete_key(*key, t));
+                }
+                Op::Expire { slot } => {
+                    let id = segidx_temporal::VersionId(*slot as u64);
+                    prop_assert_eq!(flat.expire(id), tiered.expire(id));
+                }
+                Op::Seal => tiered.tiered_index_mut().unwrap().seal().unwrap(),
+                Op::Compact => tiered.tiered_index_mut().unwrap().compact().unwrap(),
+            }
+        }
+        tiered.tiered_index().unwrap().assert_invariants();
+        for &t in &probes {
+            prop_assert_eq!(flat.as_of(t), tiered.as_of(t), "as_of({})", t);
+            let window = Interval::new(t, t + 120.0);
+            let band = Interval::new(-200.0, 200.0);
+            prop_assert_eq!(flat.range(window, band), tiered.range(window, band));
+            prop_assert_eq!(
+                flat.try_within(window, 5.0, 60.0).unwrap(),
+                tiered.try_within(window, 5.0, 60.0).unwrap()
+            );
+        }
+        prop_assert_eq!(flat.current(), tiered.current());
+        prop_assert_eq!(flat.version_count(), tiered.version_count());
+    }
+}
